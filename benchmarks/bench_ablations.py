@@ -1,0 +1,138 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **Full-length tagged table** -- Read PHR puts the distinguishing
+   doublet at the top of the register, so only the 194-doublet table can
+   separate the two contexts; with the long table removed the primitive's
+   signature collapses (every guess looks the same).
+2. **Flushing the round count** -- the Section 9 attack flushes the
+   victim's ``rounds`` variable to widen the speculation window; without
+   the flush the window is too small to reach the leak gadget.
+3. **Base-predictor re-bias** -- Write_PHT's re-bias pass confines the
+   poison to the targeted iteration; without it the base predictor drags
+   other loop iterations into (channel-polluting) mispredictions.
+"""
+
+from repro.aes import AesSpectreAttack
+from repro.cpu import Machine, MachineConfig, RAPTOR_LAKE
+from repro.cpu.phr import replay_taken_branches
+from repro.isa import ProgramBuilder
+from repro.primitives import PhrReader, PhtWriter, VictimHandle
+from repro.utils.rng import DeterministicRng
+
+from conftest import print_table
+
+
+def build_victim():
+    builder = ProgramBuilder("victim", base=0x410000)
+    builder.mov_imm("rcx", 7)
+    builder.label("loop")
+    builder.sub("rcx", imm=1, set_flags=True)
+    builder.jne("loop")
+    builder.ret()
+    return builder.build()
+
+
+def read_phr_signature_strength(history_lengths):
+    """Gap between matching-guess and best wrong-guess mispredict rate."""
+    import dataclasses
+
+    config = dataclasses.replace(RAPTOR_LAKE,
+                                 pht_history_lengths=history_lengths)
+    machine = Machine(config)
+    victim = VictimHandle(machine, build_victim())
+    truth = replay_taken_branches(194, victim.taken_branches()).doublets()
+    reader = PhrReader(machine, victim, warmup=16, measure=32)
+    rates = {guess: reader._measure_guess(0, guess, [])
+             for guess in range(4)}
+    matching = rates.pop(truth[0])
+    return matching - max(rates.values())
+
+
+def aes_leak_coverage(flush_rounds: bool):
+    rng = DeterministicRng(0xAB1)
+    key = rng.bytes(16)
+    attack = AesSpectreAttack(Machine(RAPTOR_LAKE), key, rng=rng.fork(1))
+    attack.profile()
+    plaintext = rng.bytes(16)
+    oracle = attack.oracle
+    writer = PhtWriter(attack.machine)
+    iteration_phr = attack.profile()
+    writer.write(oracle.victim.loop_branch_pc, iteration_phr[2], taken=False)
+    if flush_rounds:
+        attack.machine.cache.flush(oracle.victim.rounds_address)
+    else:
+        # Make sure the line is warm instead.
+        attack.machine.cache.access(oracle.victim.rounds_address)
+    oracle.channel.flush()
+    attack.machine.clear_phr()
+    ciphertext, __ = oracle.run_and_read(plaintext)
+    truth = attack.ground_truth_rrc(plaintext, 2)
+    hot = set(oracle.channel.hot_slots())
+    leaked = sum(
+        1 for position in range(16)
+        if position * 256 + truth[position] in hot
+        or truth[position] == ciphertext[position]
+    )
+    return leaked / 16
+
+
+def poison_collateral(rebias: bool):
+    rng = DeterministicRng(0xC0)
+    key = rng.bytes(16)
+    machine = Machine(RAPTOR_LAKE)
+    attack = AesSpectreAttack(machine, key, rng=rng.fork(1))
+    iteration_phr = attack.profile()
+    plaintext = rng.bytes(16)
+    machine.clear_phr()
+    attack.oracle.run(plaintext)  # settle predictions
+    writer = PhtWriter(machine, rebias_base=rebias, rng=rng.fork(2))
+    writer.write(attack.oracle.victim.loop_branch_pc, iteration_phr[5],
+                 taken=False)
+    machine.cache.flush(attack.oracle.victim.rounds_address)
+    before = machine.perf.snapshot()
+    machine.clear_phr()
+    attack.oracle.run(plaintext)
+    delta = machine.perf.delta(before)
+    return delta.per_pc_mispredictions.get(
+        attack.oracle.victim.loop_branch_pc, 0
+    )
+
+
+def run_all():
+    return {
+        "full_tables_gap": read_phr_signature_strength((34, 66, 194)),
+        "short_tables_gap": read_phr_signature_strength((34, 66, 66)),
+        "leak_with_flush": aes_leak_coverage(flush_rounds=True),
+        "leak_without_flush": aes_leak_coverage(flush_rounds=False),
+        "collateral_with_rebias": poison_collateral(rebias=True),
+        "collateral_without_rebias": poison_collateral(rebias=False),
+    }
+
+
+def test_design_ablations(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        ["Read PHR signature gap, full-length table 3",
+         f"{results['full_tables_gap']:+.2f}"],
+        ["Read PHR signature gap, tables capped at 66 doublets",
+         f"{results['short_tables_gap']:+.2f}"],
+        ["AES leak coverage with rounds-flush",
+         f"{results['leak_with_flush']:.1%}"],
+        ["AES leak coverage without rounds-flush",
+         f"{results['leak_without_flush']:.1%}"],
+        ["poisoned-branch mispredictions with re-bias",
+         str(results["collateral_with_rebias"])],
+        ["poisoned-branch mispredictions without re-bias",
+         str(results["collateral_without_rebias"])],
+    ]
+    print_table("Design ablations", ["configuration", "measured"], rows)
+
+    assert results["full_tables_gap"] > 0.2
+    assert results["short_tables_gap"] < 0.1
+    assert results["leak_with_flush"] == 1.0
+    assert results["leak_without_flush"] < results["leak_with_flush"]
+    assert (results["collateral_with_rebias"]
+            <= results["collateral_without_rebias"])
+    benchmark.extra_info.update(
+        {k: float(v) for k, v in results.items()}
+    )

@@ -1,0 +1,48 @@
+"""Figure 2: the branch footprint used in updating the PHR.
+
+Verifies the reconstructed 16-bit footprint layout and the two structural
+properties every macro depends on: the zero-footprint branch (Shift_PHR)
+and T0/T1 control of doublet 0 (Write_PHR).
+"""
+
+from repro.cpu.footprint import (
+    branch_footprint,
+    footprint_bit_sources,
+    footprint_doublet,
+)
+from repro.utils.rng import DeterministicRng
+
+from conftest import print_table
+
+SAMPLES = 20_000
+
+
+def footprint_throughput():
+    rng = DeterministicRng(0xF2)
+    accumulator = 0
+    for _ in range(SAMPLES):
+        accumulator ^= branch_footprint(rng.value_bits(32),
+                                        rng.value_bits(32))
+    return accumulator
+
+
+def test_fig2_footprint_layout(benchmark):
+    benchmark.pedantic(footprint_throughput, rounds=3, iterations=1)
+
+    sources = footprint_bit_sources()
+    rows = [[f"f{15 - i}", source] for i, source in enumerate(sources)]
+    print_table("Figure 2 -- branch footprint bit layout (reconstructed)",
+                ["footprint bit", "source"], rows)
+
+    # Structural checks.
+    assert sources[-2:] == ["B3^T0", "B4^T1"]  # doublet 0
+    assert branch_footprint(0x7F00_0000, 0x7F01_0000) == 0
+    for doublet in range(4):
+        target = 0x5000_0000 | (doublet >> 1) | ((doublet & 1) << 1)
+        assert footprint_doublet(0x7000_0000, target, 0) == doublet
+    # All 16 branch-address bits and all 6 target bits participate.
+    for b in range(16):
+        assert branch_footprint(1 << b, 0) != 0
+    for t in range(6):
+        assert branch_footprint(0, 1 << t) != 0
+    benchmark.extra_info["layout"] = sources

@@ -1,0 +1,69 @@
+"""Figure 4: reading PHR doublets through train/test correlation.
+
+Reproduces the misprediction-rate signature of the read protocol: for
+each guess X of a doublet, the test branch's misprediction rate is ~50%
+iff X equals the true doublet value, and near 0% otherwise ("in three
+cases, the misprediction rate is close to 0% ... in one specific case,
+the 50% misprediction rate strongly suggests that X is indeed equal").
+"""
+
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.isa import ProgramBuilder
+from repro.primitives import PhrReader, VictimHandle
+
+from conftest import print_table
+
+
+def build_victim():
+    builder = ProgramBuilder("victim", base=0x410000)
+    builder.mov_imm("rcx", 7)
+    builder.label("loop")
+    builder.sub("rcx", imm=1, set_flags=True)
+    builder.jne("loop")
+    builder.ret()
+    return builder.build()
+
+
+def measure_guess_rates():
+    machine = Machine(RAPTOR_LAKE)
+    victim = VictimHandle(machine, build_victim())
+    truth = victim.taken_branches()
+    from repro.cpu.phr import replay_taken_branches
+
+    true_doublets = replay_taken_branches(194, truth).doublets()
+    reader = PhrReader(machine, victim, warmup=16, measure=32)
+    rates = {}
+    for index in (0, 1, 2):
+        known = true_doublets[:index]
+        rates[index] = {
+            guess: reader._measure_guess(index, guess, known)
+            for guess in range(4)
+        }
+    return rates, true_doublets
+
+
+def test_fig4_read_doublet_signature(benchmark):
+    rates, true_doublets = benchmark.pedantic(measure_guess_rates,
+                                              rounds=1, iterations=1)
+
+    rows = []
+    for index, guess_rates in rates.items():
+        for guess in range(4):
+            marker = "<- P%d" % index if guess == true_doublets[index] else ""
+            paper = "~50%" if guess == true_doublets[index] else "~0%"
+            rows.append([f"doublet {index}", f"X={guess:02b}", paper,
+                         f"{guess_rates[guess]:.1%}", marker])
+    print_table("Figure 4 -- test-branch misprediction rate per guess",
+                ["doublet", "guess", "paper", "measured", ""], rows)
+
+    for index, guess_rates in rates.items():
+        matching = guess_rates[true_doublets[index]]
+        others = [rate for guess, rate in guess_rates.items()
+                  if guess != true_doublets[index]]
+        assert matching >= 0.3, f"doublet {index}: collision rate too low"
+        assert all(rate <= 0.15 for rate in others), \
+            f"doublet {index}: non-matching guesses should converge"
+    benchmark.extra_info["rates"] = {
+        str(k): {str(g): round(r, 3) for g, r in v.items()}
+        for k, v in rates.items()
+    }

@@ -1,0 +1,71 @@
+"""Figure 6: Pathfinder's CFG output for the looped AES-NI victim.
+
+Paper: "the execution starts at basic block 1 (BB 1), proceeds to BB 2,
+and subsequently to BB 3, where it iterates nine times.  Then, it
+advances to BB 4 before reaching the exit point at BB 5."
+
+(Our compiled victim folds the paper's BB1/BB2 prologue into one block
+and the fix-up into the epilogue chain; the structural claim under test
+is the loop body iterating nine times on the unique matching path.)
+"""
+
+from repro import ControlFlowGraph, Machine, PathSearch, RAPTOR_LAKE
+from repro.aes.victim import AesVictim
+from repro.cpu.phr import replay_taken_branches
+from repro.isa.interpreter import CpuState
+from repro.isa.memory import Memory
+from repro.pathfinder.report import build_report, render_cfg
+
+from conftest import print_table
+
+KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+
+
+def run_pathfinder():
+    victim = AesVictim(KEY)
+    machine = Machine(RAPTOR_LAKE)
+    memory = Memory()
+    victim.provision(memory, plaintext=bytes(16))
+    machine.clear_phr()
+    result = machine.run(victim.program, state=CpuState(), memory=memory,
+                         entry=victim.program.address_of("aes_encrypt"))
+    taken = [(r.pc, r.target) for r in result.trace if r.taken]
+    history = replay_taken_branches(len(taken), taken).doublets()
+
+    cfg = ControlFlowGraph(victim.program,
+                           entry=victim.program.address_of("aes_encrypt"))
+    search = PathSearch(cfg, mode="exact")
+    paths = search.search(history)
+    return victim, cfg, paths, search.explored
+
+
+def test_fig6_pathfinder_aes_cfg(benchmark):
+    victim, cfg, paths, explored = benchmark.pedantic(run_pathfinder,
+                                                      rounds=1, iterations=1)
+    assert len(paths) == 1, "the AES history must identify a unique path"
+    path = paths[0]
+    report = build_report(cfg, path)
+    loop_iterations = report.loop_iterations(victim.loop_block_start)
+
+    print()
+    print(render_cfg(cfg, path))
+    print_table(
+        "Figure 6 -- Pathfinder on looped AES-128 (10 rounds)",
+        ["quantity", "paper", "measured"],
+        [
+            ["matching paths", "single path", str(len(paths))],
+            ["loop body iterations", "9", str(loop_iterations)],
+            ["loop back-edge traversals", "(9 in figure, 8 taken + exit)",
+             str(loop_iterations - 1)],
+            ["states explored", "-", str(explored)],
+        ],
+    )
+
+    assert loop_iterations == 9
+    assert path.reaches_entry
+    # Per-iteration PHR values at the loop branch are distinct -- the
+    # poisoning coordinates the Section 9 attack consumes.
+    loop_phrs = [value for block, value in report.phr_at_block
+                 if block == victim.loop_block_start]
+    assert len(set(loop_phrs)) == 9
+    benchmark.extra_info["loop_iterations"] = loop_iterations

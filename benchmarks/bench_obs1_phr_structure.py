@@ -1,0 +1,67 @@
+"""Observation 1: Raptor Lake's PHR structure is identical to Alder Lake's.
+
+The paper verifies that the reverse-engineered PHR model carries over to
+the newer microarchitecture.  The benchmark drives identical random
+branch sequences through both machine configurations and asserts
+bit-identical PHR evolution at every step, and distinct evolution on
+Skylake (whose capacity differs) once histories exceed its window.
+"""
+
+from repro.cpu import ALDER_LAKE, Machine, RAPTOR_LAKE, SKYLAKE
+from repro.utils.rng import DeterministicRng
+
+from conftest import print_table
+
+SEQUENCE_LENGTH = 400
+SEQUENCES = 25
+
+
+def random_branch_sequence(rng, length=SEQUENCE_LENGTH):
+    pc = 0x40_0000
+    branches = []
+    for _ in range(length):
+        pc += rng.integer(1, 5000) * 4
+        branches.append((pc, pc + rng.integer(1, 2000) * 4))
+    return branches
+
+
+def compare_evolutions():
+    rng = DeterministicRng(0x0B51)
+    identical_steps = 0
+    total_steps = 0
+    skylake_truncation_holds = 0
+    for index in range(SEQUENCES):
+        branches = random_branch_sequence(rng.fork(index))
+        raptor = Machine(RAPTOR_LAKE)
+        alder = Machine(ALDER_LAKE)
+        skylake = Machine(SKYLAKE)
+        for pc, target in branches:
+            raptor.record_taken_branch(pc, target)
+            alder.record_taken_branch(pc, target)
+            skylake.record_taken_branch(pc, target)
+            total_steps += 1
+            if raptor.phr(0).value == alder.phr(0).value:
+                identical_steps += 1
+            truncated = raptor.phr(0).value & ((1 << (2 * 93)) - 1)
+            if skylake.phr(0).value == truncated:
+                skylake_truncation_holds += 1
+    return identical_steps, total_steps, skylake_truncation_holds
+
+
+def test_obs1_phr_structure(benchmark):
+    identical, total, truncation = benchmark.pedantic(
+        compare_evolutions, rounds=1, iterations=1
+    )
+    print_table(
+        "Observation 1 -- PHR structure across microarchitectures",
+        ["comparison", "paper", "measured"],
+        [
+            ["Raptor Lake == Alder Lake (per-branch PHR)",
+             "identical", f"{identical}/{total} steps identical"],
+            ["Skylake == low 93 doublets of Raptor Lake",
+             "(capacity differs only)", f"{truncation}/{total} steps"],
+        ],
+    )
+    assert identical == total
+    assert truncation == total
+    benchmark.extra_info["identical_steps"] = identical

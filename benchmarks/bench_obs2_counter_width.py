@@ -1,0 +1,70 @@
+"""Observation 2: the PHT saturating counters are 3 bits wide.
+
+The paper's probe: fix the PHR to all zeros, feed one branch the
+repeating pattern T^m N^m, and grow m; the per-period misprediction
+count stops increasing once m saturates the counter, and the width
+follows as n = log2(m_plateau + 1).
+
+The experiment here runs against the full simulated CBP (not a bare
+counter), so it also demonstrates that the TAGE-style provider selection
+does not disturb the measurement -- exactly what made the probe usable on
+real hardware.
+"""
+
+from repro.cpu import Machine, RAPTOR_LAKE
+
+from conftest import print_table
+
+BRANCH_PC = 0x0046_AC00
+BRANCH_TARGET = BRANCH_PC + 0x40
+WARMUP_PERIODS = 4
+MEASURE_PERIODS = 2
+
+
+def mispredictions_per_period(m: int) -> float:
+    machine = Machine(RAPTOR_LAKE)
+    pattern = [True] * m + [False] * m
+
+    def run_period(count_misses: bool) -> int:
+        misses = 0
+        for outcome in pattern:
+            machine.phr(0).clear()
+            misses += machine.observe_conditional(BRANCH_PC, BRANCH_TARGET,
+                                                  outcome)
+        return misses
+
+    for _ in range(WARMUP_PERIODS):
+        run_period(count_misses=False)
+    total = sum(run_period(count_misses=True)
+                for _ in range(MEASURE_PERIODS))
+    return total / MEASURE_PERIODS
+
+
+def sweep():
+    return {m: mispredictions_per_period(m) for m in range(1, 13)}
+
+
+def test_obs2_counter_width(benchmark):
+    values = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    plateau_value = values[12]
+    onset = 12
+    for m in sorted(values, reverse=True):
+        if values[m] != plateau_value:
+            break
+        onset = m
+    inferred_bits = (onset + 1).bit_length() - 1
+
+    print_table(
+        "Observation 2 -- saturating counter width probe",
+        ["m (T^m N^m)", "mispredictions / period"],
+        [[m, values[m]] for m in sorted(values)],
+    )
+    print(f"plateau onset m = {onset}  ->  n = log2(m+1) = {inferred_bits} "
+          "bits (paper: 3-bit counters)")
+
+    assert inferred_bits == 3
+    assert values[onset] == plateau_value
+    assert values[1] < plateau_value
+    benchmark.extra_info["plateau_onset"] = onset
+    benchmark.extra_info["inferred_bits"] = inferred_bits

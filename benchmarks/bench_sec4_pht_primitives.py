@@ -1,0 +1,79 @@
+"""Section 4.3/4.4: Write_PHT and Read_PHT (Attack Primitives 2 and 3).
+
+Write_PHT: plant taken/not-taken predictions at arbitrary (PC, PHR)
+coordinates and verify a victim-side lookup consumes them.
+
+Read_PHT: the prime+test+probe counter extraction -- "4 mispredictions
+indicates the entry remained in the strongly not-taken state, 2
+mispredictions indicates it moved two steps away, perhaps due to two
+taken branch instances."
+"""
+
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.primitives import PhtReader, PhtWriter
+from repro.utils.rng import DeterministicRng
+
+from conftest import print_table
+
+VICTIM_PC = 0x0040_AC00
+VICTIM_TARGET = VICTIM_PC + 0x40
+WRITE_TRIALS = 50
+
+
+def run_write_pht_sweep():
+    machine = Machine(RAPTOR_LAKE)
+    writer = PhtWriter(machine)
+    rng = DeterministicRng(0x11)
+    correct = 0
+    for trial in range(WRITE_TRIALS):
+        phr_value = rng.value_bits(388)
+        desired = rng.coin()
+        writer.write(VICTIM_PC, phr_value, taken=desired)
+        machine.phr(0).set_value(phr_value)
+        prediction = machine.cbp.predict(VICTIM_PC, machine.phr(0))
+        correct += prediction.taken == desired
+    return correct
+
+
+def run_read_pht_sweep():
+    results = {}
+    for victim_updates in range(0, 5):
+        machine = Machine(RAPTOR_LAKE)
+        reader = PhtReader(machine)
+        phr_value = DeterministicRng(victim_updates + 7).value_bits(388)
+
+        def run_victim():
+            for _ in range(victim_updates):
+                machine.phr(0).set_value(phr_value)
+                machine.observe_conditional(VICTIM_PC, VICTIM_TARGET, True)
+
+        probe = reader.read(VICTIM_PC, phr_value, run_victim)
+        results[victim_updates] = probe.mispredictions
+    return results
+
+
+def test_sec4_write_pht(benchmark):
+    correct = benchmark.pedantic(run_write_pht_sweep, rounds=1, iterations=1)
+    print_table(
+        "Section 4.3 -- Write_PHT(PC, PHR, value)",
+        ["experiment", "paper", "measured"],
+        [[f"planted prediction consumed ({WRITE_TRIALS} random coords)",
+          "always", f"{correct}/{WRITE_TRIALS}"]],
+    )
+    assert correct == WRITE_TRIALS
+    benchmark.extra_info["write_success"] = correct
+
+
+def test_sec4_read_pht(benchmark):
+    results = benchmark.pedantic(run_read_pht_sweep, rounds=1, iterations=1)
+    rows = []
+    for updates, mispredictions in sorted(results.items()):
+        expected = max(0, 4 - updates)
+        rows.append([f"{updates} victim taken updates",
+                     f"{expected} mispredictions",
+                     f"{mispredictions} mispredictions"])
+    print_table("Section 4.4 -- Read_PHT prime+test+probe",
+                ["victim behaviour", "paper model", "measured"], rows)
+    for updates, mispredictions in results.items():
+        assert mispredictions == max(0, 4 - updates)
+    benchmark.extra_info["probe_counts"] = results

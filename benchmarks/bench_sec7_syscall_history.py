@@ -1,0 +1,75 @@
+"""Section 7.1: syscall branch footprint and user-visible kernel history.
+
+Paper: "the syscall entrance and exit introduce approximately 23 and 7
+branch outcomes into the PHR ... we can capture over 160 unique branch
+histories related to those specific system calls", and in the reverse
+direction "the PHR is not flushed [on kernel entry], allowing the user
+program to set a specific PHR value upon entry that will impact kernel
+predictions".
+"""
+
+from repro.attacks import SimulatedKernel
+from repro.attacks.syscalls import ENTRY_TAKEN_BRANCHES, EXIT_TAKEN_BRANCHES
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.utils.rng import DeterministicRng
+
+from conftest import print_table
+
+
+def run_experiment():
+    kernel = SimulatedKernel()
+    fingerprints = {}
+    for name in kernel.syscall_names():
+        machine = Machine(RAPTOR_LAKE)
+        machine.clear_phr()
+        fingerprints[name] = kernel.invoke(machine, name)
+
+    # Reverse direction: user-planted PHR reaches kernel predictions.
+    machine = Machine(RAPTOR_LAKE)
+    planted = DeterministicRng(1).value_bits(388)
+    machine.phr(0).set_value(planted)
+    entry_pc = kernel.entry_branches()[0][0]
+    prediction_before = machine.cbp.predict(entry_pc, machine.phr(0))
+    user_value_at_entry = machine.phr(0).value
+    del prediction_before
+    return kernel, fingerprints, user_value_at_entry == planted
+
+
+def test_sec7_syscall_history(benchmark):
+    kernel, fingerprints, planted_survives = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    capacity = RAPTOR_LAKE.phr_capacity
+    budget = capacity - ENTRY_TAKEN_BRANCHES - EXIT_TAKEN_BRANCHES
+
+    rows = [
+        ["syscall entry taken branches", "~23",
+         str(fingerprints["getppid"].entry_taken)],
+        ["syscall exit taken branches", "~7",
+         str(fingerprints["getppid"].exit_taken)],
+        ["history budget for syscall bodies", "> 160", str(budget)],
+        ["distinct post-syscall PHR values", "distinguishable",
+         f"{len({r.phr_value for r in fingerprints.values()})}/"
+         f"{len(fingerprints)}"],
+        ["user PHR visible at kernel entry", "not flushed",
+         "survives" if planted_survives else "FLUSHED"],
+    ]
+    print_table("Section 7.1 -- user/kernel boundary measurements",
+                ["quantity", "paper", "measured"], rows)
+
+    per_syscall = [
+        [name, result.entry_taken, result.body_taken, result.exit_taken,
+         result.total_taken]
+        for name, result in sorted(fingerprints.items())
+    ]
+    print_table("per-syscall taken-branch footprint",
+                ["syscall", "entry", "body", "exit", "total"], per_syscall)
+
+    assert fingerprints["getppid"].entry_taken == 23
+    assert fingerprints["getppid"].exit_taken == 7
+    assert budget == 164 > 160
+    assert len({r.phr_value for r in fingerprints.values()}) == \
+           len(fingerprints)
+    assert planted_survives
+    benchmark.extra_info["history_budget"] = budget
+    del kernel

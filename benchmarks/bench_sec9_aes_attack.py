@@ -1,0 +1,121 @@
+"""Section 9: leaking AES keys via speculative early loop exits.
+
+Paper evaluation: "our attack is capable of speculatively terminating the
+victim loop at any iteration, in this case ranging from the first to one
+less than the total number of rounds.  We rigorously test all of these
+... We repeat this process 1000 times and calculate the average success
+rate.  On average, the attack succeeds with a probability of 98.43%."
+
+The sweep here runs 20 trials per exit iteration (9 x 20 = 180 attacked
+invocations; scale recorded in EXPERIMENTS.md), then performs one full
+key recovery from iteration-1 exits.
+"""
+
+from repro.aes import AesSpectreAttack
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.utils.rng import DeterministicRng
+
+from conftest import print_table
+
+TRIALS_PER_ITERATION = 20
+
+
+def run_success_sweep():
+    rng = DeterministicRng(0xAE5)
+    key = rng.bytes(16)
+    attack = AesSpectreAttack(Machine(RAPTOR_LAKE), key, rng=rng.fork(1))
+    rates = {}
+    for exit_iteration in range(1, 10):
+        total = 0.0
+        for trial in range(TRIALS_PER_ITERATION):
+            plaintext = rng.bytes(16)
+            total += attack.success_rate(plaintext, exit_iteration)
+        rates[exit_iteration] = total / TRIALS_PER_ITERATION
+    return rates
+
+
+def run_key_recovery():
+    rng = DeterministicRng(0x4B)
+    key = rng.bytes(16)
+    attack = AesSpectreAttack(Machine(RAPTOR_LAKE), key, rng=rng.fork(2))
+    recovered = attack.recover_key()
+    return recovered == key, len(key)
+
+
+def test_sec9_reduced_round_success_rate(benchmark):
+    rates = benchmark.pedantic(run_success_sweep, rounds=1, iterations=1)
+    average = sum(rates.values()) / len(rates)
+    rows = [[f"exit @ iteration {i}", "-", f"{rates[i]:.2%}"]
+            for i in sorted(rates)]
+    rows.append(["average byte success rate", "98.43%", f"{average:.2%}"])
+    print_table(
+        "Section 9 -- reduced-round ciphertext leak "
+        f"({TRIALS_PER_ITERATION} trials x 9 iterations)",
+        ["experiment", "paper", "measured"], rows,
+    )
+    # The simulator should meet or exceed the paper's 98.43% average (its
+    # residual losses come from channel ambiguity under accumulated PHT
+    # state, the same effect behind the paper's sub-100% rate).
+    assert average >= 0.9843
+    for iteration, rate in rates.items():
+        assert rate >= 0.90, f"iteration {iteration}"
+    benchmark.extra_info["average_success"] = average
+
+
+def test_sec9_full_key_recovery(benchmark):
+    matched, key_bytes = benchmark.pedantic(run_key_recovery, rounds=1,
+                                            iterations=1)
+    print_table(
+        "Section 9 -- end-to-end AES-128 key extraction",
+        ["experiment", "paper", "measured"],
+        [["differential recovery from 2-round ciphertexts",
+          "key recovered", "key recovered" if matched else "FAILED"],
+         ["key bytes", "16", str(key_bytes)]],
+    )
+    assert matched
+    benchmark.extra_info["key_recovered"] = matched
+
+
+def run_equality_channel():
+    """The paper's second recovery option: a one-bit equality oracle."""
+    from repro.aes.core import reduced_round_ciphertext
+    from repro.aes.equality_oracle import EqualityLeakAttack
+    from repro.aes.keyschedule import expand_key
+    from repro.aes.modes import ecb_encrypt
+
+    rng = DeterministicRng(0xE0)
+    key = rng.bytes(16)
+    round_keys = expand_key(key)
+    position = 0
+    exit_iteration = 1
+    plaintexts = [rng.bytes(16) for _ in range(16)]
+    constant = reduced_round_ciphertext(plaintexts[0], round_keys,
+                                        exit_iteration)[position]
+
+    attack = EqualityLeakAttack(Machine(RAPTOR_LAKE), key, position,
+                                constant)
+    detected = attack.collect_matches(plaintexts, exit_iteration)
+    expected = [
+        p for p in plaintexts
+        if reduced_round_ciphertext(p, round_keys,
+                                    exit_iteration)[position] == constant
+        and ecb_encrypt(p, key)[position] != constant
+    ]
+    return detected, expected
+
+
+def test_sec9_equality_oracle_channel(benchmark):
+    detected, expected = benchmark.pedantic(run_equality_channel, rounds=1,
+                                            iterations=1)
+    print_table(
+        "Section 9 -- one-bit equality-leak oracle "
+        "(repeat with random inputs)",
+        ["experiment", "paper", "measured"],
+        [["transient byte == constant events detected",
+          "detectable via a single cache line",
+          f"{len(detected)}/{len(expected)} events, no false positives"
+          if detected == expected else "MISMATCH"]],
+    )
+    assert detected == expected
+    assert detected  # the seeded constant guarantees at least one event
+    benchmark.extra_info["events"] = len(detected)

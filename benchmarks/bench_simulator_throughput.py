@@ -1,0 +1,73 @@
+"""Library performance: simulator operation throughput.
+
+Not a paper artifact -- these measure the reproduction's own substrate so
+regressions in the hot paths (branch commit, CBP lookup, PHR update,
+cache access, victim interpretation) are visible.  The attack benchmarks'
+wall-clock budgets all derive from these numbers.
+"""
+
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.cpu.phr import PathHistoryRegister
+from repro.isa import ProgramBuilder
+from repro.utils.rng import DeterministicRng
+
+OPERATIONS = 5_000
+
+
+def bench_phr_updates():
+    phr = PathHistoryRegister(194)
+    for i in range(OPERATIONS):
+        phr.update(0x41F2C4 + 4 * i, 0x41F300 + 64 * i)
+    return phr.value
+
+
+def bench_cbp_observes():
+    machine = Machine(RAPTOR_LAKE)
+    rng = DeterministicRng(1)
+    phr = machine.phr(0)
+    for i in range(OPERATIONS):
+        phr.set_value(rng.value_bits(388))
+        machine.observe_conditional(0x40AC00 + 4 * (i % 64), 0x40B000,
+                                    rng.coin())
+    return machine.perf.conditional_branches
+
+
+def bench_cache_accesses():
+    machine = Machine(RAPTOR_LAKE)
+    for i in range(OPERATIONS):
+        machine.cache.access(0x2000_0000 + (i % 512) * 4096)
+    return machine.cache.hits
+
+
+def bench_interpreted_branches():
+    builder = ProgramBuilder("spin", base=0x400000)
+    builder.mov_imm("rcx", OPERATIONS // 2)
+    builder.label("loop")
+    builder.sub("rcx", imm=1, set_flags=True)
+    builder.jne("loop")
+    builder.halt()
+    machine = Machine(RAPTOR_LAKE)
+    result = machine.run(builder.build())
+    return result.perf.conditional_branches
+
+
+def test_phr_update_throughput(benchmark):
+    benchmark.pedantic(bench_phr_updates, rounds=5, iterations=1)
+    benchmark.extra_info["operations"] = OPERATIONS
+
+
+def test_cbp_observe_throughput(benchmark):
+    benchmark.pedantic(bench_cbp_observes, rounds=3, iterations=1)
+    benchmark.extra_info["operations"] = OPERATIONS
+
+
+def test_cache_access_throughput(benchmark):
+    benchmark.pedantic(bench_cache_accesses, rounds=5, iterations=1)
+    benchmark.extra_info["operations"] = OPERATIONS
+
+
+def test_interpreter_branch_throughput(benchmark):
+    count = benchmark.pedantic(bench_interpreted_branches, rounds=3,
+                               iterations=1)
+    assert count == OPERATIONS // 2
+    benchmark.extra_info["branches"] = count

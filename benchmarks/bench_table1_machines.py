@@ -1,0 +1,46 @@
+"""Table 1: specifications of the target processors.
+
+Paper row data:
+
+    machine 1: Core i9-13900KS, Raptor Lake  (PHR 194)
+    machine 2: Core i9-12900,   Alder Lake   (PHR 194)
+    machine 3: Core i7-6770HQ,  Skylake      (PHR 93)
+
+The benchmark instantiates each configuration, measures construction
+cost, and asserts the identifying parameters.
+"""
+
+from repro.cpu import Machine, TARGET_MACHINES
+
+from conftest import print_table
+
+
+def build_all_machines():
+    return [Machine(config) for config in TARGET_MACHINES]
+
+
+def test_table1_target_machines(benchmark):
+    machines = benchmark.pedantic(build_all_machines, rounds=3, iterations=1)
+
+    rows = []
+    for machine in machines:
+        description = machine.config.describe()
+        rows.append([
+            description["Machine"],
+            description["Model Name"],
+            description["uArch."],
+            description["PHR size"],
+            description["PHT tables"],
+        ])
+    print_table("Table 1 -- Specifications of the Target Processors",
+                ["Machine", "Model Name", "uArch.", "PHR", "PHT windows"],
+                rows)
+
+    by_name = {m.config.name: m for m in machines}
+    assert by_name["machine 1"].config.microarchitecture == "Raptor Lake"
+    assert by_name["machine 1"].config.phr_capacity == 194
+    assert by_name["machine 2"].config.microarchitecture == "Alder Lake"
+    assert by_name["machine 2"].config.phr_capacity == 194
+    assert by_name["machine 3"].config.microarchitecture == "Skylake"
+    assert by_name["machine 3"].config.phr_capacity == 93
+    benchmark.extra_info["machines"] = [m.config.model_name for m in machines]

@@ -1,0 +1,37 @@
+"""Table 2: attack-primitive practicality across isolation boundaries.
+
+Paper layout::
+
+                 User/Kernel   SGX Enclave   SMT   Intel Defenses
+                 Enter  Exit   Enter  Exit         IBPB   IBRS
+    Read PHR     yes    yes    yes    yes     no   yes    yes
+    Write PHR    yes    yes    yes    yes     no   yes    yes
+    Read PHT     yes    yes    yes    yes     yes  yes    yes
+    Write PHT    yes    yes    yes    yes     yes  yes    yes
+
+Every cell is an executed experiment on the simulated machine (see
+repro.attacks.boundaries for the per-cell protocols).
+"""
+
+from repro.attacks import BOUNDARIES, evaluate_table2
+from repro.cpu import RAPTOR_LAKE, SKYLAKE
+
+from conftest import print_table
+
+
+def test_table2_boundary_matrix(benchmark):
+    matrix = benchmark.pedantic(lambda: evaluate_table2(RAPTOR_LAKE),
+                                rounds=1, iterations=1)
+    print_table("Table 2 -- Attack Primitives Practicality (Raptor Lake)",
+                ["Primitive"] + list(BOUNDARIES), matrix.rows())
+    print("paper-matrix match:", matrix.matches_paper())
+    assert matrix.matches_paper()
+    benchmark.extra_info["matches_paper"] = matrix.matches_paper()
+
+
+def test_table2_generalises_to_skylake(benchmark):
+    matrix = benchmark.pedantic(lambda: evaluate_table2(SKYLAKE),
+                                rounds=1, iterations=1)
+    print_table("Table 2 -- same matrix on Skylake (Section 3 claim)",
+                ["Primitive"] + list(BOUNDARIES), matrix.rows())
+    assert matrix.matches_paper()

@@ -1,0 +1,29 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+a paper-vs-measured comparison (run pytest with ``-s`` to see it live;
+the data also lands in each benchmark's ``extra_info``), and *asserts*
+the reproduction-level facts -- who wins, which cells are check marks,
+where the plateaus sit -- so a regression fails loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+def print_table(title: str, headers: List[str],
+                rows: Iterable[Iterable[object]]) -> None:
+    """Render an aligned text table to stdout."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print()
+    print(f"== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rendered_rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))

@@ -1,0 +1,78 @@
+"""Quickstart: the CBP as a read/write scratchpad.
+
+Builds a tiny victim with a secret-dependent loop, runs it on the
+simulated machine, and uses the paper's primitives to (1) read the PHR it
+left behind, (2) reconstruct its control flow with Pathfinder, and
+(3) plant a branch prediction with Write_PHT.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ControlFlowGraph,
+    Machine,
+    PathSearch,
+    PhrReader,
+    PhtWriter,
+    RAPTOR_LAKE,
+    VictimHandle,
+)
+from repro.cpu.phr import replay_taken_branches
+from repro.isa import ProgramBuilder
+from repro.pathfinder.report import build_report, render_cfg
+
+
+def build_victim(secret_iterations: int):
+    """A loop whose trip count is the 'secret'."""
+    builder = ProgramBuilder("victim", base=0x410000)
+    builder.mov_imm("rcx", secret_iterations)
+    builder.label("loop")
+    builder.sub("rcx", imm=1, set_flags=True)
+    builder.jne("loop")
+    builder.ret()
+    return builder.build()
+
+
+def main() -> None:
+    secret = 12
+    machine = Machine(RAPTOR_LAKE)
+    victim_program = build_victim(secret)
+    victim = VictimHandle(machine, victim_program)
+
+    print("=== 1. Read_PHR: leak the victim's path history ===")
+    reader = PhrReader(machine, victim)
+    result = reader.read(count=24)
+    truth = replay_taken_branches(194, victim.taken_branches())
+    print(f"recovered doublets : {result.doublets}")
+    print(f"ground truth       : {truth.doublets()[:24]}")
+    print(f"match              : {result.doublets == truth.doublets()[:24]}")
+    print(f"attack iterations  : {result.iterations}")
+
+    print()
+    print("=== 2. Pathfinder: history -> control flow ===")
+    taken = victim.taken_branches()
+    history = replay_taken_branches(len(taken), taken).doublets()
+    cfg = ControlFlowGraph(victim_program)
+    paths = PathSearch(cfg, mode="exact").search(history)
+    report = build_report(cfg, paths[0])
+    loop_block = victim_program.address_of("loop")
+    print(render_cfg(cfg, paths[0]))
+    print(f"recovered secret loop count: "
+          f"{report.loop_iterations(loop_block)} (actual {secret})")
+
+    print()
+    print("=== 3. Write_PHT: plant a prediction at one (PC, PHR) ===")
+    loop_branch = victim_program.address_of("loop")
+    branch_pc = [pc for pc, __ in report.branch_outcomes][0]
+    phr_at_iteration_3 = report.phr_at_block[3][1]
+    writer = PhtWriter(machine)
+    writer.write(branch_pc, phr_at_iteration_3, taken=False)
+    machine.phr(0).set_value(phr_at_iteration_3)
+    prediction = machine.cbp.predict(branch_pc, machine.phr(0))
+    print(f"prediction at poisoned coordinate: "
+          f"{'taken' if prediction.taken else 'NOT taken'} (planted: NOT taken)")
+    del loop_branch
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+``pip install -e .`` works on environments whose setuptools lacks the
+PEP 660 editable-wheel path (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

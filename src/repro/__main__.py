@@ -1,0 +1,84 @@
+"""Command-line entry point: ``python -m repro <demo>``.
+
+Exposes the example scenarios as subcommands so the reproduction can be
+driven without locating the scripts:
+
+    python -m repro list
+    python -m repro quickstart
+    python -m repro pathfinder
+    python -m repro image [image_name]
+    python -m repro aes
+    python -m repro syscalls
+    python -m repro table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _demo_table2() -> None:
+    from repro.attacks import BOUNDARIES, evaluate_table2
+    from repro.cpu import RAPTOR_LAKE
+
+    matrix = evaluate_table2(RAPTOR_LAKE)
+    header = ["Primitive"] + list(BOUNDARIES)
+    widths = [max(len(header[0]), 9)] + [len(h) for h in header[1:]]
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in matrix.rows():
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    print()
+    print("matches paper Table 2:", matrix.matches_paper())
+
+
+def main(argv=None) -> int:
+    """Dispatch a demo subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Pathfinder (ASPLOS 2024) reproduction demos",
+    )
+    parser.add_argument(
+        "demo",
+        choices=["list", "quickstart", "pathfinder", "image", "aes",
+                 "syscalls", "table2"],
+        help="which demonstration to run",
+    )
+    parser.add_argument("extra", nargs="*",
+                        help="demo-specific arguments (e.g. image name)")
+    args = parser.parse_args(argv)
+
+    if args.demo == "list":
+        print("available demos: quickstart, pathfinder, image [name], "
+              "aes, syscalls, table2")
+        return 0
+    if args.demo == "table2":
+        _demo_table2()
+        return 0
+
+    # The example scripts double as the demo implementations.
+    import importlib.util
+    import pathlib
+
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    script_names = {
+        "quickstart": "quickstart.py",
+        "pathfinder": "pathfinder_cfg.py",
+        "image": "secret_image_recovery.py",
+        "aes": "aes_key_extraction.py",
+        "syscalls": "syscall_fingerprinting.py",
+    }
+    script = repo_root / "examples" / script_names[args.demo]
+    if not script.exists():
+        print(f"example script not found: {script}", file=sys.stderr)
+        return 1
+    spec = importlib.util.spec_from_file_location("repro_demo", script)
+    module = importlib.util.module_from_spec(spec)
+    sys.argv = [str(script)] + list(args.extra)
+    spec.loader.exec_module(module)  # type: ignore[union-attr]
+    module.main()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

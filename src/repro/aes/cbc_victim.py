@@ -1,0 +1,141 @@
+"""A looped AES-CBC victim (paper Section 9, "Comparison to Prior Works").
+
+The paper notes the attack "is applicable to other cryptographic
+functions, including various AES modes (CBC, CFB, CTR, etc.), as they
+also employ a looped implementation susceptible to our attack strategy".
+This victim demonstrates that: a two-level loop nest (outer over
+plaintext blocks, inner over AES rounds) whose inner back edge can be
+poisoned *at a chosen block and a chosen round* -- the per-instance
+precision now selects a coordinate in two dimensions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.aes.core import aesenc, aesenclast
+from repro.aes.keyschedule import expand_key, rounds_for_key
+from repro.isa.builder import ProgramBuilder
+from repro.isa.memory import Memory
+from repro.isa.program import Program
+
+KEY_BASE = 0x0011_0000
+ROUNDS_OFFSET = 0xF0
+IV_ADDRESS = 0x0021_0000
+PLAINTEXT_BASE = 0x0021_0100
+CIPHERTEXT_BASE = 0x0021_1000
+STATE_ADDRESS = 0x0021_2000
+BLOCK_COUNT_ADDRESS = 0x0021_2100
+
+VICTIM_BASE = 0x0043_0EC0
+
+
+def _read16(memory, address: int) -> bytes:
+    return bytes(memory.read(address + i, 1) for i in range(16))
+
+
+def _write16(memory, address: int, block: bytes) -> None:
+    for i, byte in enumerate(block):
+        memory.write(address + i, 1, byte)
+
+
+def _xor_iv_key0(reads: Dict[str, int], memory) -> Dict[str, int]:
+    """state = plaintext[block] ^ chain ^ rk0; chain = IV or prev CT."""
+    block_index = reads["rblk"]
+    plaintext = _read16(memory, PLAINTEXT_BASE + 16 * block_index)
+    if block_index == 0:
+        chain = _read16(memory, IV_ADDRESS)
+    else:
+        chain = _read16(memory, CIPHERTEXT_BASE + 16 * (block_index - 1))
+    round_key = _read16(memory, KEY_BASE)
+    _write16(memory, STATE_ADDRESS,
+             bytes(p ^ c ^ k for p, c, k in zip(plaintext, chain, round_key)))
+    return {}
+
+
+def _aesenc_op(reads: Dict[str, int], memory) -> Dict[str, int]:
+    state = _read16(memory, STATE_ADDRESS)
+    round_key = _read16(memory, reads["rkey"])
+    _write16(memory, STATE_ADDRESS, aesenc(state, round_key))
+    return {}
+
+
+def _aesenclast_op(reads: Dict[str, int], memory) -> Dict[str, int]:
+    state = _read16(memory, STATE_ADDRESS)
+    round_key = _read16(memory, reads["rkey"])
+    _write16(memory, CIPHERTEXT_BASE + 16 * reads["rblk"],
+             aesenclast(state, round_key))
+    return {}
+
+
+class AesCbcVictim:
+    """Builds and provisions the looped CBC victim."""
+
+    def __init__(self, key: bytes):
+        self.key = key
+        self.rounds = rounds_for_key(key)
+        self.round_keys: List[bytes] = expand_key(key)
+        self.program = self._build_program()
+
+    def _build_program(self) -> Program:
+        b = ProgramBuilder("aes_cbc_looped", base=VICTIM_BASE)
+        b.label("cbc_encrypt")
+        b.mov_imm("rdx", KEY_BASE)
+        b.load("rcx", "rdx", offset=ROUNDS_OFFSET, width=8)   # flushable
+        b.load("rnum", "rzero", offset=BLOCK_COUNT_ADDRESS, width=8)
+        b.mov_imm("rblk", 0)
+        b.label("block_loop")
+        b.pyop("xor_iv_key0", _xor_iv_key0, reads=("rblk",),
+               touches_memory=True)
+        b.mov("rkey", "rdx")
+        b.add("rkey", imm=0x10)
+        b.mov_imm("rax", 1)
+        b.label("round_loop")
+        b.pyop("aesenc", _aesenc_op, reads=("rkey",), touches_memory=True)
+        b.add("rkey", imm=0x10)
+        b.add("rax", imm=1)
+        b.cmp("rax", "rcx")
+        b.label("round_branch")
+        b.jne("round_loop")
+        b.pyop("aesenclast", _aesenclast_op, reads=("rkey", "rblk"),
+               touches_memory=True)
+        b.add("rblk", imm=1)
+        b.cmp("rblk", "rnum")
+        b.label("block_branch")
+        b.jne("block_loop")
+        b.ret()
+        return b.build()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def round_branch_pc(self) -> int:
+        """The inner (rounds) loop back edge -- the poisoning target."""
+        return self.program.address_of("round_branch")
+
+    @property
+    def round_block_start(self) -> int:
+        """Start address of the inner loop body block."""
+        return self.program.address_of("round_loop")
+
+    @property
+    def rounds_address(self) -> int:
+        """Address of the flushable ``rounds`` field."""
+        return KEY_BASE + ROUNDS_OFFSET
+
+    def provision(self, memory: Memory, plaintext: bytes, iv: bytes) -> None:
+        """Install key schedule, IV, round/block counts and plaintext."""
+        if len(plaintext) % 16:
+            raise ValueError("CBC plaintext must be whole blocks")
+        if len(iv) != 16:
+            raise ValueError("IV must be 16 bytes")
+        for index, round_key in enumerate(self.round_keys):
+            memory.write_bytes(KEY_BASE + 0x10 * index, round_key)
+        memory.write(KEY_BASE + ROUNDS_OFFSET, 8, self.rounds)
+        memory.write_bytes(IV_ADDRESS, iv)
+        memory.write(BLOCK_COUNT_ADDRESS, 8, len(plaintext) // 16)
+        memory.write_bytes(PLAINTEXT_BASE, plaintext)
+
+    def read_ciphertext(self, memory: Memory, blocks: int) -> bytes:
+        """Fetch the output blocks after a run."""
+        return memory.read_bytes(CIPHERTEXT_BASE, 16 * blocks)

@@ -1,0 +1,195 @@
+"""AES round primitives and block encryption (FIPS-197, from scratch).
+
+State representation: a 16-byte ``bytes`` value in FIPS order -- byte
+``i`` holds state matrix element ``(row i % 4, column i // 4)``.  This is
+also exactly the byte order AES-NI's XMM registers use, so the
+``aesenc``/``aesenclast`` helpers here are drop-in models of the hardware
+instructions the Intel-IPP victim executes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: The AES S-box, generated from the multiplicative inverse in GF(2^8)
+#: followed by the affine transform (computed once at import, no tables
+#: copied from elsewhere).
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        high = a & 0x80
+        a = (a << 1) & 0xFF
+        if high:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> Tuple[List[int], List[int]]:
+    # Multiplicative inverses via exponentiation (a^254 == a^-1).
+    def inverse(a: int) -> int:
+        if a == 0:
+            return 0
+        result = 1
+        exponent = 254
+        base = a
+        while exponent:
+            if exponent & 1:
+                result = _gf_mul(result, base)
+            base = _gf_mul(base, base)
+            exponent >>= 1
+        return result
+
+    sbox = [0] * 256
+    inv_sbox = [0] * 256
+    for value in range(256):
+        x = inverse(value)
+        # Affine transform: b ^= rot(b,1)^rot(b,2)^rot(b,3)^rot(b,4) ^ 0x63
+        y = x
+        for shift in (1, 2, 3, 4):
+            y ^= ((x << shift) | (x >> (8 - shift))) & 0xFF
+        y ^= 0x63
+        sbox[value] = y & 0xFF
+    for value, substituted in enumerate(sbox):
+        inv_sbox[substituted] = value
+    return sbox, inv_sbox
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+#: ShiftRows permutation: output index -> input index, for the flat FIPS
+#: layout (index = row + 4*column).
+SHIFT_ROWS_MAP = [0] * 16
+for _row in range(4):
+    for _column in range(4):
+        SHIFT_ROWS_MAP[_row + 4 * _column] = _row + 4 * ((_column + _row) % 4)
+
+INV_SHIFT_ROWS_MAP = [0] * 16
+for _out, _in in enumerate(SHIFT_ROWS_MAP):
+    INV_SHIFT_ROWS_MAP[_in] = _out
+
+
+def sub_bytes(state: bytes) -> bytes:
+    """SubBytes: byte-wise S-box substitution."""
+    return bytes(SBOX[b] for b in state)
+
+
+def inv_sub_bytes(state: bytes) -> bytes:
+    """Inverse SubBytes."""
+    return bytes(INV_SBOX[b] for b in state)
+
+
+def shift_rows(state: bytes) -> bytes:
+    """ShiftRows: rotate row ``r`` left by ``r`` positions."""
+    return bytes(state[SHIFT_ROWS_MAP[i]] for i in range(16))
+
+
+def inv_shift_rows(state: bytes) -> bytes:
+    """Inverse ShiftRows."""
+    return bytes(state[INV_SHIFT_ROWS_MAP[i]] for i in range(16))
+
+
+def mix_columns(state: bytes) -> bytes:
+    """MixColumns: multiply each column by the fixed MDS matrix."""
+    out = bytearray(16)
+    for column in range(4):
+        a = state[4 * column:4 * column + 4]
+        out[4 * column + 0] = (_gf_mul(a[0], 2) ^ _gf_mul(a[1], 3)
+                               ^ a[2] ^ a[3])
+        out[4 * column + 1] = (a[0] ^ _gf_mul(a[1], 2)
+                               ^ _gf_mul(a[2], 3) ^ a[3])
+        out[4 * column + 2] = (a[0] ^ a[1]
+                               ^ _gf_mul(a[2], 2) ^ _gf_mul(a[3], 3))
+        out[4 * column + 3] = (_gf_mul(a[0], 3) ^ a[1]
+                               ^ a[2] ^ _gf_mul(a[3], 2))
+    return bytes(out)
+
+
+def inv_mix_columns(state: bytes) -> bytes:
+    """Inverse MixColumns."""
+    out = bytearray(16)
+    for column in range(4):
+        a = state[4 * column:4 * column + 4]
+        out[4 * column + 0] = (_gf_mul(a[0], 14) ^ _gf_mul(a[1], 11)
+                               ^ _gf_mul(a[2], 13) ^ _gf_mul(a[3], 9))
+        out[4 * column + 1] = (_gf_mul(a[0], 9) ^ _gf_mul(a[1], 14)
+                               ^ _gf_mul(a[2], 11) ^ _gf_mul(a[3], 13))
+        out[4 * column + 2] = (_gf_mul(a[0], 13) ^ _gf_mul(a[1], 9)
+                               ^ _gf_mul(a[2], 14) ^ _gf_mul(a[3], 11))
+        out[4 * column + 3] = (_gf_mul(a[0], 11) ^ _gf_mul(a[1], 13)
+                               ^ _gf_mul(a[2], 9) ^ _gf_mul(a[3], 14))
+    return bytes(out)
+
+
+def add_round_key(state: bytes, round_key: bytes) -> bytes:
+    """AddRoundKey: XOR with the 16-byte round key."""
+    return bytes(s ^ k for s, k in zip(state, round_key))
+
+
+# ----------------------------------------------------------------------
+# AES-NI instruction models
+# ----------------------------------------------------------------------
+
+def aesenc(state: bytes, round_key: bytes) -> bytes:
+    """One full AES round, exactly as the ``aesenc`` instruction:
+    ``AddRoundKey(MixColumns(ShiftRows(SubBytes(state))), key)``."""
+    return add_round_key(mix_columns(shift_rows(sub_bytes(state))), round_key)
+
+
+def aesenclast(state: bytes, round_key: bytes) -> bytes:
+    """The final AES round (no MixColumns), as ``aesenclast``."""
+    return add_round_key(shift_rows(sub_bytes(state)), round_key)
+
+
+# ----------------------------------------------------------------------
+# Block encryption
+# ----------------------------------------------------------------------
+
+def encrypt_block(plaintext: bytes, round_keys: List[bytes]) -> bytes:
+    """Encrypt one 16-byte block with the expanded ``round_keys``."""
+    if len(plaintext) != 16:
+        raise ValueError("AES blocks are 16 bytes")
+    state = add_round_key(plaintext, round_keys[0])
+    for round_key in round_keys[1:-1]:
+        state = aesenc(state, round_key)
+    return aesenclast(state, round_keys[-1])
+
+
+def decrypt_block(ciphertext: bytes, round_keys: List[bytes]) -> bytes:
+    """Decrypt one 16-byte block with the expanded ``round_keys``."""
+    if len(ciphertext) != 16:
+        raise ValueError("AES blocks are 16 bytes")
+    state = add_round_key(ciphertext, round_keys[-1])
+    state = inv_shift_rows(inv_sub_bytes(state))
+    for round_key in reversed(round_keys[1:-1]):
+        state = add_round_key(state, round_key)
+        state = inv_mix_columns(state)
+        state = inv_shift_rows(inv_sub_bytes(state))
+    return add_round_key(state, round_keys[0])
+
+
+def reduced_round_ciphertext(plaintext: bytes, round_keys: List[bytes],
+                             exit_iteration: int) -> bytes:
+    """Ground truth for the Section 9 speculative early exit.
+
+    Models the Listing 1 victim exiting its loop after ``exit_iteration``
+    iterations of ``aesenc`` (1 <= exit_iteration <= rounds-1) and running
+    ``aesenclast`` with the *next* round key (the key pointer has been
+    advanced ``exit_iteration`` times, so ``aesenclast`` consumes
+    ``round_keys[exit_iteration + 1]``).
+    """
+    total_rounds = len(round_keys) - 1
+    if not 1 <= exit_iteration <= total_rounds - 1:
+        raise ValueError(
+            f"exit iteration must be in [1, {total_rounds - 1}], "
+            f"got {exit_iteration}"
+        )
+    state = add_round_key(plaintext, round_keys[0])
+    for round_number in range(1, exit_iteration + 1):
+        state = aesenc(state, round_keys[round_number])
+    return aesenclast(state, round_keys[exit_iteration + 1])

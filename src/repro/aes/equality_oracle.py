@@ -1,0 +1,168 @@
+"""The equality-leak oracle variant (paper Section 9, "Recovering the
+Ciphertext", second option).
+
+"Alternatively, we can also assume a side-channel oracle that only leaks
+whether a byte of the ciphertext equals a predefined value.  In this
+case, we only need to check if a single cache line has been accessed or
+not, while repeating the attack several times with different random
+inputs until we detect that the transient ciphertext includes the
+expected byte."
+
+The post-processing gadget compares one ciphertext byte against a
+constant baked into the application (e.g. a delimiter check in an
+encoder) and touches a flag line only on equality -- a one-bit channel
+the attacker reads with a single Flush+Reload.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.aes.victim import AesVictim, CIPHERTEXT_ADDRESS
+from repro.cpu.machine import Machine
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import CpuState
+from repro.isa.memory import Memory
+from repro.isa.program import Program
+
+ORACLE_BASE = 0x0041_0800
+FLAG_LINE_ADDRESS = 0x3000_0000
+
+
+class EqualityOracle:
+    """An oracle whose post-processing leaks ``ciphertext[position] == K``."""
+
+    def __init__(self, machine: Machine, key: bytes, position: int,
+                 constant: int):
+        if not 0 <= position < 16:
+            raise ValueError(f"byte position out of range: {position}")
+        if not 0 <= constant <= 0xFF:
+            raise ValueError(f"comparison constant out of range: {constant}")
+        self.machine = machine
+        self.victim = AesVictim(key)
+        self.position = position
+        self.constant = constant
+        self.program = self._build_program()
+
+    def _build_program(self) -> Program:
+        b = ProgramBuilder("equality_oracle", base=ORACLE_BASE)
+        b.label("oracle")
+        b.call("aes_encrypt")
+        # Post-processing: the delimiter/equality check.
+        b.load("r9", "rzero", offset=CIPHERTEXT_ADDRESS + self.position,
+               width=1)
+        b.cmp("r9", imm=self.constant)
+        b.jne("no_match")
+        b.load("r10", "rzero", offset=FLAG_LINE_ADDRESS, width=8)
+        b.label("no_match")
+        b.halt()
+
+        labels_by_address: dict = {}
+        for label, address in self.victim.program.labels.items():
+            labels_by_address.setdefault(address, []).append(label)
+        for address, instruction in self.victim.program.items():
+            b.at(address)
+            for label in sorted(labels_by_address.get(address, [])):
+                b.label(label)
+            b.raw(instruction)
+        return b.build()
+
+    # ------------------------------------------------------------------
+
+    def run(self, plaintext: bytes) -> Tuple[bytes, bool]:
+        """Invoke once; return (ciphertext, flag-line-was-touched)."""
+        machine = self.machine
+        machine.cache.flush(FLAG_LINE_ADDRESS)
+        state = CpuState()
+        memory = Memory()
+        self.victim.provision(memory, plaintext)
+        machine.run(self.program, state=state, memory=memory,
+                    entry=self.program.address_of("oracle"))
+        flagged = machine.cache.contains(FLAG_LINE_ADDRESS)
+        return self.victim.read_ciphertext(memory), flagged
+
+
+class EqualityLeakAttack:
+    """Drives the one-bit channel against speculative early exits.
+
+    With the loop poisoned at ``exit_iteration``, the equality gadget
+    runs transiently on the reduced-round ciphertext; the architectural
+    pass then runs it on the real ciphertext.  The attacker separates the
+    two contributions by checking the returned ciphertext byte (known)
+    and attributing any *unexplained* flag touch to the transient value.
+    """
+
+    def __init__(self, machine: Machine, key: bytes, position: int,
+                 constant: int):
+        self.machine = machine
+        self.oracle = EqualityOracle(machine, key, position, constant)
+        self._iteration_phr = None
+        self._last_poisoned_phr = None
+
+    def _profile(self):
+        if self._iteration_phr is not None:
+            return self._iteration_phr
+        from repro.aes.attack import profile_loop_phrs
+
+        machine = self.machine
+        machine.clear_phr()
+        state = CpuState()
+        memory = Memory()
+        self.oracle.victim.provision(memory, bytes(16))
+        result = machine.run(self.oracle.program, state=state, memory=memory,
+                             entry=self.oracle.program.address_of("oracle"))
+        self._iteration_phr = profile_loop_phrs(
+            machine, result.trace, self.oracle.program,
+            self.oracle.program.address_of("oracle"),
+            self.oracle.victim.loop_block_start,
+        )
+        return self._iteration_phr
+
+    def observe(self, plaintext: bytes, exit_iteration: int,
+                repetitions: int = 2) -> bool:
+        """Poisoned invocations; True iff the *transient* (reduced round)
+        ciphertext byte equalled the oracle's constant.
+
+        The channel is one bit and can pick up coincidental matches from
+        *other* transient windows (e.g. natural mispredictions leaking a
+        different intermediate value); the deterministic leak repeats
+        across invocations while coincidences depend on transient
+        predictor state, so requiring every repetition to flag filters
+        them -- the paper's "repeating the attack several times"
+        discipline.
+        """
+        return all(self._observe_once(plaintext, exit_iteration)
+                   for _ in range(repetitions))
+
+    def _observe_once(self, plaintext: bytes, exit_iteration: int) -> bool:
+        iteration_phr = self._profile()
+        from repro.primitives import PhtWriter
+
+        writer = PhtWriter(self.machine)
+        if self._last_poisoned_phr is not None and \
+                self._last_poisoned_phr != iteration_phr[exit_iteration]:
+            writer.write(self.oracle.victim.loop_branch_pc,
+                         self._last_poisoned_phr, taken=True)
+        writer.write(self.oracle.victim.loop_branch_pc,
+                     iteration_phr[exit_iteration], taken=False)
+        self._last_poisoned_phr = iteration_phr[exit_iteration]
+
+        self.machine.cache.flush(self.oracle.victim.rounds_address)
+        self.machine.clear_phr()
+        ciphertext, flagged = self.oracle.run(plaintext)
+        architectural_match = \
+            ciphertext[self.oracle.position] == self.oracle.constant
+        # A flag touch not explained by the architectural byte is the
+        # transient leak; if the architectural byte matches, the trial is
+        # uninformative (paper: repeat with fresh random inputs).
+        if architectural_match:
+            return False
+        return flagged
+
+    def collect_matches(self, plaintexts: List[bytes],
+                        exit_iteration: int) -> List[bytes]:
+        """Random-input collection: the plaintexts whose reduced-round
+        ciphertext byte equals the constant (the paper's repeat-until-
+        detected loop)."""
+        return [plaintext for plaintext in plaintexts
+                if self.observe(plaintext, exit_iteration)]

@@ -1,0 +1,143 @@
+"""Differential key recovery from two-round AES ciphertexts.
+
+Section 9's "Key Extraction Algorithm": a two-round ciphertext
+
+    RRC = k2 ^ SR(SB(k1 ^ MC(SR(SB(k0 ^ P)))))
+
+contains only one MixColumns, so changing a single plaintext byte disturbs
+exactly four output bytes through a fully traceable path.  Guessing one
+byte of ``k0`` predicts the inner difference entering the second SubBytes;
+the S-box's differential behaviour then filters the guesses:
+
+* pick a plaintext byte position ``i`` and an affected output byte ``b``;
+* for plaintext pairs differing only in byte ``i`` by ``d``, the observed
+  output difference must satisfy
+  ``RRC[b] ^ RRC'[b] == SB(u) ^ SB(u ^ mc_coef * (SB(P[i]^g) ^ SB(P[i]^d^g)))``
+  for the correct guess ``g = k0[i]`` and some byte ``u`` (the stable
+  second-round S-box input);
+* intersecting the surviving ``(g, u)`` pairs over several differences
+  ``d`` leaves the unique ``g``.
+
+Recovering all 16 bytes of ``k0`` yields the master key directly (for
+AES-128, round key 0 *is* the key; the key schedule inversion in
+:mod:`repro.aes.keyschedule` generalises the final step).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.aes.core import INV_SHIFT_ROWS_MAP, SBOX, _gf_mul
+from repro.utils.rng import DeterministicRng
+
+#: MixColumns coefficient matrix: row r of the output column is
+#: sum(M[r][j] * input[j]).
+MC_MATRIX = (
+    (2, 3, 1, 1),
+    (1, 2, 3, 1),
+    (1, 1, 2, 3),
+    (3, 1, 1, 2),
+)
+
+#: Default plaintext-byte differences; any set of distinct non-zero bytes
+#: works, more differences give stronger filtering.
+DEFAULT_DELTAS = (0x01, 0x4A, 0x93, 0xE7)
+
+
+def affected_output_bytes(plaintext_index: int) -> List[int]:
+    """The four RRC byte positions a given plaintext byte influences.
+
+    Plaintext byte ``i = row + 4*column`` moves (through the first
+    ShiftRows) into column ``(column - row) mod 4`` of the MixColumns
+    input, spreading to that column's four bytes, which the second
+    ShiftRows then scatters.
+    """
+    row = plaintext_index % 4
+    column = plaintext_index // 4
+    mixed_column = (column - row) % 4
+    return [INV_SHIFT_ROWS_MAP[4 * mixed_column + out_row]
+            for out_row in range(4)]
+
+
+def _mc_coefficient(plaintext_index: int, output_row: int) -> int:
+    """MixColumns coefficient linking plaintext byte ``i`` to the affected
+    column's ``output_row``."""
+    row = plaintext_index % 4
+    return MC_MATRIX[output_row][row]
+
+
+def recover_key_byte(
+    oracle: Callable[[bytes], bytes],
+    base_plaintext: bytes,
+    index: int,
+    base_rrc: Optional[bytes] = None,
+    deltas: Sequence[int] = DEFAULT_DELTAS,
+) -> int:
+    """Recover ``k0[index]`` via the differential filter.
+
+    ``oracle`` maps a plaintext block to its two-round ciphertext.
+    """
+    if base_rrc is None:
+        base_rrc = oracle(base_plaintext)
+    base_byte = base_plaintext[index]
+
+    # Observed output differences per (delta, output_row).
+    observed = {}
+    for delta in deltas:
+        flipped = bytearray(base_plaintext)
+        flipped[index] ^= delta
+        rrc = oracle(bytes(flipped))
+        for output_row in range(4):
+            b = affected_output_bytes(index)[output_row]
+            observed[(delta, output_row)] = base_rrc[b] ^ rrc[b]
+
+    survivors = []
+    for guess in range(256):
+        # The inner differences this guess predicts, per delta.
+        inner = {
+            delta: SBOX[base_byte ^ guess] ^ SBOX[base_byte ^ delta ^ guess]
+            for delta in deltas
+        }
+        consistent = False
+        for output_row in range(4):
+            coefficient = _mc_coefficient(index, output_row)
+            for u in range(256):
+                if all(
+                    (SBOX[u] ^ SBOX[u ^ _gf_mul(inner[delta], coefficient)])
+                    == observed[(delta, output_row)]
+                    for delta in deltas
+                ):
+                    consistent = True
+                    break
+            if consistent:
+                break
+        if consistent:
+            survivors.append(guess)
+
+    if len(survivors) == 1:
+        return survivors[0]
+    if not survivors:
+        raise RuntimeError(f"no key-byte candidate survived at index {index}")
+    # Refine ambiguous survivors with extra differences.
+    extra = [d for d in range(1, 256)
+             if d not in deltas][:4]
+    return recover_key_byte(oracle, base_plaintext, index,
+                            base_rrc=base_rrc,
+                            deltas=tuple(deltas) + tuple(extra))
+
+
+def recover_key_from_two_round_oracle(
+    oracle: Callable[[bytes], bytes],
+    rng: Optional[DeterministicRng] = None,
+    deltas: Sequence[int] = DEFAULT_DELTAS,
+) -> bytes:
+    """Recover the full AES-128 key from a two-round-ciphertext oracle."""
+    if rng is None:
+        rng = DeterministicRng(0xD1FF)
+    base_plaintext = rng.bytes(16)
+    base_rrc = oracle(base_plaintext)
+    key = bytearray(16)
+    for index in range(16):
+        key[index] = recover_key_byte(oracle, base_plaintext, index,
+                                      base_rrc=base_rrc, deltas=deltas)
+    return bytes(key)

@@ -1,0 +1,95 @@
+"""AES key expansion (FIPS-197) and its inversion.
+
+The inversion matters to the attack: Section 9's cryptanalysis recovers a
+*round* key from the leaked reduced-round ciphertexts; for AES-128 the
+schedule is invertible, so any single round key yields the master key.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.aes.core import SBOX
+
+
+def rounds_for_key(key: bytes) -> int:
+    """Number of rounds for a key: 10/12/14 for 128/192/256-bit keys."""
+    rounds = {16: 10, 24: 12, 32: 14}.get(len(key))
+    if rounds is None:
+        raise ValueError(f"AES keys are 16/24/32 bytes, got {len(key)}")
+    return rounds
+
+
+def _rcon(index: int) -> int:
+    """Round constant ``x^(index-1)`` in GF(2^8)."""
+    value = 1
+    for _ in range(index - 1):
+        value <<= 1
+        if value & 0x100:
+            value ^= 0x11B
+    return value
+
+
+def _sub_word(word: List[int]) -> List[int]:
+    return [SBOX[b] for b in word]
+
+
+def _rot_word(word: List[int]) -> List[int]:
+    return word[1:] + word[:1]
+
+
+def _xor_words(a: List[int], b: List[int]) -> List[int]:
+    return [x ^ y for x, y in zip(a, b)]
+
+
+def expand_key(key: bytes) -> List[bytes]:
+    """Expand ``key`` into the per-round 16-byte round keys.
+
+    Returns ``rounds + 1`` keys (11 for AES-128).
+    """
+    rounds = rounds_for_key(key)
+    nk = len(key) // 4
+    words: List[List[int]] = [list(key[4 * i:4 * i + 4]) for i in range(nk)]
+    total_words = 4 * (rounds + 1)
+    for i in range(nk, total_words):
+        temp = list(words[i - 1])
+        if i % nk == 0:
+            temp = _sub_word(_rot_word(temp))
+            temp[0] ^= _rcon(i // nk)
+        elif nk > 6 and i % nk == 4:
+            temp = _sub_word(temp)
+        words.append(_xor_words(words[i - nk], temp))
+    return [
+        bytes(b for word in words[4 * r:4 * r + 4] for b in word)
+        for r in range(rounds + 1)
+    ]
+
+
+def invert_round_key_128(round_key: bytes, round_index: int) -> bytes:
+    """Recover the AES-128 master key from round key ``round_index``.
+
+    The AES-128 schedule is a bijection between consecutive round keys:
+    ``w[i] = w[i-4] ^ f(w[i-1])`` implies
+    ``w[i-4] = w[i] ^ f(w[i-1])`` with every ``w`` on the right-hand side
+    available inside the current round key (or derivable from it), so we
+    can walk the schedule backward round by round.
+    """
+    if len(round_key) != 16:
+        raise ValueError("round keys are 16 bytes")
+    if not 0 <= round_index <= 10:
+        raise ValueError(f"AES-128 round index out of range: {round_index}")
+    words = [list(round_key[4 * i:4 * i + 4]) for i in range(4)]
+    for current_round in range(round_index, 0, -1):
+        # words currently holds w[4r..4r+3]; recover w[4r-4..4r-1].
+        previous = [None] * 4  # type: ignore[list-item]
+        # w[4r+k] = w[4r+k-4] ^ w[4r+k-1] for k = 1..3
+        previous3 = _xor_words(words[3], words[2])
+        previous2 = _xor_words(words[2], words[1])
+        previous1 = _xor_words(words[1], words[0])
+        # w[4r] = w[4r-4] ^ SubWord(RotWord(w[4r-1])) ^ rcon
+        temp = _sub_word(_rot_word(previous3))
+        temp[0] ^= _rcon(current_round)
+        previous0 = _xor_words(words[0], temp)
+        words = [previous0, previous1, previous2, previous3]
+        del previous
+    return bytes(b for word in words for b in word)

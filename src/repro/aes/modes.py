@@ -1,0 +1,131 @@
+"""Block cipher modes over the AES core.
+
+The paper notes the attack "extends beyond AES ECB encryption and is
+applicable to other cryptographic functions, including various AES modes
+(CBC, CFB, CTR, etc.), as they also employ a looped implementation".
+These modes exist so the benchmarks can demonstrate exactly that claim;
+they are also a complete, tested implementation in their own right.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.aes.core import decrypt_block, encrypt_block
+from repro.aes.keyschedule import expand_key
+
+
+def _require_blocks(data: bytes) -> None:
+    if len(data) % 16:
+        raise ValueError(f"data length must be a multiple of 16, got {len(data)}")
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _blocks(data: bytes) -> List[bytes]:
+    return [data[i:i + 16] for i in range(0, len(data), 16)]
+
+
+def ecb_encrypt(plaintext: bytes, key: bytes) -> bytes:
+    """AES-ECB encryption of whole blocks."""
+    _require_blocks(plaintext)
+    round_keys = expand_key(key)
+    return b"".join(encrypt_block(block, round_keys)
+                    for block in _blocks(plaintext))
+
+
+def ecb_decrypt(ciphertext: bytes, key: bytes) -> bytes:
+    """AES-ECB decryption of whole blocks."""
+    _require_blocks(ciphertext)
+    round_keys = expand_key(key)
+    return b"".join(decrypt_block(block, round_keys)
+                    for block in _blocks(ciphertext))
+
+
+def cbc_encrypt(plaintext: bytes, key: bytes, iv: bytes) -> bytes:
+    """AES-CBC encryption of whole blocks."""
+    _require_blocks(plaintext)
+    if len(iv) != 16:
+        raise ValueError("IV must be 16 bytes")
+    round_keys = expand_key(key)
+    out = []
+    previous = iv
+    for block in _blocks(plaintext):
+        previous = encrypt_block(_xor(block, previous), round_keys)
+        out.append(previous)
+    return b"".join(out)
+
+
+def cbc_decrypt(ciphertext: bytes, key: bytes, iv: bytes) -> bytes:
+    """AES-CBC decryption of whole blocks."""
+    _require_blocks(ciphertext)
+    if len(iv) != 16:
+        raise ValueError("IV must be 16 bytes")
+    round_keys = expand_key(key)
+    out = []
+    previous = iv
+    for block in _blocks(ciphertext):
+        out.append(_xor(decrypt_block(block, round_keys), previous))
+        previous = block
+    return b"".join(out)
+
+
+def _counter_block(nonce: bytes, counter: int) -> bytes:
+    return nonce + counter.to_bytes(16 - len(nonce), "big")
+
+
+def ctr_transform(data: bytes, key: bytes, nonce: bytes,
+                  initial_counter: int = 0) -> bytes:
+    """AES-CTR en/decryption (the same operation both ways).
+
+    ``nonce`` occupies the leading bytes of each counter block; the counter
+    fills the remainder, big-endian.  Handles arbitrary data lengths.
+    """
+    if not 0 < len(nonce) < 16:
+        raise ValueError("nonce must be 1..15 bytes")
+    round_keys = expand_key(key)
+    out = bytearray()
+    counter = initial_counter
+    for offset in range(0, len(data), 16):
+        keystream = encrypt_block(_counter_block(nonce, counter), round_keys)
+        chunk = data[offset:offset + 16]
+        out.extend(x ^ y for x, y in zip(chunk, keystream))
+        counter += 1
+    return bytes(out)
+
+
+def cfb_encrypt(plaintext: bytes, key: bytes, iv: bytes) -> bytes:
+    """AES-CFB (full-block feedback) encryption."""
+    if len(iv) != 16:
+        raise ValueError("IV must be 16 bytes")
+    round_keys = expand_key(key)
+    out = bytearray()
+    feedback = iv
+    for offset in range(0, len(plaintext), 16):
+        keystream = encrypt_block(feedback, round_keys)
+        chunk = plaintext[offset:offset + 16]
+        encrypted = bytes(x ^ y for x, y in zip(chunk, keystream))
+        out.extend(encrypted)
+        feedback = encrypted if len(encrypted) == 16 else (
+            encrypted + feedback[len(encrypted):]
+        )
+    return bytes(out)
+
+
+def cfb_decrypt(ciphertext: bytes, key: bytes, iv: bytes) -> bytes:
+    """AES-CFB (full-block feedback) decryption."""
+    if len(iv) != 16:
+        raise ValueError("IV must be 16 bytes")
+    round_keys = expand_key(key)
+    out = bytearray()
+    feedback = iv
+    for offset in range(0, len(ciphertext), 16):
+        keystream = encrypt_block(feedback, round_keys)
+        chunk = ciphertext[offset:offset + 16]
+        out.extend(x ^ y for x, y in zip(chunk, keystream))
+        feedback = chunk if len(chunk) == 16 else (
+            chunk + feedback[len(chunk):]
+        )
+    return bytes(out)

@@ -1,0 +1,98 @@
+"""The encryption oracle of the paper's Listing 3.
+
+The oracle encrypts a caller-supplied block and then post-processes the
+ciphertext for transmission; the post-processing touches memory indexed by
+ciphertext bytes (the paper's motivating examples are base64 encoding and
+image transmission), which is the side channel that carries the transient
+reduced-round ciphertext out to the attacker.
+
+The leak gadget loads ``probe[i * 256 + ciphertext[i]]`` for each byte
+position ``i``; each slot is page-sized, so a Flush+Reload pass over the
+probe array recovers every byte the gadget touched -- architecturally
+(the real ciphertext, which the oracle returns anyway) and transiently
+(the reduced-round ciphertext, which it must not).
+"""
+
+from __future__ import annotations
+
+from repro.aes.victim import AesVictim, CIPHERTEXT_ADDRESS
+from repro.channels.flush_reload import FlushReloadChannel
+from repro.cpu.machine import Machine, MachineRunResult
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import CpuState
+from repro.isa.memory import Memory
+from repro.isa.program import Program
+
+#: Oracle code sits just below the victim function in the same binary.
+ORACLE_BASE = 0x0041_0C00
+#: Probe array: 16 byte-positions x 256 values, page-stride slots.
+PROBE_BASE = 0x2000_0000
+PROBE_STRIDE = 4096
+PROBE_SLOTS = 16 * 256
+
+
+class EncryptionOracle:
+    """Builds the oracle program and provides invocation helpers."""
+
+    def __init__(self, machine: Machine, key: bytes):
+        self.machine = machine
+        self.victim = AesVictim(key)
+        self.program = self._build_program()
+        self.channel = FlushReloadChannel(
+            machine,
+            base_address=PROBE_BASE,
+            stride=PROBE_STRIDE,
+            entries=PROBE_SLOTS,
+        )
+
+    def _build_program(self) -> Program:
+        victim_program = self.victim.program
+        b = ProgramBuilder("encryption_oracle", base=ORACLE_BASE)
+        b.label("oracle")
+        b.call("aes_encrypt")
+        # Post-processing: one page-granular table access per ciphertext
+        # byte (the encoding step of Listing 3).
+        for position in range(16):
+            b.load("r9", "rzero", offset=CIPHERTEXT_ADDRESS + position,
+                   width=1)
+            b.shl("r9", 12)
+            b.add("r9", imm=PROBE_BASE + position * 256 * PROBE_STRIDE)
+            b.load("r10", "r9", offset=0, width=8)
+        b.halt()
+
+        # Splice the victim function (instructions and labels) into the
+        # same program image at its original addresses.
+        labels_by_address = {}
+        for label, address in victim_program.labels.items():
+            labels_by_address.setdefault(address, []).append(label)
+        for address, instruction in victim_program.items():
+            b.at(address)
+            for label in sorted(labels_by_address.get(address, [])):
+                b.label(label)
+            b.raw(instruction)
+        return b.build()
+
+    # ------------------------------------------------------------------
+
+    def run(self, plaintext: bytes, thread: int = 0,
+            speculate: bool = True) -> MachineRunResult:
+        """Invoke the oracle once with ``plaintext``."""
+        __, result = self.run_and_read(plaintext, thread=thread,
+                                       speculate=speculate)
+        return result
+
+    def run_and_read(self, plaintext: bytes, thread: int = 0,
+                     speculate: bool = True):
+        """Invoke the oracle and return ``(ciphertext, run_result)``."""
+        state = CpuState()
+        memory = Memory()
+        self.victim.provision(memory, plaintext)
+        result = self.machine.run(
+            self.program,
+            thread=thread,
+            state=state,
+            memory=memory,
+            entry=self.program.address_of("oracle"),
+            speculate=speculate,
+        )
+        return self.victim.read_ciphertext(memory), result

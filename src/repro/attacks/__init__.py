@@ -1,0 +1,36 @@
+"""Attack-surface experiments (paper Section 7).
+
+:mod:`repro.attacks.syscalls` models the kernel side of the user/kernel
+boundary (syscall entry/exit branch stubs and per-syscall bodies);
+:mod:`repro.attacks.boundaries` runs each attack primitive across every
+isolation boundary of Table 2 and reports the practicality matrix.
+"""
+
+from repro.attacks.syscalls import SimulatedKernel, SyscallResult
+from repro.attacks.boundaries import (
+    BOUNDARIES,
+    PRIMITIVES,
+    BoundaryMatrix,
+    evaluate_table2,
+)
+from repro.attacks.branchscope import BranchScopeAttack, BranchScopeReading
+from repro.attacks.btb_probe import BtbProbeAttack, BtbProbeResult
+from repro.attacks.history_injection import (
+    HistoryInjectionAttack,
+    demonstrate_history_steering,
+)
+
+__all__ = [
+    "BOUNDARIES",
+    "BoundaryMatrix",
+    "BranchScopeAttack",
+    "BranchScopeReading",
+    "BtbProbeAttack",
+    "BtbProbeResult",
+    "HistoryInjectionAttack",
+    "demonstrate_history_steering",
+    "PRIMITIVES",
+    "SimulatedKernel",
+    "SyscallResult",
+    "evaluate_table2",
+]

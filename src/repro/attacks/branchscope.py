@@ -1,0 +1,134 @@
+"""A BranchScope-style baseline attack (Evtyushkin et al., ASPLOS 2018).
+
+The paper positions Pathfinder against prior CBP attacks, principally
+BranchScope, which "fires off hundreds of thousands of random branches to
+make the CBP use the basic predictor instead of the complex global one
+... then creates collisions within the base predictor" (Section 11).
+Because the base predictor is indexed by the PC alone, BranchScope can
+only observe the *bias* of a branch address -- roughly the direction of
+its last few executions -- whereas Pathfinder recovers the outcome of
+every dynamic instance.
+
+This module implements the baseline against the same simulated machine so
+the resolution gap can be measured head to head
+(``benchmarks/bench_baseline_branchscope.py``).
+
+Protocol (adapted to the simulator):
+
+1. **randomize** -- execute a burst of random-direction branches at
+   random addresses/histories.  On hardware this de-trains the tagged
+   tables; here it fills them with noise entries the victim's branches
+   will not match, forcing base-predictor fallback -- same effect.
+2. **prime** -- drive the base-predictor counter of the target PC to a
+   known weak state through an aliased attacker branch (same PC[12:0]).
+3. **victim** -- one victim invocation.
+4. **probe** -- execute the aliased branch and observe the misprediction;
+   with the counter primed to the weak boundary, the victim's *net* bias
+   moves it across or not, revealing the sign of the bias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.cpu.machine import Machine
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass
+class BranchScopeReading:
+    """One bias measurement of a victim branch address."""
+
+    pc: int
+    #: True = the address biased toward taken, False = toward not-taken.
+    biased_taken: bool
+    #: Probe mispredictions used to make the call.
+    probe_mispredictions: int
+
+
+class BranchScopeAttack:
+    """Base-predictor collision attack (the paper's prior-work baseline)."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        randomize_branches: int = 2000,
+        probe_repetitions: int = 4,
+        pc_alias_offset: int = 0x0100_0000,
+        rng: Optional[DeterministicRng] = None,
+    ):
+        if pc_alias_offset & 0x1FFF:
+            raise ValueError("alias offset must preserve PC[12:0]")
+        self.machine = machine
+        self.randomize_branches = randomize_branches
+        self.probe_repetitions = probe_repetitions
+        self.pc_alias_offset = pc_alias_offset
+        self.rng = rng if rng is not None else DeterministicRng(0xB5C0)
+
+    # ------------------------------------------------------------------
+
+    def randomize_predictor(self, thread: int = 0) -> None:
+        """Fill the tagged tables with noise (the 'hundreds of thousands
+        of random branches' step, scaled to the simulator's table size)."""
+        machine = self.machine
+        phr = machine.phr(thread)
+        width = 2 * machine.config.phr_capacity
+        for _ in range(self.randomize_branches):
+            phr.set_value(self.rng.value_bits(width))
+            pc = 0x0900_0000 + self.rng.integer(0, 0xFFFF) * 4
+            machine.observe_conditional(pc, pc + 0x40, self.rng.coin(),
+                                        thread=thread)
+
+    def _aliased(self, pc: int) -> int:
+        return pc + self.pc_alias_offset
+
+    def prime_to_boundary(self, pc: int, thread: int = 0) -> None:
+        """Leave the base counter of ``pc`` at the weakly-not-taken
+        boundary, so a single net-taken victim bias flips the prediction.
+
+        Modeled as direct base-counter training: on hardware BranchScope
+        achieves the same state with short runs of aliased taken/not-taken
+        branches (whose only lasting CBP effect, after the randomization
+        step, is exactly these base-counter updates).
+        """
+        machine = self.machine
+        attacker_pc = self._aliased(pc)
+        counter = machine.cbp.base.counter_at(attacker_pc)
+        while counter.value > counter.threshold - 1:
+            machine.cbp.base.update(attacker_pc, False)
+        while counter.value < counter.threshold - 1:
+            machine.cbp.base.update(attacker_pc, True)
+
+    def probe_bias(self, pc: int, thread: int = 0) -> BranchScopeReading:
+        """Read the sign of the victim-induced movement of the counter.
+
+        A single taken probe at the aliased address: if the victim's net
+        updates pushed the shared counter across the threshold, the probe
+        predicts taken (no misprediction -- measured through timing on
+        hardware, through the misprediction signal here); otherwise it
+        mispredicts.
+        """
+        machine = self.machine
+        attacker_pc = self._aliased(pc)
+        machine.phr(thread).clear()
+        mispredicted = machine.observe_conditional(
+            attacker_pc, attacker_pc + 0x40, True, thread=thread
+        )
+        return BranchScopeReading(pc=pc, biased_taken=not mispredicted,
+                                  probe_mispredictions=int(mispredicted))
+
+    # ------------------------------------------------------------------
+
+    def read_branch_bias(self, pc: int, run_victim: Callable[[], None],
+                         thread: int = 0) -> BranchScopeReading:
+        """Full randomize+prime+victim+probe cycle for one branch PC.
+
+        Returns the *bias* of the branch -- the only quantity the base
+        predictor exposes.  Contrast with ``Read_PHR`` + Pathfinder, which
+        recover the full per-instance outcome sequence.
+        """
+        self.randomize_predictor(thread=thread)
+        self.prime_to_boundary(pc, thread=thread)
+        run_victim()
+        return self.probe_bias(pc, thread=thread)

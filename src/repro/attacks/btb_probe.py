@@ -1,0 +1,71 @@
+"""BTB probing, Jump-over-ASLR style (Evtyushkin et al. [25], Section 11).
+
+The earliest branch-predictor side channels targeted the BTB: because the
+buffer indexes and tags with partial address bits, an attacker executing
+branches at chosen addresses observes *collisions* with victim branches
+(a colliding attacker branch inherits the victim's cached target and
+mis-speculates, which is timeable).  Jump-over-ASLR used this to find
+where a victim's branches live, defeating address randomization.
+
+Pathfinder's relationship to this baseline (paper Sections 1/11): BTB
+attacks reveal *where* branches are; the CBP attacks reveal *what every
+execution of them did*.  This module implements the baseline against the
+simulated BTB for the comparison, and because the machine models the BTB
+anyway (Figure 1 completeness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cpu.machine import Machine
+
+
+@dataclass
+class BtbProbeResult:
+    """Outcome of probing one candidate branch address."""
+
+    probe_pc: int
+    #: Whether the BTB served a target for the probe address (a collision
+    #: with some resident victim branch).
+    collided: bool
+    #: The target the BTB predicted, when it collided.
+    predicted_target: Optional[int]
+
+
+class BtbProbeAttack:
+    """Detects victim branch locations through BTB collisions."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+
+    def probe(self, pc: int) -> BtbProbeResult:
+        """Query whether a branch at ``pc`` would hit a cached BTB entry.
+
+        On hardware the attacker executes a branch at ``pc`` and times the
+        front end (a BTB hit mis-steers fetch when the attacker's real
+        target differs, costing a resteer); the simulator exposes the same
+        signal as the BTB prediction outcome.
+        """
+        predicted = self.machine.btb.predict(pc)
+        return BtbProbeResult(probe_pc=pc, collided=predicted is not None,
+                              predicted_target=predicted)
+
+    def scan(self, base: int, stride: int, count: int) -> List[int]:
+        """Probe ``count`` addresses from ``base``; return colliding pcs."""
+        return [
+            base + stride * index
+            for index in range(count)
+            if self.probe(base + stride * index).collided
+        ]
+
+    def locate_victim_branch(self, candidates: List[int],
+                             run_victim) -> List[int]:
+        """Differential scan: which candidate slots light up after the
+        victim runs (the Jump-over-ASLR protocol)."""
+        self.machine.btb.flush()
+        before = {pc for pc in candidates if self.probe(pc).collided}
+        run_victim()
+        after = {pc for pc in candidates if self.probe(pc).collided}
+        return sorted(after - before)

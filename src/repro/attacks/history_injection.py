@@ -1,0 +1,152 @@
+"""Branch history injection through the PHR (paper Sections 7.1/7.4/11).
+
+Two of the paper's findings compose into a cross-privilege attack on the
+*indirect* branch predictor, the vector behind Branch History Injection
+(Barberis et al. [17], discussed in Section 11):
+
+* "the PHR is not flushed [on kernel entry], allowing the user program to
+  set a specific PHR value upon entry that will impact kernel
+  predictions" (Section 7.1), and
+* the IBP "predicts indirect branch targets using both branch address and
+  the PHR" (Section 7.4), while IBPB/IBRS constrain the IBP but never
+  touch the PHR.
+
+With ``Write_PHR`` the attacker chooses the exact history a victim
+indirect branch will be looked up under -- selecting which previously
+trained target the IBP serves, and therefore where the victim
+transiently jumps.  This module demonstrates the steering against the
+simulated machine; it also shows IBPB genuinely stopping the *injection
+of attacker-trained targets* while leaving the history-steering surface
+(choosing among the victim's own targets) intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cpu.machine import Machine
+from repro.isa.interpreter import BranchKind
+from repro.primitives.macros import PhrMacros
+
+
+@dataclass
+class SteeringResult:
+    """Outcome of one history-injection attempt."""
+
+    #: Target the IBP predicted for the victim's indirect branch.
+    predicted_target: Optional[int]
+    #: The target the attacker wanted selected.
+    desired_target: int
+
+    @property
+    def steered(self) -> bool:
+        return self.predicted_target == self.desired_target
+
+
+class HistoryInjectionAttack:
+    """Steers a victim indirect branch by writing the PHR."""
+
+    def __init__(self, machine: Machine, thread: int = 0):
+        self.machine = machine
+        self.thread = thread
+        self.macros = PhrMacros(machine)
+
+    # ------------------------------------------------------------------
+
+    def observe_victim_training(
+        self,
+        branch_pc: int,
+        executions: List[Tuple[int, int]],
+    ) -> Dict[int, int]:
+        """Run the victim's indirect branch under several histories.
+
+        ``executions`` lists ``(phr_value, actual_target)`` pairs -- e.g.
+        different syscalls reaching one dispatch point along different
+        paths.  Returns the history -> target map the IBP now holds.
+        """
+        machine = self.machine
+        phr = machine.phr(self.thread)
+        trained = {}
+        for phr_value, target in executions:
+            phr.set_value(phr_value)
+            machine.record_taken_branch(branch_pc, target,
+                                        thread=self.thread,
+                                        kind=BranchKind.INDIRECT)
+            trained[phr_value] = target
+        return trained
+
+    def steer(self, branch_pc: int, phr_value: int,
+              desired_target: int) -> SteeringResult:
+        """Write the PHR and read which target the victim would get.
+
+        The ``Write_PHR`` macro survives the domain transition (Section
+        7.1), so the injected history is what the kernel-side lookup
+        consumes.
+        """
+        machine = self.machine
+        self.macros.apply_write(phr_value, thread=self.thread)
+        predicted = machine.ibp.predict(branch_pc, machine.phr(self.thread))
+        return SteeringResult(predicted_target=predicted,
+                              desired_target=desired_target)
+
+    def inject_attacker_target(self, branch_pc: int, phr_value: int,
+                               gadget: int) -> None:
+        """Spectre-v2 style: train the IBP entry from attacker code.
+
+        The attacker executes its own indirect branch (same low PC bits)
+        to ``gadget`` under the chosen history.  This is the half that
+        IBPB *does* defeat.
+        """
+        machine = self.machine
+        machine.phr(self.thread).set_value(phr_value)
+        machine.record_taken_branch(branch_pc, gadget, thread=self.thread,
+                                    kind=BranchKind.INDIRECT)
+
+
+def demonstrate_history_steering(machine: Optional[Machine] = None) -> dict:
+    """End-to-end demonstration used by tests and the bench.
+
+    Returns a dict of booleans:
+
+    * ``steered_a``/``steered_b`` -- the attacker selected each of the
+      victim's own trained targets purely by writing the PHR;
+    * ``ibpb_blocks_injection`` -- after IBPB, an attacker-trained gadget
+      target is no longer served;
+    * ``ibpb_spares_history_steering`` -- after IBPB, re-trained victim
+      targets are again PHR-selectable (the CBP/PHR surface survives).
+    """
+    machine = machine if machine is not None else Machine()
+    attack = HistoryInjectionAttack(machine)
+    dispatch_pc = 0xFFFF_FFFF_8123_4560
+    target_a = 0xFFFF_FFFF_8124_0000
+    target_b = 0xFFFF_FFFF_8125_0000
+    history_a = 0x1111_2222
+    history_b = (0x3333 << 100) | 0x4444
+
+    attack.observe_victim_training(
+        dispatch_pc,
+        [(history_a, target_a), (history_b, target_b)],
+    )
+    steered_a = attack.steer(dispatch_pc, history_a, target_a).steered
+    steered_b = attack.steer(dispatch_pc, history_b, target_b).steered
+
+    gadget = 0x0066_6000
+    gadget_history = 0x5555
+    attack.inject_attacker_target(dispatch_pc, gadget_history, gadget)
+    injected = attack.steer(dispatch_pc, gadget_history, gadget).steered
+
+    machine.ibpb()
+    blocked = not attack.steer(dispatch_pc, gadget_history, gadget).steered
+
+    # The victim re-trains in normal operation; PHR steering returns.
+    attack.observe_victim_training(dispatch_pc, [(history_a, target_a)])
+    after_ibpb = attack.steer(dispatch_pc, history_a, target_a).steered
+
+    return {
+        "steered_a": steered_a,
+        "steered_b": steered_b,
+        "injection_works_before_ibpb": injected,
+        "ibpb_blocks_injection": blocked,
+        "ibpb_spares_history_steering": after_ibpb,
+    }

@@ -1,0 +1,146 @@
+"""A simulated kernel for the user/kernel boundary experiments (Sec 7.1).
+
+The paper measures that "the syscall entrance and exit introduce
+approximately 23 and 7 branch outcomes into the PHR" on kernel
+6.3.0-generic, leaving room to "capture over 160 unique branch histories"
+of the syscall body through the Read PHR macro.  This module models that:
+a fixed 23-taken-branch entry stub, per-syscall bodies whose branch
+patterns are deterministic functions of the syscall, and a 7-taken-branch
+exit stub.  All kernel branches live at high (kernel-half) addresses and
+run through the same shared CBP -- the paper's central observation being
+precisely that nothing is flushed or partitioned at this boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.cpu.machine import Machine
+
+#: Kernel code region (the model keeps full 64-bit addresses; only the
+#: low bits participate in footprints and PHT indexing, as on hardware).
+KERNEL_TEXT_BASE = 0xFFFF_FFFF_8100_0000
+
+#: Branch counts measured by the paper.
+ENTRY_TAKEN_BRANCHES = 23
+EXIT_TAKEN_BRANCHES = 7
+
+
+@dataclass
+class SyscallResult:
+    """Outcome of one simulated syscall."""
+
+    name: str
+    entry_taken: int
+    body_taken: int
+    exit_taken: int
+    phr_value: int
+
+    @property
+    def total_taken(self) -> int:
+        return self.entry_taken + self.body_taken + self.exit_taken
+
+
+def _branch_stream(label: str, count: int,
+                   base: int) -> List[Tuple[int, int, bool, bool]]:
+    """A deterministic pseudo-random branch sequence for a kernel region.
+
+    Each element is ``(pc, target, conditional, taken)``; the stream is a
+    pure function of ``label`` so repeated syscalls behave identically
+    (the determinism assumption of the threat model).
+    """
+    digest = hashlib.sha256(label.encode()).digest()
+    seed = int.from_bytes(digest[:8], "little")
+    branches: List[Tuple[int, int, bool, bool]] = []
+    pc = base
+    state = seed
+    produced = 0
+    while produced < count:
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        pc += ((state >> 5) % 1024 + 1) * 4
+        target = pc + ((state >> 17) % 512 + 1) * 4
+        conditional = (state >> 33) % 4 != 0  # ~75% conditional
+        branches.append((pc, target, conditional, True))
+        produced += 1
+        # Sprinkle in some not-taken conditionals (they do not move the
+        # PHR but do exercise the PHTs).
+        if (state >> 41) % 3 == 0:
+            pc += 8
+            branches.append((pc, pc + 64, True, False))
+    return branches
+
+
+class SimulatedKernel:
+    """Syscall entry/exit stubs plus named syscall bodies."""
+
+    #: Body lengths (taken branches) per modeled syscall; `custom` mirrors
+    #: the paper's "our own customized syscalls".
+    DEFAULT_BODIES: Dict[str, int] = {
+        "getppid": 41,
+        "geteuid": 35,
+        "custom_small": 12,
+        "custom_large": 120,
+    }
+
+    def __init__(self, bodies: Dict[str, int] = None):  # type: ignore[assignment]
+        self.bodies = dict(self.DEFAULT_BODIES if bodies is None else bodies)
+        self._entry = _branch_stream("syscall-entry", ENTRY_TAKEN_BRANCHES,
+                                     KERNEL_TEXT_BASE)
+        self._exit = _branch_stream("syscall-exit", EXIT_TAKEN_BRANCHES,
+                                    KERNEL_TEXT_BASE + 0x10_0000)
+        self._body_streams = {
+            name: _branch_stream(f"syscall-body-{name}", count,
+                                 KERNEL_TEXT_BASE + 0x20_0000)
+            for name, count in self.bodies.items()
+        }
+
+    def syscall_names(self) -> List[str]:
+        """The modeled syscalls."""
+        return sorted(self.bodies)
+
+    def entry_branches(self) -> List[Tuple[int, int, bool, bool]]:
+        """The kernel-entry branch stream (shared by every syscall)."""
+        return list(self._entry)
+
+    def body_branches(self, name: str) -> List[Tuple[int, int, bool, bool]]:
+        """The body branch stream of ``name``."""
+        return list(self._body_streams[name])
+
+    def exit_branches(self) -> List[Tuple[int, int, bool, bool]]:
+        """The kernel-exit branch stream."""
+        return list(self._exit)
+
+    def invoke(self, machine: Machine, name: str,
+               thread: int = 0) -> SyscallResult:
+        """Run one syscall's branches through the machine's predictors."""
+        if name not in self._body_streams:
+            raise KeyError(f"unknown syscall {name!r}")
+        context = machine.thread(thread)
+        context.domain = "kernel"
+        entry_taken = machine.inject_branch_sequence(self._entry, thread)
+        body_taken = machine.inject_branch_sequence(
+            self._body_streams[name], thread
+        )
+        exit_taken = machine.inject_branch_sequence(self._exit, thread)
+        context.domain = "user"
+        return SyscallResult(
+            name=name,
+            entry_taken=entry_taken,
+            body_taken=body_taken,
+            exit_taken=exit_taken,
+            phr_value=machine.phr(thread).value,
+        )
+
+    def observable_history_doublets(self, machine: Machine,
+                                    name: str) -> int:
+        """Syscall-local doublets visible to a post-return Read PHR.
+
+        The PHR holds ``capacity`` doublets; the exit stub consumes a few,
+        the rest cover the body and entry -- over 160 on Alder/Raptor Lake
+        per the paper.
+        """
+        capacity = machine.config.phr_capacity
+        return min(capacity - EXIT_TAKEN_BRANCHES,
+                   ENTRY_TAKEN_BRANCHES + self.bodies[name])

@@ -1,0 +1,5 @@
+"""Covert/side channels used to move data out of transient execution."""
+
+from repro.channels.flush_reload import FlushReloadChannel
+
+__all__ = ["FlushReloadChannel"]

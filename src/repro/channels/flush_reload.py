@@ -1,0 +1,78 @@
+"""Flush+Reload [70] over the simulated data cache.
+
+The attacker owns a probe array of ``entries`` slots spaced ``stride``
+bytes apart (one page per slot in the byte-leak variant, Section 9:
+"a 256-page array").  The protocol:
+
+1. ``flush()`` every slot out of the cache,
+2. let the victim run (its transient gadget loads ``probe[secret]``),
+3. ``reload()`` each slot and classify by latency; hot slots reveal the
+   secret index.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cpu.machine import Machine
+
+
+class FlushReloadChannel:
+    """A probe array plus flush/reload measurement helpers."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        base_address: int = 0x2000_0000,
+        stride: int = 4096,
+        entries: int = 256,
+    ):
+        if stride < machine.cache.line_size:
+            raise ValueError("probe stride must be at least one cache line")
+        self.machine = machine
+        self.base_address = base_address
+        self.stride = stride
+        self.entries = entries
+
+    def slot_address(self, index: int) -> int:
+        """Address of probe slot ``index``."""
+        if not 0 <= index < self.entries:
+            raise ValueError(f"probe index out of range: {index}")
+        return self.base_address + index * self.stride
+
+    def flush(self) -> None:
+        """Flush every probe slot (the attacker's ``clflush`` loop)."""
+        for index in range(self.entries):
+            self.machine.cache.flush(self.slot_address(index))
+
+    def reload_times(self) -> List[int]:
+        """Reload each slot, returning the measured latencies.
+
+        Note the reload itself re-fills the lines, as on real hardware;
+        callers must flush again before the next round.
+        """
+        return [
+            self.machine.cache.access(self.slot_address(index))
+            for index in range(self.entries)
+        ]
+
+    def hot_slots(self) -> List[int]:
+        """Indices whose reload latency classifies as a cache hit."""
+        threshold = self.machine.config.reload_threshold
+        return [
+            index
+            for index, latency in enumerate(self.reload_times())
+            if latency < threshold
+        ]
+
+    def receive_byte(self) -> int:
+        """Decode a single transmitted byte, or -1 if nothing was sent.
+
+        Ambiguous observations (several hot slots) also return -1, forcing
+        the attacker to retry -- matching the retry loops in the paper's
+        evaluation.
+        """
+        hot = self.hot_slots()
+        if len(hot) == 1:
+            return hot[0]
+        return -1

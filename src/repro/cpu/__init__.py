@@ -1,0 +1,42 @@
+"""Functional simulator of the Intel branch prediction unit.
+
+This package implements the reverse-engineered CBP model the paper builds
+its attacks on (Section 2): the 194-doublet path history register with the
+Figure 2 footprint function, the base predictor plus three tagged pattern
+history tables of Figure 3 with 3-bit saturating counters (Observation 2),
+and the surrounding machine model -- data cache, speculation, SMT threads,
+protection domains -- needed by the attack case studies.
+"""
+
+from repro.cpu.config import (
+    ALDER_LAKE,
+    MachineConfig,
+    RAPTOR_LAKE,
+    SKYLAKE,
+    TARGET_MACHINES,
+)
+from repro.cpu.footprint import branch_footprint, footprint_doublet
+from repro.cpu.phr import PathHistoryRegister
+from repro.cpu.saturating import SaturatingCounter
+from repro.cpu.cbp import ConditionalBranchPredictor, Prediction
+from repro.cpu.cache import DataCache
+from repro.cpu.perf import PerfCounters
+from repro.cpu.machine import Machine, MachineRunResult
+
+__all__ = [
+    "ALDER_LAKE",
+    "ConditionalBranchPredictor",
+    "DataCache",
+    "Machine",
+    "MachineConfig",
+    "MachineRunResult",
+    "PathHistoryRegister",
+    "PerfCounters",
+    "Prediction",
+    "RAPTOR_LAKE",
+    "SKYLAKE",
+    "SaturatingCounter",
+    "TARGET_MACHINES",
+    "branch_footprint",
+    "footprint_doublet",
+]

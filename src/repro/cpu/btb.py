@@ -1,0 +1,86 @@
+"""Branch target buffer (Figure 1).
+
+The BTB caches the taken target of recently executed branches so the
+front end can redirect fetch before decode.  Pathfinder's attacks do not
+exploit the BTB directly, but the machine models it so that (a) the BPU
+diagram of Figure 1 is complete, (b) boundary experiments can confirm
+which structures a given mitigation flushes, and (c) future extensions
+(e.g. Jump-over-ASLR style probing) have a substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.utils.bits import bits
+
+
+@dataclass
+class BtbEntry:
+    """One BTB way: partial tag plus cached target."""
+
+    tag: int
+    target: int
+
+
+class BranchTargetBuffer:
+    """Set-associative branch target cache with LRU replacement."""
+
+    def __init__(self, sets: int = 1024, ways: int = 8,
+                 index_low_bit: int = 5, tag_bits: int = 16):
+        if sets & (sets - 1):
+            raise ValueError(f"set count must be a power of two, got {sets}")
+        self.sets = sets
+        self.ways = ways
+        self.index_low_bit = index_low_bit
+        self.index_bits = sets.bit_length() - 1
+        self.tag_bits = tag_bits
+        self._sets: List[List[BtbEntry]] = [[] for _ in range(sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _index(self, pc: int) -> int:
+        if not self.index_bits:
+            return 0
+        high = self.index_low_bit + self.index_bits - 1
+        return bits(pc, high, self.index_low_bit)
+
+    def _tag(self, pc: int) -> int:
+        low = self.index_low_bit + self.index_bits
+        return bits(pc, low + self.tag_bits - 1, low) ^ bits(pc, 4, 0)
+
+    def predict(self, pc: int) -> Optional[int]:
+        """Predicted target of the branch at ``pc``, or None on a miss."""
+        wanted = self._tag(pc)
+        ways = self._sets[self._index(pc)]
+        for position, entry in enumerate(ways):
+            if entry.tag == wanted:
+                # Move to MRU position.
+                ways.insert(0, ways.pop(position))
+                self.hits += 1
+                return entry.target
+        self.misses += 1
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        """Record the resolved target for the branch at ``pc``."""
+        index = self._index(pc)
+        wanted = self._tag(pc)
+        ways = self._sets[index]
+        for position, entry in enumerate(ways):
+            if entry.tag == wanted:
+                entry.target = target
+                ways.insert(0, ways.pop(position))
+                return
+        ways.insert(0, BtbEntry(tag=wanted, target=target))
+        if len(ways) > self.ways:
+            ways.pop()
+
+    def flush(self) -> None:
+        """Drop all entries."""
+        self._sets = [[] for _ in range(self.sets)]
+
+    def populated_entries(self) -> int:
+        """Total live entries."""
+        return sum(len(ways) for ways in self._sets)

@@ -1,0 +1,91 @@
+"""A simple set-associative data cache with flush+reload semantics.
+
+The AES case study (Section 9) leaks the transient reduced-round
+ciphertext through the data cache: the wrong-path gadget loads
+``probe_array[byte * page_size]`` and the attacker later measures reload
+latencies to find the touched page (Flush+Reload [70]).  The model only
+needs to distinguish hit from miss deterministically; latencies use
+representative constants.
+
+The set index is an XOR fold of the line address rather than a plain bit
+slice: page-stride probe arrays (the 4KiB-slot Flush+Reload buffer of
+Section 9) would otherwise alias into a handful of sets and the reload
+pass would evict its own signal.  Real attacks probe through the last-
+level cache, which is both large and hash-indexed; the fold models that.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.utils.bits import fold_xor
+
+
+class DataCache:
+    """LRU set-associative cache of line addresses."""
+
+    def __init__(
+        self,
+        sets: int = 1024,
+        ways: int = 8,
+        line_size: int = 64,
+        hit_latency: int = 4,
+        miss_latency: int = 300,
+    ):
+        if sets & (sets - 1):
+            raise ValueError(f"set count must be a power of two, got {sets}")
+        if line_size & (line_size - 1):
+            raise ValueError(f"line size must be a power of two, got {line_size}")
+        self.sets = sets
+        self.ways = ways
+        self.line_size = line_size
+        self.hit_latency = hit_latency
+        self.miss_latency = miss_latency
+        self._offset_bits = line_size.bit_length() - 1
+        self._index_bits = sets.bit_length() - 1
+        self._sets: List[List[int]] = [[] for _ in range(sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _line(self, address: int) -> int:
+        return address >> self._offset_bits
+
+    def _index(self, line: int) -> int:
+        if not self._index_bits:
+            return 0
+        return fold_xor(line, 48, self._index_bits)
+
+    def access(self, address: int) -> int:
+        """Access ``address``: returns the latency and fills the line."""
+        line = self._line(address)
+        ways = self._sets[self._index(line)]
+        if line in ways:
+            ways.remove(line)
+            ways.insert(0, line)
+            self.hits += 1
+            return self.hit_latency
+        ways.insert(0, line)
+        if len(ways) > self.ways:
+            ways.pop()
+        self.misses += 1
+        return self.miss_latency
+
+    def contains(self, address: int) -> bool:
+        """Whether the line holding ``address`` is cached (no LRU effect)."""
+        line = self._line(address)
+        return line in self._sets[self._index(line)]
+
+    def flush(self, address: int) -> None:
+        """Evict the line holding ``address`` (the ``clflush`` primitive)."""
+        line = self._line(address)
+        ways = self._sets[self._index(line)]
+        if line in ways:
+            ways.remove(line)
+
+    def flush_all(self) -> None:
+        """Evict everything (``wbinvd``)."""
+        self._sets = [[] for _ in range(self.sets)]
+
+    def populated_lines(self) -> int:
+        """Total cached lines."""
+        return sum(len(ways) for ways in self._sets)

@@ -1,0 +1,140 @@
+"""The conditional branch predictor: base predictor + tagged PHTs.
+
+Prediction follows the TAGE discipline the paper attributes to Intel's
+CBP: the matching tagged table with the *longest* history provides the
+prediction; the base predictor is the fallback.  On a misprediction an
+entry is allocated in the next-longer table so the predictor can learn
+history-correlated patterns -- exactly the behaviour the Read PHR
+primitive's train/test pair exploits (it converges to ~0% mispredictions
+when two distinct PHR values disambiguate a random branch, and stays at
+~50% when the PHR values collide).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cpu.pht import BasePredictor, TaggedEntry, TaggedTable
+from repro.cpu.phr import PathHistoryRegister
+
+
+@dataclass
+class Prediction:
+    """The outcome of a CBP lookup.
+
+    ``provider`` is the 1-based tagged-table number, or 0 for the base
+    predictor.  ``entry`` is the providing tagged entry when applicable.
+    ``alternate`` is the prediction the next-shorter component would have
+    made (used for the usefulness heuristic).
+    """
+
+    taken: bool
+    provider: int
+    entry: Optional[TaggedEntry]
+    alternate: bool
+
+
+class ConditionalBranchPredictor:
+    """Base predictor plus N tagged tables sharing one update policy."""
+
+    def __init__(
+        self,
+        history_lengths: Sequence[int],
+        sets: int = 512,
+        ways: int = 4,
+        counter_bits: int = 3,
+        tag_bits: int = 11,
+        base_index_bits: int = 13,
+        pc_index_bit: int = 5,
+    ):
+        if list(history_lengths) != sorted(history_lengths):
+            raise ValueError("history lengths must be non-decreasing")
+        self.counter_bits = counter_bits
+        self.base = BasePredictor(index_bits=base_index_bits,
+                                  counter_bits=counter_bits)
+        self.tables: List[TaggedTable] = [
+            TaggedTable(
+                history_doublets=length,
+                sets=sets,
+                ways=ways,
+                counter_bits=counter_bits,
+                tag_bits=tag_bits,
+                pc_index_bit=pc_index_bit,
+            )
+            for length in history_lengths
+        ]
+
+    # ----- prediction -----------------------------------------------------
+
+    def predict(self, pc: int, phr: PathHistoryRegister) -> Prediction:
+        """Look up ``(pc, phr)`` and return the provided prediction."""
+        provider = 0
+        entry: Optional[TaggedEntry] = None
+        predictions = [self.base.predict(pc)]
+        for number, table in enumerate(self.tables, start=1):
+            found = table.lookup(pc, phr)
+            if found is not None:
+                provider = number
+                entry = found
+                predictions.append(found.counter.prediction)
+        taken = predictions[-1]
+        alternate = predictions[-2] if len(predictions) > 1 else predictions[-1]
+        return Prediction(taken=taken, provider=provider, entry=entry,
+                          alternate=alternate)
+
+    # ----- training ---------------------------------------------------------
+
+    def update(self, pc: int, phr: PathHistoryRegister, taken: bool,
+               prediction: Optional[Prediction] = None) -> None:
+        """Train the predictor with a resolved branch outcome.
+
+        ``prediction`` should be the object returned by :meth:`predict` for
+        this branch; if omitted it is recomputed (the lookup is
+        deterministic, so this is safe).
+        """
+        if prediction is None:
+            prediction = self.predict(pc, phr)
+
+        # Train the provider.
+        if prediction.entry is not None:
+            prediction.entry.counter.update(taken)
+            if (prediction.taken == taken
+                    and prediction.taken != prediction.alternate
+                    and prediction.entry.useful < 3):
+                prediction.entry.useful += 1
+        else:
+            self.base.update(pc, taken)
+
+        # The base predictor also trains when a weak tagged entry provided;
+        # this keeps it a useful fallback (and mirrors TAGE's alt-update).
+        if prediction.entry is not None and not prediction.entry.counter.is_saturated:
+            self.base.update(pc, taken)
+
+        # Allocate on misprediction in the next-longer table.
+        if prediction.taken != taken and prediction.provider < len(self.tables):
+            self.tables[prediction.provider].allocate(pc, phr, taken)
+
+    def observe(self, pc: int, phr: PathHistoryRegister, taken: bool) -> bool:
+        """Predict and immediately train; return whether it mispredicted.
+
+        This is the one-call form used by attack loops that only need the
+        misprediction signal.
+        """
+        prediction = self.predict(pc, phr)
+        self.update(pc, phr, taken, prediction)
+        return prediction.taken != taken
+
+    # ----- maintenance ---------------------------------------------------------
+
+    def flush(self) -> None:
+        """Drop all predictor state (the Section 10 PHT-flush mitigation)."""
+        self.base.flush()
+        for table in self.tables:
+            table.flush()
+
+    def populated_entries(self) -> int:
+        """Total live entries across base and tagged tables."""
+        return self.base.populated_entries() + sum(
+            table.populated_entries() for table in self.tables
+        )

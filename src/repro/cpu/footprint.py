@@ -1,0 +1,104 @@
+"""The branch footprint function (paper Figure 2).
+
+Every *taken* branch folds a 16-bit "footprint" into the PHR.  The
+footprint mixes 16 bits of the branch address (B15..B0) with 6 bits of the
+target address (T5..T0).  The exact bit placement below is reconstructed
+from Figure 2 of the paper; the two properties the attack primitives rely
+on are stated there explicitly and are preserved:
+
+* a branch whose address bits B15..B0 are zero and whose target bits
+  T5..T0 are zero has an all-zero footprint (``Shift_PHR``), and
+* with an otherwise-zero branch, target bits T0/T1 control exactly
+  doublet 0 of the footprint (``Write_PHR``).
+
+Layout (footprint bit index: source):
+
+====  ==========
+bit   source
+====  ==========
+f15   B12
+f14   B13
+f13   B5
+f12   B6
+f11   B7
+f10   B8
+f9    B9
+f8    B10
+f7    B0 ^ T2
+f6    B1 ^ T3
+f5    B2 ^ T4
+f4    B11 ^ T5
+f3    B14
+f2    B15
+f1    B3 ^ T0
+f0    B4 ^ T1
+====  ==========
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.utils.bits import bit
+
+#: Width of the footprint in bits (8 doublets).
+FOOTPRINT_BITS = 16
+
+#: (branch_address_bit, target_address_bit_or_None) per footprint bit,
+#: listed from f15 down to f0.
+_FOOTPRINT_LAYOUT: Tuple[Tuple[int, int], ...] = (
+    (12, -1),
+    (13, -1),
+    (5, -1),
+    (6, -1),
+    (7, -1),
+    (8, -1),
+    (9, -1),
+    (10, -1),
+    (0, 2),
+    (1, 3),
+    (2, 4),
+    (11, 5),
+    (14, -1),
+    (15, -1),
+    (3, 0),
+    (4, 1),
+)
+
+
+def branch_footprint(branch_address: int, target_address: int) -> int:
+    """Return the 16-bit PHR footprint of a taken branch.
+
+    ``branch_address`` is the address of the branch instruction itself and
+    ``target_address`` the address it transfers control to.
+    """
+    footprint = 0
+    for position, (b_index, t_index) in enumerate(_FOOTPRINT_LAYOUT):
+        value = bit(branch_address, b_index)
+        if t_index >= 0:
+            value ^= bit(target_address, t_index)
+        footprint |= value << (FOOTPRINT_BITS - 1 - position)
+    return footprint
+
+
+def footprint_doublet(branch_address: int, target_address: int,
+                      index: int) -> int:
+    """Return doublet ``index`` (0..7) of the branch footprint."""
+    if not 0 <= index < FOOTPRINT_BITS // 2:
+        raise ValueError(f"footprint doublet index out of range: {index}")
+    footprint = branch_footprint(branch_address, target_address)
+    return (footprint >> (2 * index)) & 0b11
+
+
+def footprint_bit_sources() -> List[str]:
+    """Human-readable description of each footprint bit, f15 first.
+
+    Used by the Figure 2 benchmark to print the layout next to the paper's.
+    """
+    descriptions = []
+    for b_index, t_index in _FOOTPRINT_LAYOUT:
+        if t_index >= 0:
+            descriptions.append(f"B{b_index}^T{t_index}")
+        else:
+            descriptions.append(f"B{b_index}")
+    return descriptions

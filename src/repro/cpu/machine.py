@@ -1,0 +1,333 @@
+"""The simulated machine: BPU + cache + speculation + protection domains.
+
+A :class:`Machine` owns one physical core's shared predictor state (the
+CBP's base predictor and PHTs, the BTB, the IBP) and per-logical-thread
+state (the PHR and the RAS) -- the sharing granularity the paper
+establishes in Section 7.3: *"the PHR is not shared between two SMT
+threads ... the PHTs are indeed shared"*.
+
+Programs run through :meth:`Machine.run`, which wires the architectural
+interpreter to microarchitectural hooks: every conditional branch is
+predicted by the CBP, mispredictions trigger bounded wrong-path
+(transient) execution whose loads perturb the data cache, and every taken
+branch folds its footprint into the running thread's PHR.
+
+The machine also exposes the *functional* entry points the attack
+primitives use on their fast path (`observe_conditional`,
+`record_taken_branch`); tests assert these are bit-identical to running
+the equivalent instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.cpu.btb import BranchTargetBuffer
+from repro.cpu.cache import DataCache
+from repro.cpu.cbp import ConditionalBranchPredictor
+from repro.cpu.config import MachineConfig, RAPTOR_LAKE
+from repro.cpu.ibp import IndirectBranchPredictor
+from repro.cpu.perf import PerfCounters
+from repro.cpu.phr import PathHistoryRegister
+from repro.cpu.ras import ReturnAddressStack
+from repro.isa.interpreter import (
+    BranchKind,
+    CpuHooks,
+    CpuState,
+    ExecutionResult,
+    Interpreter,
+)
+from repro.isa.memory import Memory
+from repro.isa.program import Program
+
+
+@dataclass
+class ThreadContext:
+    """Per-logical-thread (SMT) microarchitectural state."""
+
+    thread_id: int
+    phr: PathHistoryRegister
+    ras: ReturnAddressStack
+    #: Informational label of the security domain currently executing.
+    domain: str = "user"
+
+
+@dataclass
+class MachineRunResult:
+    """Outcome of one :meth:`Machine.run` invocation."""
+
+    execution: ExecutionResult
+    perf: PerfCounters
+    phr_value: int
+
+    @property
+    def trace(self):
+        """The dynamic branch trace of the run."""
+        return self.execution.trace
+
+    @property
+    def state(self) -> CpuState:
+        """Final architectural register state."""
+        return self.execution.state
+
+
+class _MachineHooks(CpuHooks):
+    """Binds a running interpreter to the machine's microarchitecture."""
+
+    def __init__(self, machine: "Machine", thread: ThreadContext,
+                 speculate: bool):
+        self.machine = machine
+        self.thread = thread
+        self.speculate = speculate
+        #: Filled in by Machine.run before execution starts.
+        self.interpreter: Optional[Interpreter] = None
+        self.state: Optional[CpuState] = None
+        self.memory: Optional[Memory] = None
+
+    def conditional_branch(self, pc: int, target: int, fallthrough: int,
+                           taken: bool, resolve_latency: int) -> None:
+        machine = self.machine
+        mispredicted = machine._resolve_conditional(
+            self.thread, pc, target, taken, resolve_latency,
+            hooks=self if self.speculate else None,
+            fallthrough=fallthrough,
+        )
+        del mispredicted  # counters already updated
+
+    def unconditional_branch(self, pc: int, target: int,
+                             kind: BranchKind) -> None:
+        self.machine._resolve_unconditional(self.thread, pc, target, kind)
+
+    def load(self, address: int, width: int) -> int:
+        return self.machine.cache.access(address)
+
+    def transient_load(self, address: int, width: int) -> int:
+        return self.machine.cache.access(address)
+
+    def store(self, address: int, width: int) -> None:
+        self.machine.cache.access(address)
+
+    def instruction_retired(self, pc: int) -> None:
+        self.machine.perf.instructions += 1
+
+
+class Machine:
+    """One simulated physical core."""
+
+    def __init__(self, config: MachineConfig = RAPTOR_LAKE):
+        self.config = config
+        self.cbp = ConditionalBranchPredictor(
+            history_lengths=config.pht_history_lengths,
+            sets=config.pht_sets,
+            ways=config.pht_ways,
+            counter_bits=config.counter_bits,
+            tag_bits=config.pht_tag_bits,
+            base_index_bits=config.base_index_bits,
+            pc_index_bit=config.pc_index_bit,
+        )
+        self.btb = BranchTargetBuffer()
+        self.ibp = IndirectBranchPredictor()
+        self.cache = DataCache(
+            sets=config.cache_sets,
+            ways=config.cache_ways,
+            line_size=config.cache_line_size,
+            hit_latency=config.cache_hit_latency,
+            miss_latency=config.cache_miss_latency,
+        )
+        self.perf = PerfCounters()
+        self.threads: List[ThreadContext] = [
+            ThreadContext(
+                thread_id=tid,
+                phr=PathHistoryRegister(config.phr_capacity),
+                ras=ReturnAddressStack(),
+            )
+            for tid in range(config.smt_threads)
+        ]
+        self.ibrs_enabled = False
+
+    # ------------------------------------------------------------------
+    # state access
+    # ------------------------------------------------------------------
+
+    def phr(self, thread: int = 0) -> PathHistoryRegister:
+        """The PHR of logical thread ``thread``."""
+        return self.threads[thread].phr
+
+    def thread(self, thread: int = 0) -> ThreadContext:
+        """The context of logical thread ``thread``."""
+        return self.threads[thread]
+
+    # ------------------------------------------------------------------
+    # functional branch entry points (fast path for the primitives)
+    # ------------------------------------------------------------------
+
+    def record_taken_branch(self, pc: int, target: int, thread: int = 0,
+                            kind: BranchKind = BranchKind.JUMP) -> None:
+        """Commit one taken non-conditional branch.
+
+        Unconditional direct branches interact with the BTB and the PHR but
+        *not* with the PHTs -- the property both the ``Shift_PHR`` macro
+        and the Section 10 PHR-flush mitigation rely on.
+        """
+        context = self.threads[thread]
+        self.btb.update(pc, target)
+        if kind is BranchKind.INDIRECT:
+            predicted = self.ibp.predict(pc, context.phr)
+            self.perf.indirect_branches += 1
+            if predicted != target:
+                self.perf.indirect_mispredictions += 1
+            self.ibp.update(pc, context.phr, target)
+        context.phr.update(pc, target)
+        self.perf.taken_branches += 1
+
+    def observe_conditional(self, pc: int, target: int, taken: bool,
+                            thread: int = 0) -> bool:
+        """Commit one conditional branch; return whether it mispredicted.
+
+        This is the exact commit path of :meth:`run` minus transient
+        execution (which a bare predict/update experiment does not need).
+        """
+        context = self.threads[thread]
+        return self._resolve_conditional(context, pc, target, taken,
+                                         resolve_latency=0, hooks=None,
+                                         fallthrough=pc + 4)
+
+    def _resolve_conditional(
+        self,
+        context: ThreadContext,
+        pc: int,
+        target: int,
+        taken: bool,
+        resolve_latency: int,
+        hooks: Optional[_MachineHooks],
+        fallthrough: int,
+    ) -> bool:
+        prediction = self.cbp.predict(pc, context.phr)
+        mispredicted = prediction.taken != taken
+        self.perf.record_conditional(pc, mispredicted)
+
+        if mispredicted and hooks is not None and hooks.interpreter is not None:
+            budget = self._speculation_budget(resolve_latency)
+            wrong_path_pc = target if prediction.taken else fallthrough
+            self.perf.speculation_windows += 1
+            executed = hooks.interpreter.run_transient(
+                wrong_path_pc, hooks.state, hooks.memory, budget
+            )
+            self.perf.transient_instructions += executed
+
+        self.cbp.update(pc, context.phr, taken, prediction)
+        if taken:
+            self.btb.update(pc, target)
+            context.phr.update(pc, target)
+            self.perf.taken_branches += 1
+        return mispredicted
+
+    def _resolve_unconditional(self, context: ThreadContext, pc: int,
+                               target: int, kind: BranchKind) -> None:
+        if kind is BranchKind.CALL:
+            context.ras.push(pc + 4)
+        elif kind is BranchKind.RET:
+            predicted = context.ras.pop()
+            self.perf.returns += 1
+            if predicted != target:
+                self.perf.indirect_mispredictions += 1
+        self.record_taken_branch(pc, target, thread=context.thread_id,
+                                 kind=(BranchKind.INDIRECT
+                                       if kind is BranchKind.INDIRECT
+                                       else BranchKind.JUMP))
+
+    def _speculation_budget(self, resolve_latency: int) -> int:
+        config = self.config
+        widened = resolve_latency // config.spec_cycles_per_instruction
+        return min(config.spec_window_max, config.spec_window_base + widened)
+
+    # ------------------------------------------------------------------
+    # program execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        program: Program,
+        thread: int = 0,
+        state: Optional[CpuState] = None,
+        memory: Optional[Memory] = None,
+        entry: Optional[int] = None,
+        max_instructions: int = 2_000_000,
+        speculate: bool = True,
+    ) -> MachineRunResult:
+        """Run ``program`` on logical thread ``thread``.
+
+        Returns the architectural result plus the perf-counter delta for
+        this run and the thread's final PHR value.
+        """
+        context = self.threads[thread]
+        hooks = _MachineHooks(self, context, speculate)
+        interpreter = Interpreter(program, hooks)
+        if state is None:
+            state = CpuState()
+        if memory is None:
+            memory = Memory()
+        hooks.interpreter = interpreter
+        hooks.state = state
+        hooks.memory = memory
+
+        before = self.perf.snapshot()
+        execution = interpreter.run(state=state, memory=memory, entry=entry,
+                                    max_instructions=max_instructions)
+        return MachineRunResult(
+            execution=execution,
+            perf=self.perf.delta(before),
+            phr_value=context.phr.value,
+        )
+
+    # ------------------------------------------------------------------
+    # domain transitions and mitigation knobs
+    # ------------------------------------------------------------------
+
+    def inject_branch_sequence(
+        self,
+        branches: Iterable[Tuple[int, int, bool, bool]],
+        thread: int = 0,
+    ) -> int:
+        """Commit a canned branch sequence ``(pc, target, conditional, taken)``.
+
+        Used to model the branches executed by kernel syscall entry/exit
+        stubs and SGX enclave transitions (Section 7).  Returns the number
+        of *taken* branches injected (the PHR-visible count).
+        """
+        taken_count = 0
+        for pc, target, conditional, taken in branches:
+            if conditional:
+                self.observe_conditional(pc, target, taken, thread=thread)
+            elif taken:
+                self.record_taken_branch(pc, target, thread=thread)
+            if taken:
+                taken_count += 1
+        return taken_count
+
+    def ibpb(self) -> None:
+        """Indirect Branch Predictor Barrier.
+
+        Per Section 7.4, IBPB flushes indirect-branch prediction state and
+        nothing else: the PHR and the PHTs survive, which is exactly why
+        the paper's primitives defeat it.
+        """
+        self.ibp.barrier()
+
+    def set_ibrs(self, enabled: bool) -> None:
+        """Indirect Branch Restricted Speculation on/off.
+
+        IBRS restricts *indirect* target speculation across privilege
+        modes; like IBPB it does not flush or partition the CBP.
+        """
+        self.ibrs_enabled = enabled
+        self.ibp.restricted = enabled
+
+    def flush_cbp(self) -> None:
+        """Flush base predictor and PHTs (Section 10 mitigation)."""
+        self.cbp.flush()
+
+    def clear_phr(self, thread: int = 0) -> None:
+        """Zero the PHR of ``thread`` (Section 10 mitigation semantics)."""
+        self.threads[thread].phr.clear()

@@ -1,0 +1,93 @@
+"""Simulated performance counters.
+
+The paper measures branch mispredictions "by measuring the performance
+counters or the timing difference" (Section 4.4).  The simulator exposes
+the same quantities directly: global and per-PC execution / misprediction
+counts for conditional branches, and totals for every branch kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class PerfCounters:
+    """Branch-related event counts."""
+
+    conditional_branches: int = 0
+    conditional_mispredictions: int = 0
+    taken_branches: int = 0
+    indirect_branches: int = 0
+    indirect_mispredictions: int = 0
+    returns: int = 0
+    instructions: int = 0
+    transient_instructions: int = 0
+    speculation_windows: int = 0
+    per_pc_executions: Dict[int, int] = field(default_factory=dict)
+    per_pc_mispredictions: Dict[int, int] = field(default_factory=dict)
+
+    def record_conditional(self, pc: int, mispredicted: bool) -> None:
+        """Count one resolved conditional branch."""
+        self.conditional_branches += 1
+        self.per_pc_executions[pc] = self.per_pc_executions.get(pc, 0) + 1
+        if mispredicted:
+            self.conditional_mispredictions += 1
+            self.per_pc_mispredictions[pc] = (
+                self.per_pc_mispredictions.get(pc, 0) + 1
+            )
+
+    def misprediction_rate(self, pc: int) -> float:
+        """Misprediction rate of the conditional branch at ``pc``."""
+        executed = self.per_pc_executions.get(pc, 0)
+        if executed == 0:
+            return 0.0
+        return self.per_pc_mispredictions.get(pc, 0) / executed
+
+    def snapshot(self) -> "PerfCounters":
+        """An independent copy (for before/after deltas)."""
+        return PerfCounters(
+            conditional_branches=self.conditional_branches,
+            conditional_mispredictions=self.conditional_mispredictions,
+            taken_branches=self.taken_branches,
+            indirect_branches=self.indirect_branches,
+            indirect_mispredictions=self.indirect_mispredictions,
+            returns=self.returns,
+            instructions=self.instructions,
+            transient_instructions=self.transient_instructions,
+            speculation_windows=self.speculation_windows,
+            per_pc_executions=dict(self.per_pc_executions),
+            per_pc_mispredictions=dict(self.per_pc_mispredictions),
+        )
+
+    def delta(self, earlier: "PerfCounters") -> "PerfCounters":
+        """Counts accumulated since ``earlier`` (a prior snapshot)."""
+        per_pc_executions = {
+            pc: count - earlier.per_pc_executions.get(pc, 0)
+            for pc, count in self.per_pc_executions.items()
+            if count - earlier.per_pc_executions.get(pc, 0)
+        }
+        per_pc_mispredictions = {
+            pc: count - earlier.per_pc_mispredictions.get(pc, 0)
+            for pc, count in self.per_pc_mispredictions.items()
+            if count - earlier.per_pc_mispredictions.get(pc, 0)
+        }
+        return PerfCounters(
+            conditional_branches=(self.conditional_branches
+                                  - earlier.conditional_branches),
+            conditional_mispredictions=(self.conditional_mispredictions
+                                        - earlier.conditional_mispredictions),
+            taken_branches=self.taken_branches - earlier.taken_branches,
+            indirect_branches=self.indirect_branches - earlier.indirect_branches,
+            indirect_mispredictions=(self.indirect_mispredictions
+                                     - earlier.indirect_mispredictions),
+            returns=self.returns - earlier.returns,
+            instructions=self.instructions - earlier.instructions,
+            transient_instructions=(self.transient_instructions
+                                    - earlier.transient_instructions),
+            speculation_windows=(self.speculation_windows
+                                 - earlier.speculation_windows),
+            per_pc_executions=per_pc_executions,
+            per_pc_mispredictions=per_pc_mispredictions,
+        )

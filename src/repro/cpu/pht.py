@@ -1,0 +1,176 @@
+"""Pattern history tables (paper Section 2.2.2, Figure 3).
+
+The CBP comprises a *base predictor* indexed by the low 13 bits of the PC,
+plus three 4-way set-associative tagged tables of 512 sets.  Table ``i``
+is indexed by a 9-bit function of the PC and an increasing slice of the
+PHR (34 / 66 / 194 low doublets), with one PC bit (PC[5] or PC[4])
+injected into the index and a tag formed from PC and PHR.
+
+The paper does not publish the exact fold polynomials, so we use a
+documented XOR fold (see DESIGN.md, decision 2).  The property every
+attack depends on -- two lookups with equal ``(PC mod 2^16, PHR)`` always
+hit the same entry, while different histories rarely do -- holds by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cpu.phr import PathHistoryRegister
+from repro.cpu.saturating import SaturatingCounter
+from repro.utils.bits import bit, bits, fold_xor
+
+#: Index width: 8 folded history bits + 1 PC bit -> 512 sets.
+INDEX_BITS = 9
+
+
+@dataclass
+class TaggedEntry:
+    """One way of a tagged table set."""
+
+    tag: int
+    counter: SaturatingCounter
+    useful: int = 0
+
+
+class BasePredictor:
+    """The PC-indexed bimodal predictor (Table 0 in Figure 3)."""
+
+    def __init__(self, index_bits: int = 13, counter_bits: int = 3):
+        self.index_bits = index_bits
+        self.counter_bits = counter_bits
+        self._counters: List[Optional[SaturatingCounter]] = (
+            [None] * (1 << index_bits)
+        )
+
+    def index(self, pc: int) -> int:
+        """Set index for ``pc`` -- simply PC[index_bits-1:0]."""
+        return bits(pc, self.index_bits - 1, 0)
+
+    def counter_at(self, pc: int) -> SaturatingCounter:
+        """The (lazily created) counter for ``pc``."""
+        idx = self.index(pc)
+        counter = self._counters[idx]
+        if counter is None:
+            counter = SaturatingCounter(self.counter_bits)
+            self._counters[idx] = counter
+        return counter
+
+    def predict(self, pc: int) -> bool:
+        """Current prediction for ``pc``."""
+        return self.counter_at(pc).prediction
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train toward the observed outcome."""
+        self.counter_at(pc).update(taken)
+
+    def flush(self) -> None:
+        """Drop all state (mitigation experiments)."""
+        self._counters = [None] * (1 << self.index_bits)
+
+    def populated_entries(self) -> int:
+        """Number of counters that have been touched."""
+        return sum(1 for counter in self._counters if counter is not None)
+
+
+class TaggedTable:
+    """One PHR-indexed tagged component (Tables 1-3 in Figure 3)."""
+
+    def __init__(
+        self,
+        history_doublets: int,
+        sets: int = 512,
+        ways: int = 4,
+        counter_bits: int = 3,
+        tag_bits: int = 11,
+        pc_index_bit: int = 5,
+    ):
+        if sets & (sets - 1):
+            raise ValueError(f"set count must be a power of two, got {sets}")
+        self.history_doublets = history_doublets
+        self.history_bits = 2 * history_doublets
+        self.sets = sets
+        self.ways = ways
+        self.counter_bits = counter_bits
+        self.tag_bits = tag_bits
+        self.pc_index_bit = pc_index_bit
+        self._sets: List[List[TaggedEntry]] = [[] for _ in range(sets)]
+
+    # ----- hashing -----------------------------------------------------------
+
+    def index(self, pc: int, phr: PathHistoryRegister) -> int:
+        """9-bit set index: 8 folded history bits + one PC bit."""
+        history = phr.low_bits(self.history_bits)
+        folded = fold_xor(history, self.history_bits, INDEX_BITS - 1)
+        return folded | (bit(pc, self.pc_index_bit) << (INDEX_BITS - 1))
+
+    def tag(self, pc: int, phr: PathHistoryRegister) -> int:
+        """Tag over the PC low bits and the table's history window."""
+        history = phr.low_bits(self.history_bits)
+        history_fold = fold_xor(history, self.history_bits, self.tag_bits)
+        # A second, offset fold decorrelates the tag from the index so that
+        # index-aliasing histories rarely also tag-alias.
+        history_fold ^= fold_xor(history >> 3, max(self.history_bits - 3, 1),
+                                 self.tag_bits)
+        pc_fold = fold_xor(bits(pc, 15, 0), 16, self.tag_bits)
+        return history_fold ^ pc_fold
+
+    # ----- lookup / update -----------------------------------------------------
+
+    def lookup(self, pc: int, phr: PathHistoryRegister) -> Optional[TaggedEntry]:
+        """Return the matching entry for ``(pc, phr)``, if present."""
+        wanted = self.tag(pc, phr)
+        for entry in self._sets[self.index(pc, phr)]:
+            if entry.tag == wanted:
+                return entry
+        return None
+
+    def allocate(self, pc: int, phr: PathHistoryRegister,
+                 taken: bool) -> TaggedEntry:
+        """Install a weak entry for ``(pc, phr)``, evicting if needed.
+
+        The victim is the least-useful way; surviving ways have their
+        usefulness decayed, the standard TAGE anti-ping-pong measure.
+        """
+        index = self.index(pc, phr)
+        ways = self._sets[index]
+        entry = TaggedEntry(
+            tag=self.tag(pc, phr),
+            counter=SaturatingCounter.weak(self.counter_bits, taken),
+        )
+        if len(ways) < self.ways:
+            ways.append(entry)
+            return entry
+        victim_position = min(range(len(ways)), key=lambda i: ways[i].useful)
+        for position, existing in enumerate(ways):
+            if position != victim_position and existing.useful > 0:
+                existing.useful -= 1
+        ways[victim_position] = entry
+        return entry
+
+    def flush(self) -> None:
+        """Drop all entries (mitigation experiments)."""
+        self._sets = [[] for _ in range(self.sets)]
+
+    def populated_entries(self) -> int:
+        """Total live entries across all sets."""
+        return sum(len(ways) for ways in self._sets)
+
+    def set_occupancy(self, index: int) -> int:
+        """Live ways in set ``index``."""
+        return len(self._sets[index])
+
+
+def default_history_lengths(phr_capacity: int) -> Tuple[int, int, int]:
+    """The geometric history window lengths for the three tagged tables.
+
+    Alder/Raptor Lake use 34/66/194 doublets (Figure 3); for smaller PHRs
+    (Skylake's 93) the longest table is capped at the PHR capacity.
+    """
+    return (
+        min(34, phr_capacity),
+        min(66, phr_capacity),
+        phr_capacity,
+    )

@@ -1,0 +1,40 @@
+"""Return address stack (Figure 1).
+
+A small circular stack predicting ``ret`` targets.  Overflow wraps and
+silently corrupts the oldest entries, as in real hardware.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ReturnAddressStack:
+    """Fixed-depth circular return-address predictor."""
+
+    def __init__(self, depth: int = 16):
+        if depth <= 0:
+            raise ValueError(f"RAS depth must be positive, got {depth}")
+        self.depth = depth
+        self._entries: List[Optional[int]] = [None] * depth
+        self._top = 0
+        self.overflows = 0
+
+    def push(self, return_address: int) -> None:
+        """Record the return address of a call."""
+        if self._entries[self._top] is not None:
+            self.overflows += 1
+        self._entries[self._top] = return_address
+        self._top = (self._top + 1) % self.depth
+
+    def pop(self) -> Optional[int]:
+        """Predict (and consume) the target of a return."""
+        self._top = (self._top - 1) % self.depth
+        predicted = self._entries[self._top]
+        self._entries[self._top] = None
+        return predicted
+
+    def flush(self) -> None:
+        """Drop all entries."""
+        self._entries = [None] * self.depth
+        self._top = 0

@@ -1,0 +1,70 @@
+"""N-bit saturating counters (paper Observation 2: n = 3 on Intel).
+
+A counter holds a value in ``[0, 2^n - 1]``; the high half predicts taken.
+The paper determines the width by fixing the PHR, feeding a branch the
+pattern ``T^m N^m`` and growing ``m`` until the misprediction count stops
+increasing -- the plateau gives ``n = log2(m + 1)``.  The benchmark
+``bench_obs2_counter_width`` replays that experiment against this model.
+"""
+
+from __future__ import annotations
+
+
+class SaturatingCounter:
+    """A saturating up/down counter with taken/not-taken semantics."""
+
+    def __init__(self, bits: int = 3, value: int = None):  # type: ignore[assignment]
+        if bits < 1:
+            raise ValueError(f"counter width must be >= 1 bit, got {bits}")
+        self.bits = bits
+        self.maximum = (1 << bits) - 1
+        #: Threshold at or above which the counter predicts taken.
+        self.threshold = 1 << (bits - 1)
+        if value is None:
+            value = self.threshold - 1  # weakly not-taken
+        if not 0 <= value <= self.maximum:
+            raise ValueError(f"counter value out of range: {value}")
+        self.value = value
+
+    @classmethod
+    def weak(cls, bits: int, taken: bool) -> "SaturatingCounter":
+        """A counter one step into the ``taken`` side (allocation state)."""
+        counter = cls(bits)
+        counter.value = counter.threshold if taken else counter.threshold - 1
+        return counter
+
+    @classmethod
+    def strong(cls, bits: int, taken: bool) -> "SaturatingCounter":
+        """A fully saturated counter."""
+        counter = cls(bits)
+        counter.value = counter.maximum if taken else 0
+        return counter
+
+    @property
+    def prediction(self) -> bool:
+        """True if this counter currently predicts taken."""
+        return self.value >= self.threshold
+
+    @property
+    def is_saturated(self) -> bool:
+        """Whether the counter is at either extreme."""
+        return self.value in (0, self.maximum)
+
+    def update(self, taken: bool) -> None:
+        """Move one step toward the observed outcome."""
+        if taken:
+            if self.value < self.maximum:
+                self.value += 1
+        elif self.value > 0:
+            self.value -= 1
+
+    def reset_weak(self, taken: bool) -> None:
+        """Re-initialise to the weak state on the given side."""
+        self.value = self.threshold if taken else self.threshold - 1
+
+    def copy(self) -> "SaturatingCounter":
+        return SaturatingCounter(self.bits, self.value)
+
+    def __repr__(self) -> str:
+        side = "T" if self.prediction else "N"
+        return f"SaturatingCounter({self.value}/{self.maximum} -> {side})"

@@ -1,0 +1,69 @@
+"""A small x86-flavoured ISA used to express victim and attacker programs.
+
+The Pathfinder attacks only care about the control-flow skeleton of a
+program: the addresses of its branch instructions, their targets, and each
+dynamic taken/not-taken outcome.  This package provides just enough of an
+instruction set to express realistic victims (the Intel-IPP style AES loop
+of Listing 1, the libjpeg IDCT of Listing 2, syscall stubs, attacker
+harnesses) with byte-accurate control over instruction addresses, which the
+branch-footprint function (Figure 2) makes security relevant.
+"""
+
+from repro.isa.instructions import (
+    Align,
+    BinaryOp,
+    Condition,
+    CondBranch,
+    Call,
+    Flags,
+    Halt,
+    Instruction,
+    Jump,
+    JumpIndirect,
+    Label,
+    Load,
+    MovImm,
+    Mov,
+    Nop,
+    PyOp,
+    Ret,
+    Store,
+)
+from repro.isa.program import Program, ProgramError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import (
+    BranchKind,
+    BranchRecord,
+    ExecutionLimitExceeded,
+    ExecutionResult,
+    Interpreter,
+)
+
+__all__ = [
+    "Align",
+    "BinaryOp",
+    "BranchKind",
+    "BranchRecord",
+    "Call",
+    "CondBranch",
+    "Condition",
+    "ExecutionLimitExceeded",
+    "ExecutionResult",
+    "Flags",
+    "Halt",
+    "Instruction",
+    "Interpreter",
+    "Jump",
+    "JumpIndirect",
+    "Label",
+    "Load",
+    "Mov",
+    "MovImm",
+    "Nop",
+    "Program",
+    "ProgramBuilder",
+    "ProgramError",
+    "PyOp",
+    "Ret",
+    "Store",
+]

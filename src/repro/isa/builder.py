@@ -1,0 +1,215 @@
+"""Fluent construction of programs.
+
+The builder is the ergonomic face of the ISA: victim and attacker code in
+the case studies is written against it.  Emit methods append instructions;
+``at``/``align`` control placement; ``build`` assembles to a
+:class:`~repro.isa.program.Program`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.isa.instructions import (
+    Align,
+    BinaryOp,
+    Call,
+    CondBranch,
+    Condition,
+    Halt,
+    Instruction,
+    Jump,
+    JumpIndirect,
+    Label,
+    Load,
+    Mov,
+    MovImm,
+    Nop,
+    PyOp,
+    Ret,
+    Store,
+)
+from repro.isa.program import Program
+
+_unique_counter = itertools.count()
+
+
+def unique_label(prefix: str = "L") -> str:
+    """Return a process-unique label name with the given prefix."""
+    return f"{prefix}_{next(_unique_counter)}"
+
+
+class ProgramBuilder:
+    """Accumulates instructions and assembles them into a Program."""
+
+    def __init__(self, name: str = "program", base: int = 0x400000):
+        self.name = name
+        self.base = base
+        self._items: List[Tuple[Optional[int], Instruction]] = []
+        self._pending_placement: Optional[int] = None
+        self._entry_label: Optional[str] = None
+
+    # ----- placement ------------------------------------------------------
+
+    def at(self, address: int) -> "ProgramBuilder":
+        """Force the next instruction to be placed at ``address``."""
+        self._pending_placement = address
+        return self
+
+    def align(self, boundary: int) -> "ProgramBuilder":
+        """Align the next instruction to ``boundary`` bytes."""
+        self._emit(Align(boundary))
+        return self
+
+    def label(self, name: str) -> "ProgramBuilder":
+        """Define ``name`` at the current position."""
+        self._emit(Label(name))
+        return self
+
+    def entry(self, label_name: str) -> "ProgramBuilder":
+        """Mark the label to use as the entry point (default: first insn)."""
+        self._entry_label = label_name
+        return self
+
+    def _emit(self, instruction: Instruction) -> None:
+        self._items.append((self._pending_placement, instruction))
+        self._pending_placement = None
+
+    def raw(self, instruction: Instruction) -> "ProgramBuilder":
+        """Emit a pre-constructed instruction."""
+        self._emit(instruction)
+        return self
+
+    # ----- data movement and ALU -----------------------------------------
+
+    def mov_imm(self, dst: str, imm: int) -> "ProgramBuilder":
+        self._emit(MovImm(dst, imm))
+        return self
+
+    def mov(self, dst: str, src: str) -> "ProgramBuilder":
+        self._emit(Mov(dst, src))
+        return self
+
+    def add(self, dst: str, src: Optional[str] = None, imm: Optional[int] = None,
+            set_flags: bool = False) -> "ProgramBuilder":
+        self._emit(BinaryOp("add", dst, src=src, imm=imm, set_flags=set_flags))
+        return self
+
+    def sub(self, dst: str, src: Optional[str] = None, imm: Optional[int] = None,
+            set_flags: bool = False) -> "ProgramBuilder":
+        self._emit(BinaryOp("sub", dst, src=src, imm=imm, set_flags=set_flags))
+        return self
+
+    def xor(self, dst: str, src: Optional[str] = None,
+            imm: Optional[int] = None) -> "ProgramBuilder":
+        self._emit(BinaryOp("xor", dst, src=src, imm=imm))
+        return self
+
+    def and_(self, dst: str, src: Optional[str] = None,
+             imm: Optional[int] = None) -> "ProgramBuilder":
+        self._emit(BinaryOp("and", dst, src=src, imm=imm))
+        return self
+
+    def shl(self, dst: str, imm: int) -> "ProgramBuilder":
+        self._emit(BinaryOp("shl", dst, imm=imm))
+        return self
+
+    def shr(self, dst: str, imm: int) -> "ProgramBuilder":
+        self._emit(BinaryOp("shr", dst, imm=imm))
+        return self
+
+    def mul(self, dst: str, src: Optional[str] = None,
+            imm: Optional[int] = None) -> "ProgramBuilder":
+        self._emit(BinaryOp("mul", dst, src=src, imm=imm))
+        return self
+
+    def cmp(self, a: str, b: Optional[str] = None,
+            imm: Optional[int] = None) -> "ProgramBuilder":
+        """Compare ``a`` with a register or immediate, setting flags."""
+        self._emit(BinaryOp("sub", a, src=b, imm=imm, set_flags=True, cmp_only=True))
+        return self
+
+    # ----- memory ----------------------------------------------------------
+
+    def load(self, dst: str, base: str, offset: int = 0,
+             width: int = 8) -> "ProgramBuilder":
+        self._emit(Load(dst, base, offset, width))
+        return self
+
+    def store(self, src: str, base: str, offset: int = 0,
+              width: int = 8) -> "ProgramBuilder":
+        self._emit(Store(src, base, offset, width))
+        return self
+
+    # ----- control flow ----------------------------------------------------
+
+    def branch(self, condition: Condition, target: str) -> "ProgramBuilder":
+        self._emit(CondBranch(condition, target))
+        return self
+
+    def jeq(self, target: str) -> "ProgramBuilder":
+        return self.branch(Condition.EQ, target)
+
+    def jne(self, target: str) -> "ProgramBuilder":
+        return self.branch(Condition.NE, target)
+
+    def jbe(self, target: str) -> "ProgramBuilder":
+        return self.branch(Condition.BE, target)
+
+    def jlt(self, target: str) -> "ProgramBuilder":
+        return self.branch(Condition.LT, target)
+
+    def jgt(self, target: str) -> "ProgramBuilder":
+        return self.branch(Condition.GT, target)
+
+    def jge(self, target: str) -> "ProgramBuilder":
+        return self.branch(Condition.GE, target)
+
+    def jmp(self, target: str) -> "ProgramBuilder":
+        self._emit(Jump(target))
+        return self
+
+    def jmp_reg(self, reg: str) -> "ProgramBuilder":
+        self._emit(JumpIndirect(reg))
+        return self
+
+    def call(self, target: str) -> "ProgramBuilder":
+        self._emit(Call(target))
+        return self
+
+    def ret(self) -> "ProgramBuilder":
+        self._emit(Ret())
+        return self
+
+    def nop(self, count: int = 1) -> "ProgramBuilder":
+        for _ in range(count):
+            self._emit(Nop())
+        return self
+
+    def halt(self) -> "ProgramBuilder":
+        self._emit(Halt())
+        return self
+
+    # ----- escape hatch -----------------------------------------------------
+
+    def pyop(
+        self,
+        name: str,
+        fn: Callable[..., Dict[str, int]],
+        reads: Tuple[str, ...] = (),
+        writes: Tuple[str, ...] = (),
+        touches_memory: bool = False,
+    ) -> "ProgramBuilder":
+        """Emit a :class:`~repro.isa.instructions.PyOp` data computation."""
+        self._emit(PyOp(name, fn, reads=reads, writes=writes,
+                        touches_memory=touches_memory))
+        return self
+
+    # ----- assembly ----------------------------------------------------------
+
+    def build(self) -> Program:
+        """Assemble the accumulated instructions."""
+        return Program.assemble(
+            self._items, name=self.name, base=self.base, entry_label=self._entry_label
+        )

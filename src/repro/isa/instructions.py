@@ -1,0 +1,305 @@
+"""Instruction definitions for the reproduction ISA.
+
+Instructions are small immutable dataclasses.  Each has a byte ``size`` so
+the assembler can lay code out at controlled addresses; the default of four
+bytes is arbitrary but fixed, and tests pin the layout rules rather than
+any particular encoding.
+
+Control-flow instructions carry *labels* which the assembler resolves into
+absolute target addresses.  The split between conditional branches,
+unconditional direct jumps, indirect jumps, calls and returns mirrors the
+branch taxonomy of the paper's Figure 1: every taken branch of any kind
+updates the PHR, only conditional branches consult the CBP, and indirect
+branches consult the IBP.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+#: Default byte size of an encoded instruction.
+DEFAULT_SIZE = 4
+
+
+class Condition(enum.Enum):
+    """Branch conditions, evaluated against the flags register."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    #: Unsigned below-or-equal, used by the AES bound check (``jbe``).
+    BE = "be"
+    #: Unsigned above.
+    A = "a"
+
+
+@dataclass(frozen=True)
+class Flags:
+    """Result flags produced by :class:`BinaryOp` with ``set_flags``/``Cmp``.
+
+    ``zero`` and ``sign`` are enough to evaluate the signed conditions; the
+    unsigned conditions additionally need ``carry`` (borrow out of the
+    subtraction).
+    """
+
+    zero: bool = False
+    sign: bool = False
+    carry: bool = False
+
+    def satisfies(self, condition: Condition) -> bool:
+        """Return whether these flags satisfy ``condition``."""
+        if condition is Condition.EQ:
+            return self.zero
+        if condition is Condition.NE:
+            return not self.zero
+        if condition is Condition.LT:
+            return self.sign
+        if condition is Condition.LE:
+            return self.sign or self.zero
+        if condition is Condition.GT:
+            return not self.sign and not self.zero
+        if condition is Condition.GE:
+            return not self.sign
+        if condition is Condition.BE:
+            return self.carry or self.zero
+        if condition is Condition.A:
+            return not self.carry and not self.zero
+        raise ValueError(f"unknown condition {condition!r}")
+
+
+class Instruction:
+    """Base class for all instructions.
+
+    Subclasses are dataclasses; the base class only supplies the size
+    attribute used by the assembler.
+    """
+
+    size: int = DEFAULT_SIZE
+
+    @property
+    def is_branch(self) -> bool:
+        """Whether this instruction can redirect control flow."""
+        return False
+
+
+@dataclass(frozen=True)
+class Label(Instruction):
+    """A position marker; occupies no space."""
+
+    name: str
+    size: int = field(default=0, repr=False)
+
+
+@dataclass(frozen=True)
+class Align(Instruction):
+    """Pad with zero bytes so the *next* instruction starts at a multiple of
+    ``boundary`` (which must be a power of two).
+
+    Alignment is how attacker code obtains branches whose low address bits
+    are all zero -- the key to the zero-footprint ``Shift_PHR`` macro.
+    """
+
+    boundary: int
+    size: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.boundary <= 0 or self.boundary & (self.boundary - 1):
+            raise ValueError(f"alignment must be a power of two, got {self.boundary}")
+
+
+@dataclass(frozen=True)
+class Nop(Instruction):
+    """Do nothing; occupies ``size`` bytes (useful as padding)."""
+
+    size: int = DEFAULT_SIZE
+
+
+@dataclass(frozen=True)
+class MovImm(Instruction):
+    """``dst <- imm``"""
+
+    dst: str
+    imm: int
+    size: int = field(default=DEFAULT_SIZE, repr=False)
+
+
+@dataclass(frozen=True)
+class Mov(Instruction):
+    """``dst <- src`` (register to register)."""
+
+    dst: str
+    src: str
+    size: int = field(default=DEFAULT_SIZE, repr=False)
+
+
+#: Arithmetic/logic operations supported by :class:`BinaryOp`.
+_BINARY_FUNCS: Dict[str, Callable[[int, int], int]] = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << b,
+    "shr": lambda a, b: a >> b,
+    "mul": lambda a, b: a * b,
+}
+
+
+@dataclass(frozen=True)
+class BinaryOp(Instruction):
+    """``dst <- op(dst, src_or_imm)``; optionally updates flags.
+
+    ``src`` names a register when ``imm`` is None, otherwise ``imm`` is the
+    second operand.  ``cmp_only`` computes flags for ``sub`` without writing
+    the destination (the x86 ``cmp``).
+    """
+
+    op: str
+    dst: str
+    src: Optional[str] = None
+    imm: Optional[int] = None
+    set_flags: bool = False
+    cmp_only: bool = False
+    size: int = field(default=DEFAULT_SIZE, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.op not in _BINARY_FUNCS:
+            raise ValueError(f"unknown binary op {self.op!r}")
+        if (self.src is None) == (self.imm is None):
+            raise ValueError("exactly one of src/imm must be provided")
+        if self.cmp_only and self.op != "sub":
+            raise ValueError("cmp_only is only meaningful for sub")
+
+    def apply(self, lhs: int, rhs: int) -> int:
+        """Compute the raw (unmasked) result of the operation."""
+        return _BINARY_FUNCS[self.op](lhs, rhs)
+
+
+@dataclass(frozen=True)
+class Load(Instruction):
+    """``dst <- memory[base + offset]`` (``width`` bytes, little-endian).
+
+    Loads go through the simulated data cache, making them visible to the
+    flush+reload covert channel.
+    """
+
+    dst: str
+    base: str
+    offset: int = 0
+    width: int = 8
+    size: int = field(default=DEFAULT_SIZE, repr=False)
+
+
+@dataclass(frozen=True)
+class Store(Instruction):
+    """``memory[base + offset] <- src`` (``width`` bytes, little-endian)."""
+
+    src: str
+    base: str
+    offset: int = 0
+    width: int = 8
+    size: int = field(default=DEFAULT_SIZE, repr=False)
+
+
+@dataclass(frozen=True)
+class CondBranch(Instruction):
+    """A conditional direct branch to ``target`` label.
+
+    This is the only instruction that consults the conditional branch
+    predictor.  When taken it also updates the PHR with its footprint.
+    """
+
+    condition: Condition
+    target: str
+    size: int = field(default=DEFAULT_SIZE, repr=False)
+
+    @property
+    def is_branch(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Jump(Instruction):
+    """An unconditional direct jump (always taken; updates the PHR only)."""
+
+    target: str
+    size: int = field(default=DEFAULT_SIZE, repr=False)
+
+    @property
+    def is_branch(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class JumpIndirect(Instruction):
+    """An indirect jump through a register (predicted by the IBP)."""
+
+    reg: str
+    size: int = field(default=DEFAULT_SIZE, repr=False)
+
+    @property
+    def is_branch(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Call(Instruction):
+    """A direct call: pushes the return address, jumps to ``target``."""
+
+    target: str
+    size: int = field(default=DEFAULT_SIZE, repr=False)
+
+    @property
+    def is_branch(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Ret(Instruction):
+    """Return to the most recent call site (predicted by the RAS)."""
+
+    size: int = field(default=DEFAULT_SIZE, repr=False)
+
+    @property
+    def is_branch(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Halt(Instruction):
+    """Stop execution (end of the top-level program)."""
+
+    size: int = field(default=DEFAULT_SIZE, repr=False)
+
+
+@dataclass(frozen=True)
+class PyOp(Instruction):
+    """An escape hatch for data computation the ISA does not model.
+
+    ``fn`` receives a mapping of the named ``reads`` registers plus, when
+    ``touches_memory`` is set, a ``memory`` object exposing
+    ``read(addr, width)`` / ``write(addr, width, value)``; it returns a
+    mapping of register name to new value for the ``writes`` registers.
+    The AES victim uses this for the ``aesenc``/``aesenclast`` data path
+    (the control flow around it stays in real instructions), and the JPEG
+    victim for the row/column arithmetic.
+
+    ``PyOp`` memory accesses model register-file-wide SIMD operations and
+    deliberately bypass the simulated data cache; anything that must be
+    observable through the cache side channel (the flushed round count,
+    the probe-array loads) uses real :class:`Load` instructions.  ``PyOp``
+    never performs control flow, so it cannot hide branch behaviour from
+    the predictor.
+    """
+
+    name: str
+    fn: Callable[..., Dict[str, int]]
+    reads: Tuple[str, ...] = ()
+    writes: Tuple[str, ...] = ()
+    touches_memory: bool = False
+    size: int = field(default=DEFAULT_SIZE, repr=False)

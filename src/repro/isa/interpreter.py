@@ -1,0 +1,430 @@
+"""Architectural interpreter for the reproduction ISA.
+
+The interpreter executes a :class:`~repro.isa.program.Program` and reports
+every control-flow event to a pluggable :class:`CpuHooks` object.  The
+microarchitectural machinery (branch predictors, caches, speculation)
+lives in :mod:`repro.cpu.machine`, which implements those hooks; running a
+program with the default hooks gives a purely architectural execution,
+which is what the Pathfinder CFG tool and the codec ground truths use.
+
+Transient (wrong-path) execution is supported through
+:meth:`Interpreter.run_transient`: the machine invokes it after a
+misprediction with a sandboxed copy of the register state and a
+store-buffer memory overlay.  Wrong-path loads are routed through the
+hooks so they can perturb the simulated data cache -- the covert channel
+the AES attack depends on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.instructions import (
+    BinaryOp,
+    Call,
+    CondBranch,
+    Flags,
+    Halt,
+    Jump,
+    JumpIndirect,
+    Load,
+    Mov,
+    MovImm,
+    Nop,
+    PyOp,
+    Ret,
+    Store,
+)
+from repro.isa.memory import Memory, TransientMemory
+from repro.isa.program import Program, ProgramError
+
+#: Value masking for register arithmetic (64-bit machine words).
+WORD_BITS = 64
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+class ExecutionLimitExceeded(Exception):
+    """Raised when a program exceeds its dynamic instruction budget."""
+
+
+class BranchKind(enum.Enum):
+    """Taxonomy of control transfers, mirroring the paper's Figure 1."""
+
+    CONDITIONAL = "conditional"
+    JUMP = "jump"
+    INDIRECT = "indirect"
+    CALL = "call"
+    RET = "ret"
+
+
+@dataclass(frozen=True)
+class BranchRecord:
+    """One dynamic branch outcome.
+
+    ``target`` is the taken destination (for conditional branches, the
+    destination the branch would go to when taken, even if this instance
+    fell through); ``next_pc`` is where execution actually continued.
+    """
+
+    pc: int
+    kind: BranchKind
+    taken: bool
+    target: int
+    fallthrough: int
+    next_pc: int
+
+
+class CpuHooks:
+    """Microarchitectural observation points.
+
+    The default implementations are no-ops with ideal (taken == prediction)
+    behaviour; :class:`repro.cpu.machine.Machine` overrides all of them.
+    """
+
+    def conditional_branch(
+        self, pc: int, target: int, fallthrough: int, taken: bool,
+        resolve_latency: int,
+    ) -> None:
+        """Called after each conditional branch resolves architecturally."""
+
+    def unconditional_branch(self, pc: int, target: int, kind: BranchKind) -> None:
+        """Called for each taken jump/call/ret/indirect branch."""
+
+    def load(self, address: int, width: int) -> int:
+        """Called for each committed load; returns its latency in cycles."""
+        return 1
+
+    def store(self, address: int, width: int) -> None:
+        """Called for each committed store."""
+
+    def transient_load(self, address: int, width: int) -> int:
+        """Called for each wrong-path load; returns its latency in cycles."""
+        return 1
+
+    def instruction_retired(self, pc: int) -> None:
+        """Called once per committed instruction."""
+
+
+@dataclass
+class CpuState:
+    """Architectural register state."""
+
+    regs: Dict[str, int] = field(default_factory=dict)
+    flags: Flags = field(default_factory=Flags)
+    call_stack: List[int] = field(default_factory=list)
+    #: Cycles until each register's most recent producing load completes;
+    #: drives the misprediction resolution latency (Section 9's cache flush
+    #: of the round count widens the speculation window through this).
+    reg_latency: Dict[str, int] = field(default_factory=dict)
+    #: Latency of the operation that produced the current flags.
+    flags_latency: int = 0
+
+    def read(self, reg: str) -> int:
+        return self.regs.get(reg, 0)
+
+    def write(self, reg: str, value: int) -> None:
+        self.regs[reg] = value & WORD_MASK
+
+    def latency_of(self, reg: Optional[str]) -> int:
+        if reg is None:
+            return 0
+        return self.reg_latency.get(reg, 0)
+
+    def copy(self) -> "CpuState":
+        return CpuState(
+            regs=dict(self.regs),
+            flags=self.flags,
+            call_stack=list(self.call_stack),
+            reg_latency=dict(self.reg_latency),
+            flags_latency=self.flags_latency,
+        )
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of an architectural run."""
+
+    trace: List[BranchRecord]
+    instructions: int
+    state: CpuState
+    halted: bool
+
+    @property
+    def taken_branches(self) -> List[BranchRecord]:
+        """The dynamic taken branches, in order (what the PHR records)."""
+        return [record for record in self.trace if record.taken]
+
+    @property
+    def conditional_records(self) -> List[BranchRecord]:
+        """The dynamic conditional branches, in order."""
+        return [r for r in self.trace if r.kind is BranchKind.CONDITIONAL]
+
+
+def _compute_flags(lhs: int, rhs: int) -> Flags:
+    """Flags of ``lhs - rhs`` over 64-bit unsigned operands."""
+    lhs &= WORD_MASK
+    rhs &= WORD_MASK
+    raw = lhs - rhs
+    result = raw & WORD_MASK
+    return Flags(
+        zero=result == 0,
+        sign=bool(result >> (WORD_BITS - 1)),
+        carry=lhs < rhs,
+    )
+
+
+class Interpreter:
+    """Executes programs architecturally, reporting events to hooks."""
+
+    def __init__(self, program: Program, hooks: Optional[CpuHooks] = None):
+        self.program = program
+        self.hooks = hooks if hooks is not None else CpuHooks()
+
+    # ------------------------------------------------------------------
+    # committed execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        state: Optional[CpuState] = None,
+        memory: Optional[Memory] = None,
+        entry: Optional[int] = None,
+        max_instructions: int = 2_000_000,
+    ) -> ExecutionResult:
+        """Run from ``entry`` (default: program entry) until Halt.
+
+        A ``Ret`` with an empty call stack also terminates the run, which
+        lets victim *functions* be executed directly.
+        """
+        if state is None:
+            state = CpuState()
+        if memory is None:
+            memory = Memory()
+        pc = self.program.entry if entry is None else entry
+        trace: List[BranchRecord] = []
+        executed = 0
+        halted = False
+
+        while True:
+            if executed >= max_instructions:
+                raise ExecutionLimitExceeded(
+                    f"{self.program.name} exceeded {max_instructions} instructions"
+                )
+            instruction = self.program.instruction_at(pc)
+            executed += 1
+            next_pc = pc + instruction.size
+
+            if isinstance(instruction, Halt):
+                self.hooks.instruction_retired(pc)
+                halted = True
+                break
+            pc = self._execute_one(instruction, pc, next_pc, state, memory, trace)
+            if pc is None:  # Ret from the outermost frame
+                halted = True
+                break
+
+        return ExecutionResult(trace=trace, instructions=executed, state=state,
+                               halted=halted)
+
+    def _execute_one(
+        self,
+        instruction,
+        pc: int,
+        next_pc: int,
+        state: CpuState,
+        memory: Memory,
+        trace: List[BranchRecord],
+    ) -> Optional[int]:
+        """Execute one committed instruction; return the next pc."""
+        hooks = self.hooks
+
+        if isinstance(instruction, Nop):
+            pass
+        elif isinstance(instruction, MovImm):
+            state.write(instruction.dst, instruction.imm)
+            state.reg_latency[instruction.dst] = 0
+        elif isinstance(instruction, Mov):
+            state.write(instruction.dst, state.read(instruction.src))
+            state.reg_latency[instruction.dst] = state.latency_of(instruction.src)
+        elif isinstance(instruction, BinaryOp):
+            lhs = state.read(instruction.dst)
+            rhs = (instruction.imm if instruction.imm is not None
+                   else state.read(instruction.src))
+            latency = max(
+                state.latency_of(instruction.dst),
+                state.latency_of(instruction.src),
+            )
+            if instruction.set_flags:
+                state.flags = _compute_flags(lhs, rhs)
+                state.flags_latency = latency
+            if not instruction.cmp_only:
+                state.write(instruction.dst, instruction.apply(lhs, rhs))
+                state.reg_latency[instruction.dst] = latency
+        elif isinstance(instruction, Load):
+            address = (state.read(instruction.base) + instruction.offset) & WORD_MASK
+            latency = hooks.load(address, instruction.width)
+            state.write(instruction.dst, memory.read(address, instruction.width))
+            state.reg_latency[instruction.dst] = latency
+        elif isinstance(instruction, Store):
+            address = (state.read(instruction.base) + instruction.offset) & WORD_MASK
+            memory.write(address, instruction.width, state.read(instruction.src))
+            hooks.store(address, instruction.width)
+        elif isinstance(instruction, PyOp):
+            reads = {reg: state.read(reg) for reg in instruction.reads}
+            if instruction.touches_memory:
+                writes = instruction.fn(reads, memory)
+            else:
+                writes = instruction.fn(reads)
+            for reg in instruction.writes:
+                if reg not in writes:
+                    raise ProgramError(
+                        f"PyOp {instruction.name!r} did not produce {reg!r}"
+                    )
+                state.write(reg, writes[reg])
+                state.reg_latency[reg] = 0
+        elif isinstance(instruction, CondBranch):
+            target = self.program.address_of(instruction.target)
+            taken = state.flags.satisfies(instruction.condition)
+            resolve_latency = state.flags_latency
+            hooks.conditional_branch(pc, target, next_pc, taken, resolve_latency)
+            actual_next = target if taken else next_pc
+            trace.append(BranchRecord(pc, BranchKind.CONDITIONAL, taken,
+                                      target, next_pc, actual_next))
+            hooks.instruction_retired(pc)
+            return actual_next
+        elif isinstance(instruction, Jump):
+            target = self.program.address_of(instruction.target)
+            hooks.unconditional_branch(pc, target, BranchKind.JUMP)
+            trace.append(BranchRecord(pc, BranchKind.JUMP, True,
+                                      target, next_pc, target))
+            hooks.instruction_retired(pc)
+            return target
+        elif isinstance(instruction, JumpIndirect):
+            target = state.read(instruction.reg)
+            hooks.unconditional_branch(pc, target, BranchKind.INDIRECT)
+            trace.append(BranchRecord(pc, BranchKind.INDIRECT, True,
+                                      target, next_pc, target))
+            hooks.instruction_retired(pc)
+            return target
+        elif isinstance(instruction, Call):
+            target = self.program.address_of(instruction.target)
+            state.call_stack.append(next_pc)
+            hooks.unconditional_branch(pc, target, BranchKind.CALL)
+            trace.append(BranchRecord(pc, BranchKind.CALL, True,
+                                      target, next_pc, target))
+            hooks.instruction_retired(pc)
+            return target
+        elif isinstance(instruction, Ret):
+            if not state.call_stack:
+                hooks.instruction_retired(pc)
+                return None
+            target = state.call_stack.pop()
+            hooks.unconditional_branch(pc, target, BranchKind.RET)
+            trace.append(BranchRecord(pc, BranchKind.RET, True,
+                                      target, next_pc, target))
+            hooks.instruction_retired(pc)
+            return target
+        else:
+            raise ProgramError(f"cannot execute {instruction!r} at {pc:#x}")
+
+        hooks.instruction_retired(pc)
+        return next_pc
+
+    # ------------------------------------------------------------------
+    # transient (wrong-path) execution
+    # ------------------------------------------------------------------
+
+    def run_transient(
+        self,
+        start_pc: int,
+        state: CpuState,
+        memory: Memory,
+        budget: int,
+    ) -> int:
+        """Execute the wrong path for at most ``budget`` instructions.
+
+        Runs with a *copy* of the register state and a store-buffer overlay
+        so that nothing architectural survives the squash.  Wrong-path
+        loads are reported through :meth:`CpuHooks.transient_load`, which
+        is how they perturb the simulated cache.  Returns the number of
+        instructions that executed transiently.
+        """
+        transient_state = state.copy()
+        transient_memory = TransientMemory(memory)
+        pc = start_pc
+        executed = 0
+
+        while executed < budget:
+            if not self.program.has_instruction_at(pc):
+                break
+            instruction = self.program.instruction_at(pc)
+            executed += 1
+            next_pc = pc + instruction.size
+
+            if isinstance(instruction, Halt):
+                break
+            if isinstance(instruction, Nop):
+                pc = next_pc
+            elif isinstance(instruction, MovImm):
+                transient_state.write(instruction.dst, instruction.imm)
+                pc = next_pc
+            elif isinstance(instruction, Mov):
+                transient_state.write(instruction.dst,
+                                      transient_state.read(instruction.src))
+                pc = next_pc
+            elif isinstance(instruction, BinaryOp):
+                lhs = transient_state.read(instruction.dst)
+                rhs = (instruction.imm if instruction.imm is not None
+                       else transient_state.read(instruction.src))
+                if instruction.set_flags:
+                    transient_state.flags = _compute_flags(lhs, rhs)
+                if not instruction.cmp_only:
+                    transient_state.write(instruction.dst,
+                                          instruction.apply(lhs, rhs))
+                pc = next_pc
+            elif isinstance(instruction, Load):
+                address = (transient_state.read(instruction.base)
+                           + instruction.offset) & WORD_MASK
+                self.hooks.transient_load(address, instruction.width)
+                transient_state.write(
+                    instruction.dst,
+                    transient_memory.read(address, instruction.width),
+                )
+                pc = next_pc
+            elif isinstance(instruction, Store):
+                address = (transient_state.read(instruction.base)
+                           + instruction.offset) & WORD_MASK
+                transient_memory.write(address, instruction.width,
+                                       transient_state.read(instruction.src))
+                pc = next_pc
+            elif isinstance(instruction, PyOp):
+                reads = {reg: transient_state.read(reg)
+                         for reg in instruction.reads}
+                if instruction.touches_memory:
+                    writes = instruction.fn(reads, transient_memory)
+                else:
+                    writes = instruction.fn(reads)
+                for reg in instruction.writes:
+                    transient_state.write(reg, writes[reg])
+                pc = next_pc
+            elif isinstance(instruction, CondBranch):
+                target = self.program.address_of(instruction.target)
+                taken = transient_state.flags.satisfies(instruction.condition)
+                pc = target if taken else next_pc
+            elif isinstance(instruction, Jump):
+                pc = self.program.address_of(instruction.target)
+            elif isinstance(instruction, JumpIndirect):
+                pc = transient_state.read(instruction.reg)
+            elif isinstance(instruction, Call):
+                transient_state.call_stack.append(next_pc)
+                pc = self.program.address_of(instruction.target)
+            elif isinstance(instruction, Ret):
+                if not transient_state.call_stack:
+                    break
+                pc = transient_state.call_stack.pop()
+            else:
+                break
+
+        return executed

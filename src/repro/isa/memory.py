@@ -1,0 +1,82 @@
+"""Byte-addressable flat memory, plus the transient store-buffer overlay.
+
+Memory values are little-endian, matching the x86 victims the paper
+targets.  The overlay class supports speculative execution: wrong-path
+stores must be invisible after the squash, while wrong-path loads must see
+earlier wrong-path stores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+
+class Memory:
+    """Sparse byte-addressable memory."""
+
+    def __init__(self) -> None:
+        self._bytes: Dict[int, int] = {}
+
+    def read(self, address: int, width: int) -> int:
+        """Read ``width`` bytes at ``address`` as a little-endian integer."""
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        value = 0
+        for i in range(width):
+            value |= self._bytes.get(address + i, 0) << (8 * i)
+        return value
+
+    def write(self, address: int, width: int, value: int) -> None:
+        """Write ``width`` bytes of ``value`` at ``address``, little-endian."""
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        for i in range(width):
+            self._bytes[address + i] = (value >> (8 * i)) & 0xFF
+
+    def read_bytes(self, address: int, count: int) -> bytes:
+        """Read ``count`` raw bytes."""
+        return bytes(self._bytes.get(address + i, 0) for i in range(count))
+
+    def write_bytes(self, address: int, data: Iterable[int]) -> None:
+        """Write raw bytes starting at ``address``."""
+        for i, byte_value in enumerate(data):
+            self._bytes[address + i] = byte_value & 0xFF
+
+    def snapshot(self) -> Dict[int, int]:
+        """A copy of the populated bytes (for test assertions)."""
+        return dict(self._bytes)
+
+
+class TransientMemory:
+    """A store-buffer overlay over a :class:`Memory`.
+
+    Used while executing a mispredicted (wrong) path: loads read through to
+    the architectural memory unless an earlier wrong-path store covered the
+    byte; stores never reach the underlying memory.
+    """
+
+    def __init__(self, underlying: Memory):
+        self._underlying = underlying
+        self._overlay: Dict[int, int] = {}
+
+    def read(self, address: int, width: int) -> int:
+        value = 0
+        for i in range(width):
+            byte_addr = address + i
+            if byte_addr in self._overlay:
+                byte_value = self._overlay[byte_addr]
+            else:
+                byte_value = self._underlying.read(byte_addr, 1)
+            value |= byte_value << (8 * i)
+        return value
+
+    def write(self, address: int, width: int, value: int) -> None:
+        for i in range(width):
+            self._overlay[address + i] = (value >> (8 * i)) & 0xFF
+
+    def read_bytes(self, address: int, count: int) -> bytes:
+        return bytes(self.read(address + i, 1) for i in range(count))
+
+    def write_bytes(self, address: int, data: Iterable[int]) -> None:
+        for i, byte_value in enumerate(data):
+            self._overlay[address + i] = byte_value & 0xFF

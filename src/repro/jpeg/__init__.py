@@ -1,0 +1,53 @@
+"""JPEG substrate for the Section 8 image-recovery case study.
+
+A from-scratch baseline JPEG-style grayscale codec (8x8 DCT, quantization,
+zigzag, category/run-length Huffman entropy coding), the libjpeg-style
+IDCT victim of the paper's Listing 2 compiled into the reproduction ISA,
+a deterministic generator for the 15-image evaluation set, and the
+control-flow image-recovery attack itself.
+"""
+
+from repro.jpeg.dct import dct2_8x8, idct2_8x8
+from repro.jpeg.quant import (
+    STANDARD_LUMINANCE_TABLE,
+    dequantize,
+    quantize,
+    scale_table,
+)
+from repro.jpeg.zigzag import ZIGZAG_ORDER, from_zigzag, to_zigzag
+from repro.jpeg.huffman import HuffmanCodec
+from repro.jpeg.codec import JpegCodec, EncodedImage
+from repro.jpeg.images import evaluation_images
+from repro.jpeg.idct_victim import IdctVictim
+from repro.jpeg.recovery import ImageRecoveryAttack, RecoveredImage
+from repro.jpeg.color import (
+    ColorImageRecoveryAttack,
+    ColorJpegCodec,
+    EncodedColorImage,
+    rgb_to_ycbcr,
+    ycbcr_to_rgb,
+)
+
+__all__ = [
+    "ColorImageRecoveryAttack",
+    "ColorJpegCodec",
+    "EncodedColorImage",
+    "EncodedImage",
+    "HuffmanCodec",
+    "IdctVictim",
+    "ImageRecoveryAttack",
+    "JpegCodec",
+    "RecoveredImage",
+    "STANDARD_LUMINANCE_TABLE",
+    "ZIGZAG_ORDER",
+    "dct2_8x8",
+    "dequantize",
+    "evaluation_images",
+    "from_zigzag",
+    "idct2_8x8",
+    "quantize",
+    "rgb_to_ycbcr",
+    "scale_table",
+    "to_zigzag",
+    "ycbcr_to_rgb",
+]

@@ -1,0 +1,142 @@
+"""The grayscale JPEG-style codec: encode and decode pipelines.
+
+Encoding (Section 8's description): level-shift, 8x8 block split, DCT,
+quantization, zigzag, Huffman.  Decoding reverses the chain, with the
+IDCT stage structured exactly like libjpeg's (Listing 2) so the decoder's
+control flow carries the per-block constant-row/column signal the attack
+reads.  The codec is single-component (luminance); the attack and the
+paper's recovered-image metric operate on luminance structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.jpeg.dct import BLOCK, dct2_8x8, idct2_8x8
+from repro.jpeg.huffman import HuffmanCodec
+from repro.jpeg.quant import STANDARD_LUMINANCE_TABLE, dequantize, quantize, scale_table
+from repro.jpeg.zigzag import from_zigzag, to_zigzag
+
+
+@dataclass
+class EncodedImage:
+    """A compressed image: entropy stream plus the header data."""
+
+    width: int
+    height: int
+    quality: int
+    entropy_data: bytes
+    block_count: int
+
+    @property
+    def blocks_per_row(self) -> int:
+        return (self.width + BLOCK - 1) // BLOCK
+
+    @property
+    def blocks_per_column(self) -> int:
+        return (self.height + BLOCK - 1) // BLOCK
+
+
+class JpegCodec:
+    """Encode/decode grayscale images; expose the intermediate blocks."""
+
+    def __init__(self, quality: int = 75):
+        self.quality = quality
+        self.table = scale_table(STANDARD_LUMINANCE_TABLE, quality)
+        self.huffman = HuffmanCodec()
+
+    # ----- block plumbing -------------------------------------------------
+
+    def split_blocks(self, image: np.ndarray) -> Tuple[List[np.ndarray], int, int]:
+        """Pad to block multiples (edge-replicate) and split into blocks."""
+        height, width = image.shape
+        padded_h = (height + BLOCK - 1) // BLOCK * BLOCK
+        padded_w = (width + BLOCK - 1) // BLOCK * BLOCK
+        padded = np.zeros((padded_h, padded_w), dtype=float)
+        padded[:height, :width] = image
+        if padded_w > width:
+            padded[:height, width:] = image[:, -1:]
+        if padded_h > height:
+            padded[height:, :] = padded[height - 1:height, :]
+        blocks = []
+        for block_row in range(0, padded_h, BLOCK):
+            for block_col in range(0, padded_w, BLOCK):
+                blocks.append(padded[block_row:block_row + BLOCK,
+                                     block_col:block_col + BLOCK])
+        return blocks, height, width
+
+    def join_blocks(self, blocks: List[np.ndarray], height: int,
+                    width: int) -> np.ndarray:
+        """Reassemble decoded blocks into an image, cropping padding."""
+        blocks_per_row = (width + BLOCK - 1) // BLOCK
+        padded_h = (height + BLOCK - 1) // BLOCK * BLOCK
+        padded_w = blocks_per_row * BLOCK
+        image = np.zeros((padded_h, padded_w), dtype=float)
+        for index, block in enumerate(blocks):
+            block_row = (index // blocks_per_row) * BLOCK
+            block_col = (index % blocks_per_row) * BLOCK
+            image[block_row:block_row + BLOCK,
+                  block_col:block_col + BLOCK] = block
+        return image[:height, :width]
+
+    # ----- encode -----------------------------------------------------------
+
+    def quantized_blocks(self, image: np.ndarray) -> List[np.ndarray]:
+        """The per-block quantized coefficient matrices (pre-entropy)."""
+        blocks, __, __ = self.split_blocks(image.astype(float) - 128.0)
+        return [quantize(dct2_8x8(block), self.table) for block in blocks]
+
+    def encode(self, image: np.ndarray) -> EncodedImage:
+        """Compress a grayscale image (uint8-style values 0..255)."""
+        height, width = image.shape
+        levels = self.quantized_blocks(image)
+        entropy = self.huffman.encode_blocks(to_zigzag(block)
+                                             for block in levels)
+        return EncodedImage(width=width, height=height, quality=self.quality,
+                            entropy_data=entropy, block_count=len(levels))
+
+    # ----- decode -----------------------------------------------------------
+
+    def decode_to_blocks(self, encoded: EncodedImage) -> List[np.ndarray]:
+        """Entropy-decode and dequantize back to coefficient blocks."""
+        zigzags = self.huffman.decode_blocks(encoded.entropy_data,
+                                             encoded.block_count)
+        return [dequantize(from_zigzag(sequence), self.table)
+                for sequence in zigzags]
+
+    def decode(self, encoded: EncodedImage) -> np.ndarray:
+        """Full decode back to a grayscale image."""
+        coefficient_blocks = self.decode_to_blocks(encoded)
+        pixel_blocks = [idct2_8x8(block) + 128.0
+                        for block in coefficient_blocks]
+        image = self.join_blocks(pixel_blocks, encoded.height, encoded.width)
+        return np.clip(np.round(image), 0, 255)
+
+    # ----- the attack's ground truth ------------------------------------------
+
+    def constancy_map(self, image: np.ndarray) -> np.ndarray:
+        """Per-block count of *non*-constant rows+columns (0..16).
+
+        A column/row of a dequantized coefficient block is "constant" when
+        entries 1..7 are all zero (Listing 2's fast path).  This is the
+        quantity the control-flow attack recovers; computing it directly
+        from the encoder output gives the evaluation ground truth.
+        """
+        counts = []
+        for block in self.quantized_blocks(image):
+            dequantized = dequantize(block, self.table)
+            non_constant = 0
+            for column in range(BLOCK):
+                if np.any(dequantized[1:, column] != 0):
+                    non_constant += 1
+            for row in range(BLOCK):
+                if np.any(dequantized[row, 1:] != 0):
+                    non_constant += 1
+            counts.append(non_constant)
+        height, width = image.shape
+        blocks_per_row = (width + BLOCK - 1) // BLOCK
+        blocks_per_col = (height + BLOCK - 1) // BLOCK
+        return np.array(counts).reshape(blocks_per_col, blocks_per_row)

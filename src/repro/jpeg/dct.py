@@ -1,0 +1,64 @@
+"""8x8 forward and inverse discrete cosine transforms (DCT-II / DCT-III).
+
+JPEG transforms each 8x8 pixel block into the frequency domain with a
+two-dimensional type-II DCT.  The transform is implemented as two matrix
+multiplications with the precomputed orthonormal DCT basis, which keeps it
+exactly invertible (up to float rounding) -- the codec's round-trip tests
+rely on that.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+BLOCK = 8
+
+
+def _basis() -> np.ndarray:
+    """The orthonormal 8x8 DCT-II basis matrix ``C`` (C @ x == DCT(x))."""
+    basis = np.zeros((BLOCK, BLOCK))
+    for k in range(BLOCK):
+        scale = math.sqrt(1.0 / BLOCK) if k == 0 else math.sqrt(2.0 / BLOCK)
+        for n in range(BLOCK):
+            basis[k, n] = scale * math.cos(math.pi * (2 * n + 1) * k
+                                           / (2 * BLOCK))
+    return basis
+
+
+_DCT_BASIS = _basis()
+
+
+def dct2_8x8(block: np.ndarray) -> np.ndarray:
+    """Two-dimensional DCT-II of one 8x8 block."""
+    if block.shape != (BLOCK, BLOCK):
+        raise ValueError(f"expected an 8x8 block, got {block.shape}")
+    return _DCT_BASIS @ block.astype(float) @ _DCT_BASIS.T
+
+
+def idct2_8x8(coefficients: np.ndarray) -> np.ndarray:
+    """Two-dimensional inverse DCT (DCT-III) of one 8x8 block."""
+    if coefficients.shape != (BLOCK, BLOCK):
+        raise ValueError(f"expected an 8x8 block, got {coefficients.shape}")
+    return _DCT_BASIS.T @ coefficients.astype(float) @ _DCT_BASIS
+
+
+def idct_1d(vector: np.ndarray) -> np.ndarray:
+    """One-dimensional inverse DCT of an 8-vector.
+
+    The libjpeg IDCT processes columns then rows with 1-D transforms --
+    this is the "complex computation" arm of the Listing 2 victim.
+    """
+    if vector.shape != (BLOCK,):
+        raise ValueError(f"expected an 8-vector, got {vector.shape}")
+    return _DCT_BASIS.T @ vector.astype(float)
+
+
+def constant_idct_1d(dc_value: float) -> np.ndarray:
+    """The "simple computation" arm: a vector with only a DC term.
+
+    When AC coefficients 1..7 are all zero the inverse transform is a
+    constant vector -- the optimisation whose branch leaks the image.
+    """
+    return np.full(BLOCK, dc_value * math.sqrt(1.0 / BLOCK))

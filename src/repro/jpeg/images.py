@@ -1,0 +1,189 @@
+"""The 15-image evaluation set (paper Section 8, Figure 7).
+
+The paper evaluates on "a range of images, including high-resolution
+photographs, simpler logo-style images, QR codes, captchas, and more".
+Originals are not distributed, so this module synthesises a deterministic
+set with the same *structural* variety -- what matters to the attack is
+the distribution of constant rows/columns per 8x8 block, i.e. how much
+high-frequency content each region has.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.utils.rng import DeterministicRng
+
+
+def _rng_array(rng: DeterministicRng, shape: Tuple[int, int],
+               low: int = 0, high: int = 255) -> np.ndarray:
+    values = [rng.integer(low, high) for _ in range(shape[0] * shape[1])]
+    return np.array(values, dtype=float).reshape(shape)
+
+
+def qr_code(size: int = 64, module: int = 4, seed: int = 11) -> np.ndarray:
+    """A QR-code-like random module grid with finder squares."""
+    rng = DeterministicRng(seed)
+    modules = size // module
+    grid = np.array(
+        [[255.0 if rng.coin() else 0.0 for _ in range(modules)]
+         for _ in range(modules)]
+    )
+    image = np.kron(grid, np.ones((module, module)))
+
+    def finder(row: int, col: int) -> None:
+        span = 7 * module
+        image[row:row + span, col:col + span] = 0
+        image[row + module:row + span - module,
+              col + module:col + span - module] = 255
+        image[row + 2 * module:row + span - 2 * module,
+              col + 2 * module:col + span - 2 * module] = 0
+
+    finder(0, 0)
+    finder(0, size - 7 * module)
+    finder(size - 7 * module, 0)
+    return image
+
+
+def logo(size: int = 64) -> np.ndarray:
+    """A logo-style image: flat background, one disc, one ring."""
+    yy, xx = np.mgrid[0:size, 0:size]
+    image = np.full((size, size), 230.0)
+    disc = (yy - size * 0.38) ** 2 + (xx - size * 0.35) ** 2 < (size * 0.18) ** 2
+    ring_radius = np.sqrt((yy - size * 0.6) ** 2 + (xx - size * 0.65) ** 2)
+    ring = np.abs(ring_radius - size * 0.22) < size * 0.05
+    image[disc] = 40.0
+    image[ring] = 90.0
+    return image
+
+
+def gradient(size: int = 64) -> np.ndarray:
+    """A smooth diagonal gradient (almost everything is constant blocks)."""
+    yy, xx = np.mgrid[0:size, 0:size]
+    return (yy + xx) / (2 * (size - 1)) * 255.0
+
+
+def checkerboard(size: int = 64, square: int = 8) -> np.ndarray:
+    """Blockwise checkerboard (flat inside blocks, sharp at boundaries)."""
+    yy, xx = np.mgrid[0:size, 0:size]
+    return np.where(((yy // square) + (xx // square)) % 2 == 0, 220.0, 35.0)
+
+
+def stripes(size: int = 64, period: int = 6, horizontal: bool = True) -> np.ndarray:
+    """High-frequency stripes (no constant rows or columns anywhere)."""
+    yy, xx = np.mgrid[0:size, 0:size]
+    axis = yy if horizontal else xx
+    return np.where((axis // (period // 2)) % 2 == 0, 255.0, 0.0)
+
+
+def captcha(size: int = 64, seed: int = 23) -> np.ndarray:
+    """Captcha-like warped strokes over a noisy background."""
+    rng = DeterministicRng(seed)
+    image = _rng_array(rng, (size, size), 170, 230)
+    yy, xx = np.mgrid[0:size, 0:size]
+    for stroke in range(4):
+        phase = rng.integer(0, 628) / 100.0
+        amplitude = rng.integer(3, 9)
+        row_centre = rng.integer(size // 4, 3 * size // 4)
+        wave = row_centre + amplitude * np.sin(xx[0] / 5.0 + phase)
+        for column in range(size):
+            centre = int(wave[column])
+            image[max(0, centre - 2):centre + 2, column] = 20.0 + 10 * stroke
+    return image
+
+
+def photo_like(size: int = 64, seed: int = 31, bumps: int = 12) -> np.ndarray:
+    """Photograph-like smooth blobs with a sharp horizon edge."""
+    rng = DeterministicRng(seed)
+    yy, xx = np.mgrid[0:size, 0:size]
+    image = np.full((size, size), 128.0)
+    for _ in range(bumps):
+        cy = rng.integer(0, size - 1)
+        cx = rng.integer(0, size - 1)
+        sigma = rng.integer(size // 10, size // 3)
+        height = rng.integer(-80, 80)
+        image += height * np.exp(-((yy - cy) ** 2 + (xx - cx) ** 2)
+                                 / (2.0 * sigma ** 2))
+    horizon = size * 2 // 3
+    image[horizon:, :] -= 45.0
+    return np.clip(image, 0, 255)
+
+
+def text_banner(size: int = 64, seed: int = 47) -> np.ndarray:
+    """Text-like rows of small rectangular glyph blobs."""
+    rng = DeterministicRng(seed)
+    image = np.full((size, size), 245.0)
+    for line_top in range(6, size - 8, 12):
+        column = 4
+        while column < size - 6:
+            glyph_width = rng.integer(3, 6)
+            if rng.coin() or rng.coin():
+                image[line_top:line_top + 7,
+                      column:column + glyph_width] = 25.0
+            column += glyph_width + 2
+    return image
+
+
+def diagonal_edges(size: int = 64) -> np.ndarray:
+    """Two flat regions separated by a hard diagonal edge."""
+    yy, xx = np.mgrid[0:size, 0:size]
+    return np.where(yy > xx, 60.0, 200.0)
+
+
+def noise(size: int = 64, seed: int = 59) -> np.ndarray:
+    """Uniform noise (worst case: nothing is constant)."""
+    return _rng_array(DeterministicRng(seed), (size, size))
+
+
+def flat(size: int = 64, level: float = 150.0) -> np.ndarray:
+    """A completely flat image (best case: everything is constant)."""
+    return np.full((size, size), level)
+
+
+def evaluation_images(size: int = 64) -> Dict[str, np.ndarray]:
+    """The 15-image evaluation set, keyed by a descriptive name."""
+    images: Dict[str, np.ndarray] = {
+        "qr_code": qr_code(size),
+        "logo": logo(size),
+        "gradient": gradient(size),
+        "checkerboard": checkerboard(size),
+        "stripes_h": stripes(size, horizontal=True),
+        "stripes_v": stripes(size, horizontal=False),
+        "captcha": captcha(size),
+        "photo_1": photo_like(size, seed=31),
+        "photo_2": photo_like(size, seed=37, bumps=20),
+        "photo_3": photo_like(size, seed=41, bumps=6),
+        "text_banner": text_banner(size),
+        "diagonal": diagonal_edges(size),
+        "noise": noise(size),
+        "flat": flat(size),
+        "qr_code_2": qr_code(size, module=8, seed=13),
+    }
+    assert len(images) == 15
+    return images
+
+
+def block_complexity_image(constancy_map: np.ndarray,
+                           block: int = 8) -> np.ndarray:
+    """Upscale a per-block complexity map to pixel resolution (Figure 7's
+    recovered-image rendering: brighter = more non-constant rows/cols)."""
+    normalized = constancy_map.astype(float) / 16.0 * 255.0
+    return np.kron(normalized, np.ones((block, block)))
+
+
+def ascii_render(image: np.ndarray, width: int = 32) -> List[str]:
+    """Coarse ASCII rendering for terminal output in examples/benches."""
+    ramp = " .:-=+*#%@"
+    height = max(1, image.shape[0] * width // max(1, image.shape[1]) // 2)
+    rows = []
+    for row_index in range(height):
+        source_row = row_index * image.shape[0] // height
+        row_chars = []
+        for col_index in range(width):
+            source_col = col_index * image.shape[1] // width
+            level = image[source_row, source_col] / 255.0
+            row_chars.append(ramp[min(int(level * len(ramp)), len(ramp) - 1)])
+        rows.append("".join(row_chars))
+    return rows

@@ -1,0 +1,46 @@
+"""Quantization tables and (de)quantization.
+
+Quantization is JPEG's lossy step: each DCT coefficient is divided by a
+table entry and rounded, flattening most high-frequency coefficients to
+zero.  Those zeros are precisely what make rows/columns "constant" in the
+decoder's IDCT -- the control-flow signal the Section 8 attack reads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The Annex-K luminance quantization table used by virtually every
+#: encoder (libjpeg's default).
+STANDARD_LUMINANCE_TABLE = np.array([
+    [16, 11, 10, 16, 24, 40, 51, 61],
+    [12, 12, 14, 19, 26, 58, 60, 55],
+    [14, 13, 16, 24, 40, 57, 69, 56],
+    [14, 17, 22, 29, 51, 87, 80, 62],
+    [18, 22, 37, 56, 68, 109, 103, 77],
+    [24, 35, 55, 64, 81, 104, 113, 92],
+    [49, 64, 78, 87, 103, 121, 120, 101],
+    [72, 92, 95, 98, 112, 100, 103, 99],
+], dtype=np.int64)
+
+
+def scale_table(table: np.ndarray, quality: int) -> np.ndarray:
+    """Scale a quantization table for an IJG-style quality factor 1..100."""
+    if not 1 <= quality <= 100:
+        raise ValueError(f"quality must be 1..100, got {quality}")
+    if quality < 50:
+        scale = 5000 // quality
+    else:
+        scale = 200 - 2 * quality
+    scaled = (table.astype(np.int64) * scale + 50) // 100
+    return np.clip(scaled, 1, 255)
+
+
+def quantize(coefficients: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Quantize DCT coefficients (round-to-nearest division)."""
+    return np.round(coefficients / table).astype(np.int64)
+
+
+def dequantize(levels: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Invert quantization (multiply back)."""
+    return (levels * table).astype(np.int64)

@@ -1,0 +1,57 @@
+"""Zigzag coefficient ordering.
+
+JPEG serialises each quantized 8x8 block in zigzag order so that the
+(usually zero) high-frequency coefficients cluster at the end of the
+sequence, where run-length coding crushes them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+BLOCK = 8
+
+
+def _zigzag_order() -> List[Tuple[int, int]]:
+    order = []
+    for diagonal in range(2 * BLOCK - 1):
+        if diagonal % 2 == 0:
+            # Walk up-right.
+            row = min(diagonal, BLOCK - 1)
+            column = diagonal - row
+            while row >= 0 and column < BLOCK:
+                order.append((row, column))
+                row -= 1
+                column += 1
+        else:
+            # Walk down-left.
+            column = min(diagonal, BLOCK - 1)
+            row = diagonal - column
+            while column >= 0 and row < BLOCK:
+                order.append((row, column))
+                row += 1
+                column -= 1
+    return order
+
+
+#: (row, column) visit order, DC first.
+ZIGZAG_ORDER: List[Tuple[int, int]] = _zigzag_order()
+
+
+def to_zigzag(block: np.ndarray) -> List[int]:
+    """Flatten an 8x8 block into the 64-entry zigzag sequence."""
+    if block.shape != (BLOCK, BLOCK):
+        raise ValueError(f"expected an 8x8 block, got {block.shape}")
+    return [int(block[row, column]) for row, column in ZIGZAG_ORDER]
+
+
+def from_zigzag(sequence: List[int]) -> np.ndarray:
+    """Rebuild an 8x8 block from its zigzag sequence."""
+    if len(sequence) != BLOCK * BLOCK:
+        raise ValueError(f"expected 64 coefficients, got {len(sequence)}")
+    block = np.zeros((BLOCK, BLOCK), dtype=np.int64)
+    for value, (row, column) in zip(sequence, ZIGZAG_ORDER):
+        block[row, column] = value
+    return block

@@ -1,0 +1,34 @@
+"""Mitigation strategies (paper Section 10) and their evaluation hooks.
+
+* :mod:`repro.mitigations.phr_flush` -- flush the PHR with 194
+  unconditional footprint-free branches at domain switches;
+* :mod:`repro.mitigations.phr_randomize` -- inject a small random number
+  of random branches instead (cheaper, probabilistic);
+* :mod:`repro.mitigations.pht_flush` -- flush the PHTs in software
+  (~100k instructions, per the paper's measurement) or with hypothetical
+  hardware support;
+* :mod:`repro.mitigations.partition` -- Half&Half-style physical
+  partitioning of the PHTs between two domains, which stops the PHT
+  primitives but -- the paper's key point -- not the PHR ones.
+"""
+
+from repro.mitigations.phr_flush import PhrFlushMitigation
+from repro.mitigations.phr_randomize import PhrRandomizeMitigation
+from repro.mitigations.pht_flush import PhtFlushMitigation, software_flush_cost
+from repro.mitigations.partition import HalfAndHalfPartition
+from repro.mitigations.secure_predictors import (
+    PerDomainPhrTable,
+    StbpuCbp,
+    machine_with_stbpu,
+)
+
+__all__ = [
+    "HalfAndHalfPartition",
+    "PerDomainPhrTable",
+    "PhrFlushMitigation",
+    "PhrRandomizeMitigation",
+    "PhtFlushMitigation",
+    "StbpuCbp",
+    "machine_with_stbpu",
+    "software_flush_cost",
+]

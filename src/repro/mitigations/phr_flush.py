@@ -1,0 +1,56 @@
+"""PHR flushing via unconditional branches (paper Section 10.1).
+
+"The most straightforward software-based solution for mitigating the
+(Unlimited) Read PHR is to flush the PHR using 194 unconditional direct
+branches during context switching between different security domains.
+Because unconditional direct branches do not interact with the PHTs at
+all, this prevents the attacker from exploiting the PHTs as a side
+channel to reconstruct the PHR beyond 194."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.machine import Machine
+from repro.primitives.macros import PhrMacros
+
+
+@dataclass
+class FlushCost:
+    """Cost accounting for one flush."""
+
+    branches: int
+    instructions: int
+
+
+class PhrFlushMitigation:
+    """Applies the 194-branch PHR flush at domain switches."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.macros = PhrMacros(machine)
+        self.flushes = 0
+
+    def on_domain_switch(self, thread: int = 0) -> FlushCost:
+        """Flush the PHR of ``thread`` (call at every domain switch).
+
+        Uses the ``Clear_PHR`` macro -- ``capacity`` unconditional taken
+        branches with zero footprints -- so the flush itself leaves no
+        PHT residue for the attacker to mine.
+        """
+        self.macros.apply_clear(thread=thread)
+        self.flushes += 1
+        capacity = self.machine.config.phr_capacity
+        return FlushCost(branches=capacity, instructions=capacity)
+
+    def read_phr_leaks(self, thread: int = 0) -> bool:
+        """Whether any victim history survives in the PHR post-flush.
+
+        The flush shifts every victim doublet out, so the register must
+        read as zero; a Read PHR after the switch then recovers only
+        zeros (and the Extended Read PHR cannot bootstrap, because it
+        needs the physical PHR as its anchor and the flushing branches
+        are invisible to the PHTs).
+        """
+        return self.machine.phr(thread).value != 0

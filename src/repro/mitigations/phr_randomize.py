@@ -1,0 +1,66 @@
+"""PHR randomization (paper Section 10.1, the "less costly" option).
+
+"Less costly, we could add a small, non-deterministic number of random
+branches into the PHR during context switching.  This randomization of
+the PHR value would prevent attackers from obtaining the same PHR upon
+repeated calls to the victim" -- at the price of remaining brute-forceable
+"but likely requiring orders of magnitude more time".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.machine import Machine
+from repro.utils.rng import DeterministicRng
+
+#: Randomizer branch region (any attacker-unmapped code range works).
+RANDOMIZER_BASE = 0x7700_0000
+
+
+@dataclass
+class RandomizeCost:
+    """Cost accounting for one randomization pass."""
+
+    branches: int
+
+
+class PhrRandomizeMitigation:
+    """Injects 1..``max_branches`` random-footprint branches per switch."""
+
+    def __init__(self, machine: Machine, max_branches: int = 8,
+                 rng: DeterministicRng = None):  # type: ignore[assignment]
+        if max_branches < 1:
+            raise ValueError("need at least one randomizing branch")
+        self.machine = machine
+        self.max_branches = max_branches
+        self.rng = rng if rng is not None else DeterministicRng(0xA11CE)
+        self.switches = 0
+
+    def on_domain_switch(self, thread: int = 0) -> RandomizeCost:
+        """Inject the random branch burst (call at every domain switch)."""
+        count = self.rng.integer(1, self.max_branches)
+        for _ in range(count):
+            pc = RANDOMIZER_BASE + self.rng.integer(0, 0xFFFF)
+            target = pc + 4 + 4 * self.rng.integer(0, 0x3FF)
+            self.machine.record_taken_branch(pc, target, thread=thread)
+        self.switches += 1
+        return RandomizeCost(branches=count)
+
+    def repeated_reads_agree(self, run_victim, reads: int = 4,
+                             thread: int = 0) -> bool:
+        """Whether repeated victim invocations leave identical PHR values.
+
+        The Read PHR primitive requires the victim to produce the same
+        PHR on every call; with randomization in the switch path the
+        observed values diverge, which is exactly how the mitigation
+        frustrates the attack.  ``run_victim`` is a zero-argument callable
+        that invokes the victim once (the mitigation hook runs before it).
+        """
+        observed = set()
+        for _ in range(reads):
+            self.machine.clear_phr(thread)
+            self.on_domain_switch(thread=thread)
+            run_victim()
+            observed.add(self.machine.phr(thread).value)
+        return len(observed) == 1

@@ -1,0 +1,68 @@
+"""PHT flushing (paper Section 10.2).
+
+"Flushing the PHTs in software requires around 100k instructions (mostly
+branches) -- we have run this.  This is prohibitively expensive for all
+but the most security-critical scenarios.  Better would be hardware
+support for flushing."
+
+The software cost model below reconstructs that number from the table
+geometry: every entry of the base predictor and of each tagged table must
+be re-trained to a neutral state, which takes one saturating-counter's
+worth of branch executions per entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.config import MachineConfig
+from repro.cpu.machine import Machine
+
+
+@dataclass
+class PhtFlushCost:
+    """Instruction cost of one software PHT flush."""
+
+    base_entries: int
+    tagged_entries: int
+    branches_per_entry: int
+
+    @property
+    def total_instructions(self) -> int:
+        return (self.base_entries + self.tagged_entries) * self.branches_per_entry
+
+
+def software_flush_cost(config: MachineConfig) -> PhtFlushCost:
+    """Instruction count to flush every CBP entry in software.
+
+    With the paper's reconstructed geometry (2^13-entry base predictor,
+    three 512-set x 4-way tagged tables, 3-bit counters needing up to
+    2^3 = 8 trainings to saturate), this lands at ~115k instructions --
+    the paper reports "around 100k".
+    """
+    base_entries = 1 << config.base_index_bits
+    tagged_entries = (len(config.pht_history_lengths)
+                      * config.pht_sets * config.pht_ways)
+    return PhtFlushCost(
+        base_entries=base_entries,
+        tagged_entries=tagged_entries,
+        branches_per_entry=1 << config.counter_bits,
+    )
+
+
+class PhtFlushMitigation:
+    """Flushes the CBP at domain switches (hardware-assisted model)."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.flushes = 0
+
+    def on_domain_switch(self) -> PhtFlushCost:
+        """Flush base predictor and all tagged tables."""
+        self.machine.flush_cbp()
+        self.flushes += 1
+        return software_flush_cost(self.machine.config)
+
+    def pht_state_survives(self) -> bool:
+        """Whether any trained state remains after the flush."""
+        return self.machine.cbp.populated_entries() != 0

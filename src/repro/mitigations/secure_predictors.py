@@ -1,0 +1,238 @@
+"""Proposed secure branch predictor designs (paper Section 10.2).
+
+The paper surveys hardware defenses -- partitioning (BRB [65]),
+encryption of indexes/contents (Lee et al. [37], STBPU [79]) -- and makes
+a sharp claim:
+
+    "While each of these can be effective at isolating the PHT, they all
+    fail to isolate the PHR.  Thus, they are all susceptible to PHR
+    Read/Write attacks.  In particular, the PHR Read attack only makes
+    use of the PHR and in no way depends on victim PHT entries ...  The
+    Extended Read PHR attack does rely on victim PHT data, and would not
+    work in its current form."
+
+This module implements an STBPU-style tokenized CBP (each security domain
+gets a secret token that re-keys every PHT index and tag) and the paper's
+own suggested fix -- a dedicated per-domain PHR table -- so that claim
+can be tested primitive by primitive
+(``benchmarks/bench_sec10_secure_predictors.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cpu.cbp import ConditionalBranchPredictor
+from repro.cpu.machine import Machine
+from repro.cpu.phr import PathHistoryRegister
+from repro.utils.bits import mask
+
+
+class StbpuCbp(ConditionalBranchPredictor):
+    """A CBP whose lookups are keyed by a per-domain secret token.
+
+    Following STBPU's design, "each software entity receives a unique,
+    randomly-generated secret token (ST) that customizes the data
+    representations": the token is folded into the branch address before
+    any table hashing, so two domains' branches can never alias in the
+    base predictor or the tagged tables, whatever their addresses.
+
+    The PHR is *not* part of the predictor state being encrypted -- that
+    is precisely the gap the paper exposes.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._active_token = 0
+
+    def set_context(self, token: int) -> None:
+        """Install the secret token of the currently running domain."""
+        self._active_token = token & mask(48)
+
+    @property
+    def active_token(self) -> int:
+        """The token in effect."""
+        return self._active_token
+
+    def _keyed_pc(self, pc: int) -> int:
+        # Spread the token across the bits the hashes consume.
+        spread = (self._active_token * 0x9E3779B97F4A7C15) & mask(48)
+        return pc ^ spread
+
+    def predict(self, pc: int, phr: PathHistoryRegister):
+        return super().predict(self._keyed_pc(pc), phr)
+
+    def update(self, pc: int, phr: PathHistoryRegister, taken: bool,
+               prediction=None) -> None:
+        super().update(self._keyed_pc(pc), phr, taken, prediction)
+
+
+def machine_with_stbpu(config=None, tokens: Dict[str, int] = None) -> Machine:  # type: ignore[assignment]
+    """A machine whose CBP is the tokenized variant.
+
+    ``tokens`` maps domain labels to secret tokens; use
+    ``machine.cbp.set_context(tokens[domain])`` at each domain switch
+    (the experiments below do this explicitly).
+    """
+    from repro.cpu.config import RAPTOR_LAKE
+
+    machine = Machine(RAPTOR_LAKE if config is None else config)
+    secure = StbpuCbp(
+        history_lengths=machine.config.pht_history_lengths,
+        sets=machine.config.pht_sets,
+        ways=machine.config.pht_ways,
+        counter_bits=machine.config.counter_bits,
+        tag_bits=machine.config.pht_tag_bits,
+        base_index_bits=machine.config.base_index_bits,
+        pc_index_bit=machine.config.pc_index_bit,
+    )
+    machine.cbp = secure
+    return machine
+
+
+class PerDomainPhrTable:
+    """The paper's suggested hardware fix for the PHR attacks.
+
+    "An effective approach could be to implement a dedicated table of
+    global histories (PHRs), with each security domain having its own
+    designated PHR.  This prevents the sharing of PHRs among different
+    security domains."
+
+    The table banks one PHR per domain and swaps the machine's live
+    register at each domain switch.
+    """
+
+    def __init__(self, machine: Machine, thread: int = 0):
+        self.machine = machine
+        self.thread = thread
+        self._banked: Dict[str, int] = {}
+        self._current = "user"
+
+    @property
+    def current_domain(self) -> str:
+        """The domain whose PHR is live."""
+        return self._current
+
+    def switch_to(self, domain: str) -> None:
+        """Bank the live PHR and install ``domain``'s."""
+        phr = self.machine.phr(self.thread)
+        self._banked[self._current] = phr.value
+        phr.set_value(self._banked.get(domain, 0))
+        self._current = domain
+
+
+# ----------------------------------------------------------------------
+# effectiveness experiments
+# ----------------------------------------------------------------------
+
+def stbpu_blocks_pht_aliasing(victim_token: int = 0x1111,
+                              attacker_token: int = 0x2222) -> bool:
+    """Write_PHT across STBPU domains must fail (paper: PHTs isolated)."""
+    machine = machine_with_stbpu()
+    phr_value = 0x5A5A_F00D
+    pc = 0x0040_AC00
+
+    machine.cbp.set_context(attacker_token)
+    from repro.primitives import PhtWriter
+
+    PhtWriter(machine).write(pc, phr_value, taken=True)
+
+    machine.cbp.set_context(victim_token)
+    machine.phr(0).set_value(phr_value)
+    prediction = machine.cbp.predict(pc, machine.phr(0))
+    return not prediction.taken  # the plant must NOT be visible
+
+
+def stbpu_leaves_read_phr_intact() -> bool:
+    """Read PHR against an STBPU machine must still work (paper's claim).
+
+    The attacker's train/test branches run in the attacker's own domain,
+    so its token is self-consistent; the victim's PHR state crosses
+    domains untouched because STBPU never keys the PHR.
+    """
+    from repro.isa import ProgramBuilder
+    from repro.primitives import PhrReader, VictimHandle
+    from repro.cpu.phr import replay_taken_branches
+
+    machine = machine_with_stbpu()
+    machine.cbp.set_context(0x7777)  # the attacker's token, used throughout
+
+    builder = ProgramBuilder("victim", base=0x410000)
+    builder.mov_imm("rcx", 6)
+    builder.label("loop")
+    builder.sub("rcx", imm=1, set_flags=True)
+    builder.jne("loop")
+    builder.ret()
+    victim = VictimHandle(machine, builder.build())
+    truth = replay_taken_branches(194, victim.taken_branches()).doublets()
+
+    reader = PhrReader(machine, victim)
+    result = reader.read(count=12)
+    return result.doublets == truth[:12]
+
+
+def stbpu_blocks_extended_read() -> bool:
+    """Extended Read PHR across STBPU domains must fail (paper's claim:
+    "would not work in its current form")."""
+    from repro.primitives import ExtendedPhrReader, TakenBranch
+    from repro.utils.rng import DeterministicRng
+
+    machine = machine_with_stbpu()
+    rng = DeterministicRng(0x5E)
+    branches = []
+    pc = 0x40_0000
+    for _ in range(250):
+        pc += rng.integer(1, 4000) * 4
+        branches.append(TakenBranch(pc, pc + rng.integer(1, 500) * 4, True))
+
+    # Victim trains under its token...
+    machine.cbp.set_context(0x1111)
+    phr = PathHistoryRegister(machine.config.phr_capacity)
+    for branch in branches:
+        machine.cbp.observe(branch.pc, phr, True)
+        phr.update(branch.pc, branch.target)
+
+    # ...the attacker probes under a different one; the reader's context
+    # hooks model the domain switch around each victim re-invocation, so
+    # refreshes happen under the victim token and probes under the
+    # attacker token -- which can therefore never alias the victim entry.
+    reader = ExtendedPhrReader(
+        machine,
+        rounds=6,
+        victim_context=lambda: machine.cbp.set_context(0x1111),
+        attacker_context=lambda: machine.cbp.set_context(0x2222),
+    )
+    result = reader.read(branches)
+    truth = PathHistoryRegister(len(branches))
+    for branch in branches:
+        truth.update(branch.pc, branch.target)
+    return not (result.complete and result.doublets == truth.doublets())
+
+
+def per_domain_phr_blocks_read() -> bool:
+    """With banked PHRs, the victim's history never reaches the attacker."""
+    machine = Machine()
+    table = PerDomainPhrTable(machine)
+
+    table.switch_to("victim")
+    for index in range(20):
+        pc = 0x0041_0000 + 0x40 * index
+        machine.record_taken_branch(pc, pc + 0x44)
+    victim_value = machine.phr(0).value
+
+    table.switch_to("attacker")
+    attacker_view = machine.phr(0).value
+    return attacker_view == 0 and victim_value != 0
+
+
+def per_domain_phr_preserves_victim_state() -> bool:
+    """Banking must be functional: the victim gets its own history back."""
+    machine = Machine()
+    table = PerDomainPhrTable(machine)
+    table.switch_to("victim")
+    machine.record_taken_branch(0x0041_0000, 0x0041_0044)
+    saved = machine.phr(0).value
+    table.switch_to("attacker")
+    machine.record_taken_branch(0x0051_0000, 0x0051_0044)
+    table.switch_to("victim")
+    return machine.phr(0).value == saved

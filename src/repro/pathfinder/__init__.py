@@ -1,0 +1,33 @@
+"""Pathfinder (paper Section 6): from a PHR value to a control-flow path.
+
+The PHR is a heavily folded function of branch and target addresses, not a
+readable trace.  Pathfinder turns a recovered (possibly extended) path
+history back into the victim's runtime control flow:
+
+* :mod:`repro.pathfinder.cfg` builds a control flow graph from a victim
+  binary (standing in for the paper's use of angr),
+* :mod:`repro.pathfinder.search` runs the backward path search -- from the
+  exit block toward the entry, pruning predecessors whose footprint cannot
+  have produced the observed lowest doublet, exactly as Section 6
+  describes,
+* :mod:`repro.pathfinder.report` renders the Figure 6 style annotated CFG
+  and extracts per-branch outcomes, loop trip counts, and per-block PHR
+  values.
+"""
+
+from repro.pathfinder.cfg import BasicBlock, ControlFlowGraph, Edge, EdgeKind
+from repro.pathfinder.search import PathSearch, RecoveredPath
+from repro.pathfinder.report import PathReport, render_cfg
+from repro.pathfinder.export import to_dot
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "Edge",
+    "EdgeKind",
+    "PathReport",
+    "PathSearch",
+    "RecoveredPath",
+    "render_cfg",
+    "to_dot",
+]

@@ -1,0 +1,93 @@
+"""CFG export to Graphviz DOT (tooling around the Figure 6 output).
+
+The paper renders Pathfinder's output as an annotated control flow graph
+with executed edges in red.  This module produces the equivalent DOT
+source, viewable with any Graphviz installation -- useful both for
+attack analysis and for debugging victim layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.pathfinder.cfg import ControlFlowGraph, EdgeKind
+from repro.pathfinder.search import RecoveredPath
+
+#: Edge styling per kind.
+_EDGE_STYLE = {
+    EdgeKind.TAKEN: 'label="T"',
+    EdgeKind.NOT_TAKEN: 'label="NT", style=dashed',
+    EdgeKind.JUMP: 'label="jmp"',
+    EdgeKind.CALL: 'label="call", style=bold',
+    EdgeKind.RET: 'label="ret", style=bold',
+    EdgeKind.FALLTHROUGH: 'style=dotted',
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def to_dot(cfg: ControlFlowGraph,
+           path: Optional[RecoveredPath] = None,
+           title: str = "pathfinder") -> str:
+    """Render ``cfg`` as DOT, highlighting ``path`` when given.
+
+    Executed edges are drawn red with their traversal count (the Figure 6
+    presentation); executed blocks carry their visit count.
+    """
+    traversals: Dict[Tuple[int, int, str], int] = {}
+    visit_counts: Dict[int, int] = {}
+    if path is not None:
+        for edge in path.edges:
+            key = (edge.source, edge.destination, edge.kind.value)
+            traversals[key] = traversals.get(key, 0) + 1
+        visit_counts = path.block_visit_counts()
+
+    block_names = {
+        start: f"BB{number}"
+        for number, start in enumerate(sorted(cfg.blocks), start=1)
+    }
+
+    lines = [f'digraph "{_escape(title)}" {{',
+             '  node [shape=box, fontname="monospace"];']
+    for start in sorted(cfg.blocks):
+        block = cfg.blocks[start]
+        visits = visit_counts.get(start, 0)
+        label = f"{block_names[start]}\\n{start:#x}..{block.end:#x}"
+        attributes = [f'label="{label}"']
+        if start == cfg.entry:
+            attributes.append("peripheries=2")
+        if visits:
+            attributes.append('color=red')
+            attributes.append(f'xlabel="x{visits}"')
+        lines.append(f'  "{block_names[start]}" [{", ".join(attributes)}];')
+
+    for start in sorted(cfg.blocks):
+        for edge in cfg.edges_out.get(start, []):
+            destination = block_names.get(edge.destination)
+            if destination is None:
+                continue
+            style = [_EDGE_STYLE[edge.kind]]
+            key = (edge.source, edge.destination, edge.kind.value)
+            count = traversals.get(key, 0)
+            if count:
+                style.append("color=red")
+                style.append("penwidth=2")
+                style[0] = (f'label="{_dot_edge_label(edge.kind)}'
+                            f' x{count}"')
+            lines.append(f'  "{block_names[edge.source]}" -> '
+                         f'"{destination}" [{", ".join(style)}];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _dot_edge_label(kind: EdgeKind) -> str:
+    return {
+        EdgeKind.TAKEN: "T",
+        EdgeKind.NOT_TAKEN: "NT",
+        EdgeKind.JUMP: "jmp",
+        EdgeKind.CALL: "call",
+        EdgeKind.RET: "ret",
+        EdgeKind.FALLTHROUGH: "",
+    }[kind]

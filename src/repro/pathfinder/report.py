@@ -1,0 +1,101 @@
+"""Reporting for recovered paths (the Figure 6 style output).
+
+Pathfinder's output "not only identifies the path that generates the
+observed PHR but also provides information about the victim's execution,
+including (1) the branches taken or not within the victim's code, (2) the
+number of iterations within each loop, and (3) the PHR values at each
+basic block" -- this module computes all three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.cpu.phr import PathHistoryRegister
+from repro.pathfinder.cfg import ControlFlowGraph
+from repro.pathfinder.search import RecoveredPath
+
+
+@dataclass
+class PathReport:
+    """Derived facts about one recovered path."""
+
+    path: RecoveredPath
+    #: Visit count per block start address.
+    visit_counts: Dict[int, int]
+    #: (pc, taken) per dynamic conditional branch, in order.
+    branch_outcomes: List[Tuple[int, bool]]
+    #: PHR value on entry to each dynamic block (forward replay).
+    phr_at_block: List[Tuple[int, int]]
+
+    def loop_iterations(self, block_start: int) -> int:
+        """Times ``block_start`` executed (the Figure 6 iteration count)."""
+        return self.visit_counts.get(block_start, 0)
+
+
+def build_report(cfg: ControlFlowGraph, path: RecoveredPath,
+                 phr_capacity: int = 194) -> PathReport:
+    """Replay ``path`` forward, collecting the report data."""
+    phr = PathHistoryRegister(phr_capacity)
+    phr_at_block: List[Tuple[int, int]] = [(path.blocks[0], phr.value)]
+    for edge in path.edges:
+        if edge.kind.updates_phr:
+            phr.update(edge.branch_pc, edge.destination)
+        phr_at_block.append((edge.destination, phr.value))
+    return PathReport(
+        path=path,
+        visit_counts=path.block_visit_counts(),
+        branch_outcomes=path.branch_outcomes,
+        phr_at_block=phr_at_block,
+    )
+
+
+def render_cfg(cfg: ControlFlowGraph, path: RecoveredPath) -> str:
+    """ASCII rendering of the CFG with the executed path highlighted.
+
+    Executed edges are marked ``*`` and annotated with their traversal
+    count, mirroring Figure 6's red edges and the iteration counter on the
+    AES loop's back edge.
+    """
+    traversals: Dict[Tuple[int, int, str], int] = {}
+    for edge in path.edges:
+        key = (edge.source, edge.destination, edge.kind.value)
+        traversals[key] = traversals.get(key, 0) + 1
+    visit_counts = path.block_visit_counts()
+
+    block_names = {
+        start: f"BB {number}"
+        for number, start in enumerate(sorted(cfg.blocks), start=1)
+    }
+    lines: List[str] = []
+    for start in sorted(cfg.blocks):
+        block = cfg.blocks[start]
+        visits = visit_counts.get(start, 0)
+        marker = f"  executed x{visits}" if visits else "  (not executed)"
+        role = ""
+        if start == cfg.entry:
+            role = "  [entry]"
+        elif block.is_exit or not cfg.edges_out.get(start):
+            role = "  [exit]"
+        lines.append(f"{block_names[start]}  {start:#x}..{block.end:#x}"
+                     f"{role}{marker}")
+        out_edges = list(cfg.edges_out.get(start, []))
+        for edge in out_edges:
+            key = (edge.source, edge.destination, edge.kind.value)
+            count = traversals.get(key, 0)
+            mark = f" * x{count}" if count else ""
+            lines.append(
+                f"    --{edge.kind.value}--> "
+                f"{block_names.get(edge.destination, hex(edge.destination))}"
+                f"{mark}"
+            )
+    return "\n".join(lines)
+
+
+def dynamic_edge_counts(path: RecoveredPath) -> Dict[str, int]:
+    """Totals per edge kind (taken / not-taken / call / ret / ...)."""
+    counts: Dict[str, int] = {}
+    for edge in path.edges:
+        counts[edge.kind.value] = counts.get(edge.kind.value, 0) + 1
+    return counts

@@ -1,0 +1,245 @@
+"""The Pathfinder backward path search (paper Section 6).
+
+Given a CFG and an observed path history, the search starts from the exit
+block and explores predecessors in reverse execution order.  Every edge
+that folds a footprint into the PHR must match the current lowest doublet
+(which is produced exclusively by the most recent taken branch); matching
+edges are reversed (``value = (value ^ footprint) >> 2``) and the walk
+continues until the entry block explains the entire history.
+
+Two matching modes:
+
+* ``exact`` -- the observed history covers the victim's whole execution
+  (the Extended Read PHR output).  The reversal is then information-
+  preserving, and an accepted path reproduces the history bit for bit.
+* ``window`` -- the observed history is the physical PHR, covering only
+  the last ``len(doublets)`` taken branches.  A path suffix is accepted
+  the moment it explains the full window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cpu.phr import PathHistoryRegister
+from repro.pathfinder.cfg import ControlFlowGraph, Edge, EdgeKind
+from repro.utils.bits import mask
+
+
+@dataclass
+class RecoveredPath:
+    """One execution path consistent with the observed history."""
+
+    #: Edges in forward execution order (entry .. exit).
+    edges: List[Edge]
+    #: Block start addresses in forward execution order, including entry.
+    blocks: List[int]
+    #: Whether this path explains history back to the function entry.
+    reaches_entry: bool
+
+    @property
+    def branch_outcomes(self) -> List[Tuple[int, bool]]:
+        """Per-conditional-branch (pc, taken) outcomes, in order."""
+        outcomes = []
+        for edge in self.edges:
+            if edge.kind is EdgeKind.TAKEN:
+                outcomes.append((edge.branch_pc, True))
+            elif edge.kind is EdgeKind.NOT_TAKEN:
+                outcomes.append((edge.branch_pc, False))
+        return outcomes
+
+    @property
+    def taken_branches(self) -> List[Tuple[int, int]]:
+        """Ordered (pc, target) of every PHR-updating branch."""
+        return [
+            (edge.branch_pc, edge.destination)
+            for edge in self.edges
+            if edge.kind.updates_phr
+        ]
+
+    def block_visit_counts(self) -> Dict[int, int]:
+        """How many times each block executed (loop trip counts)."""
+        counts: Dict[int, int] = {}
+        for block in self.blocks:
+            counts[block] = counts.get(block, 0) + 1
+        return counts
+
+
+@dataclass
+class _State:
+    """One frontier node of the backward search (immutable chain)."""
+
+    point: int  # block start whose execution onwards is explained
+    value: int  # remaining (reversed) history value
+    matched: int  # taken branches consumed so far
+    call_stack: Tuple[Tuple[int, int], ...]  # (callee_entry, continuation)
+    parent: Optional["_State"] = None
+    via: Optional[Edge] = None
+
+
+@dataclass
+class PathSearch:
+    """Backward search over one CFG."""
+
+    cfg: ControlFlowGraph
+    mode: str = "exact"
+    max_states: int = 2_000_000
+    max_paths: int = 16
+    #: Explored states in the last run (diagnostics).
+    explored: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("exact", "window"):
+            raise ValueError(f"unknown search mode {self.mode!r}")
+
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        doublets: Sequence[int],
+        exit_block: Optional[int] = None,
+    ) -> List[RecoveredPath]:
+        """Find all paths consistent with ``doublets`` (LSB first)."""
+        width = len(doublets)
+        if width == 0:
+            raise ValueError("cannot search an empty history")
+        observed = PathHistoryRegister.from_doublets(doublets, capacity=width)
+        value_mask = mask(2 * width)
+
+        if exit_block is not None:
+            exits = [self.cfg.block_at(exit_block)]
+        else:
+            exits = self.cfg.exit_blocks()
+        if not exits:
+            raise ValueError("CFG has no exit blocks")
+
+        paths: List[RecoveredPath] = []
+        stack: List[_State] = [
+            _State(point=block.start, value=observed.value, matched=0,
+                   call_stack=())
+            for block in exits
+        ]
+        self.explored = 0
+        entry = self.cfg.entry
+
+        while stack and len(paths) < self.max_paths:
+            state = stack.pop()
+            self.explored += 1
+            if self.explored > self.max_states:
+                break
+
+            if self._accepts(state, entry, width):
+                candidate = self._materialize(state)
+                if self._verify(candidate, observed.value, width):
+                    paths.append(candidate)
+                # In window mode a state accepted at matched == width has
+                # no useful predecessors; in exact mode acceptance already
+                # required reaching the entry, same conclusion.
+                continue
+
+            for successor in self._predecessors(state, value_mask, width):
+                stack.append(successor)
+
+        return paths
+
+    # ------------------------------------------------------------------
+
+    def _accepts(self, state: _State, entry: int, width: int) -> bool:
+        if self.mode == "window":
+            return state.matched == width and not state.call_stack
+        # Exact mode: the victim entered with a cleared PHR, so a path that
+        # reaches the entry block may legitimately contain fewer taken
+        # branches than the history width (the remaining doublets are the
+        # zeros the clear left behind); forward verification settles it.
+        return state.point == entry and not state.call_stack
+
+    def _verify(self, path: RecoveredPath, observed_value: int,
+                width: int) -> bool:
+        """Forward-replay the candidate and compare histories.
+
+        Backward reversal is slightly lossy (the register's top doublet is
+        lost per forward update, exactly as in hardware), so the per-step
+        doublet-0 pruning is necessary but not sufficient; replaying the
+        candidate forward over a ``width``-doublet register and comparing
+        against the observed value gives an exact check.  The physical PHR
+        is a function of only the last ``width`` taken branches, so the
+        replay is well defined in both modes.
+        """
+        phr = PathHistoryRegister(width)
+        for pc, target in path.taken_branches:
+            phr.update(pc, target)
+        return phr.value == observed_value
+
+    def _predecessors(self, state: _State, value_mask: int, width: int):
+        cfg = self.cfg
+        # Regular static edges into this block.
+        for edge in cfg.edges_in.get(state.point, []):
+            successor = self._step(state, edge, value_mask, width)
+            if successor is not None:
+                yield successor
+        # Dynamic return edges: if this point is a call continuation, the
+        # predecessor may be any ret block of the recorded callee.
+        for callee_entry in cfg.call_continuations.get(state.point, []):
+            for ret_block in cfg.ret_blocks():
+                edge = self._ret_edge(ret_block, state.point)
+                successor = self._step(state, edge, value_mask, width,
+                                       push=(callee_entry, state.point))
+                if successor is not None:
+                    yield successor
+
+    def _ret_edge(self, ret_block, continuation: int) -> Edge:
+        from repro.cpu.footprint import branch_footprint
+
+        ret_pc = ret_block.instruction_addresses[-1]
+        return Edge(EdgeKind.RET, ret_block.start, continuation,
+                    branch_pc=ret_pc,
+                    footprint=branch_footprint(ret_pc, continuation))
+
+    def _step(self, state: _State, edge: Edge, value_mask: int, width: int,
+              push: Optional[Tuple[int, int]] = None) -> Optional[_State]:
+        call_stack = state.call_stack
+        if push is not None:
+            call_stack = call_stack + (push,)
+
+        if edge.kind is EdgeKind.CALL:
+            # Backward through a call edge: we are at the callee entry and
+            # must match the pending (callee, continuation) pair.
+            if not call_stack:
+                return None
+            callee_entry, continuation = call_stack[-1]
+            if edge.destination != callee_entry:
+                return None
+            if edge.branch_pc + 4 != continuation:
+                return None
+            call_stack = call_stack[:-1]
+
+        if edge.kind.updates_phr:
+            if state.matched >= width:
+                return None
+            assert edge.footprint is not None
+            if (edge.footprint & 0b11) != (state.value & 0b11):
+                return None
+            value = ((state.value ^ edge.footprint) >> 2) & value_mask
+            matched = state.matched + 1
+        else:
+            value = state.value
+            matched = state.matched
+
+        return _State(point=edge.source, value=value, matched=matched,
+                      call_stack=call_stack, parent=state, via=edge)
+
+    def _materialize(self, state: _State) -> RecoveredPath:
+        edges: List[Edge] = []
+        cursor: Optional[_State] = state
+        while cursor is not None and cursor.via is not None:
+            edges.append(cursor.via)
+            cursor = cursor.parent
+        # The chain was built backward-from-exit, so it is already in
+        # forward execution order.
+        blocks = [edges[0].source] if edges else [state.point]
+        for edge in edges:
+            blocks.append(edge.destination)
+        reaches_entry = blocks[0] == self.cfg.entry
+        return RecoveredPath(edges=edges, blocks=blocks,
+                             reaches_entry=reaches_entry)

@@ -1,0 +1,113 @@
+"""``Read_PHT`` -- Attack Primitive 3 (paper Section 4.4).
+
+A prime+test+probe protocol over one PHT entry:
+
+1. **prime** -- drive the entry's counter to strongly not-taken by
+   executing aliasing not-taken branches at the target ``(PC, PHR)``;
+2. **test** -- the caller runs the victim, whose branch updates the entry;
+3. **probe** -- execute taken branches at the same coordinate, counting
+   mispredictions.  A counter left at strongly-not-taken (0) mispredicts
+   four times before crossing the 3-bit threshold; a counter the victim
+   moved up twice mispredicts only twice; and so on.  The misprediction
+   count therefore reveals how many taken updates the victim contributed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.machine import Machine
+
+
+@dataclass
+class PhtProbeResult:
+    """Outcome of one probe phase."""
+
+    mispredictions: int
+    probes: int
+
+    @property
+    def inferred_counter(self) -> int:
+        """Estimated counter value at probe start.
+
+        With a ``b``-bit counter primed to 0, a probe of taken branches
+        mispredicts until the counter reaches the threshold ``2^(b-1)``,
+        so ``mispredictions == threshold - start_value`` (clamped).
+        """
+        return max(0, 4 - self.mispredictions)
+
+
+class PhtReader:
+    """Implements ``Read_PHT(PC, PHR)``."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        thread: int = 0,
+        prime_repetitions: int = 8,
+        probe_repetitions: int = 4,
+        pc_alias_offset: int = 0x1000_0000,
+    ):
+        self.machine = machine
+        self.thread = thread
+        self.prime_repetitions = prime_repetitions
+        self.probe_repetitions = probe_repetitions
+        self.pc_alias_offset = pc_alias_offset
+
+    def _attacker_coords(self, pc: int) -> tuple:
+        attacker_pc = pc + self.pc_alias_offset
+        return attacker_pc, attacker_pc + 0x40
+
+    def prime(self, pc: int, phr_value: int) -> None:
+        """Drive the entry at ``(pc, phr_value)`` to strongly not-taken.
+
+        Priming happens in two steps.  First, a few deliberately
+        contrarian branches (each resolving against the current
+        prediction) force the predictor to allocate down its table
+        hierarchy until the *longest* table owns the coordinate -- an
+        attacker does this by timing its own branch and flipping the
+        outcome.  Then a burst of not-taken branches saturates that
+        entry's counter to zero; because the provider is already the
+        longest table, no further allocation can displace it, and the
+        subsequent victim/probe phases read and write this one counter,
+        giving the clean ``mispredictions == threshold - counter``
+        arithmetic of Section 4.4.
+        """
+        machine = self.machine
+        phr = machine.phr(self.thread)
+        attacker_pc, attacker_target = self._attacker_coords(pc)
+        table_count = len(machine.cbp.tables)
+        for _ in range(table_count):
+            phr.set_value(phr_value)
+            prediction = machine.cbp.predict(attacker_pc, phr)
+            machine.observe_conditional(attacker_pc, attacker_target,
+                                        not prediction.taken,
+                                        thread=self.thread)
+        for _ in range(self.prime_repetitions):
+            phr.set_value(phr_value)
+            machine.observe_conditional(attacker_pc, attacker_target, False,
+                                        thread=self.thread)
+
+    def probe(self, pc: int, phr_value: int) -> PhtProbeResult:
+        """Execute taken probes, counting mispredictions."""
+        machine = self.machine
+        phr = machine.phr(self.thread)
+        attacker_pc, attacker_target = self._attacker_coords(pc)
+        mispredictions = 0
+        for _ in range(self.probe_repetitions):
+            phr.set_value(phr_value)
+            if machine.observe_conditional(attacker_pc, attacker_target, True,
+                                           thread=self.thread):
+                mispredictions += 1
+        return PhtProbeResult(mispredictions=mispredictions,
+                              probes=self.probe_repetitions)
+
+    def read(self, pc: int, phr_value: int, run_victim) -> PhtProbeResult:
+        """Full prime+test+probe cycle.
+
+        ``run_victim`` is a zero-argument callable executed between the
+        prime and probe phases.
+        """
+        self.prime(pc, phr_value)
+        run_victim()
+        return self.probe(pc, phr_value)

@@ -1,0 +1,23 @@
+"""Low-level helpers shared across the Pathfinder reproduction."""
+
+from repro.utils.bits import (
+    bit,
+    bits,
+    fold_xor,
+    mask,
+    parity,
+    popcount,
+    set_bit,
+)
+from repro.utils.rng import DeterministicRng
+
+__all__ = [
+    "DeterministicRng",
+    "bit",
+    "bits",
+    "fold_xor",
+    "mask",
+    "parity",
+    "popcount",
+    "set_bit",
+]

@@ -1,0 +1,99 @@
+"""Bit-manipulation helpers.
+
+Every structure in the conditional branch predictor (the PHR, the branch
+footprint, the PHT index and tag hashes) is specified at the level of
+individual address bits, so the whole reproduction leans on these few
+primitives.  They operate on arbitrary-precision Python integers.
+"""
+
+from __future__ import annotations
+
+
+def mask(width: int) -> int:
+    """Return an all-ones mask of ``width`` bits.
+
+    >>> mask(4)
+    15
+    """
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` (0 = least significant) of ``value``.
+
+    >>> bit(0b1010, 1)
+    1
+    >>> bit(0b1010, 2)
+    0
+    """
+    if index < 0:
+        raise ValueError(f"bit index must be non-negative, got {index}")
+    return (value >> index) & 1
+
+
+def bits(value: int, high: int, low: int) -> int:
+    """Return the inclusive bit-slice ``value[high:low]`` as an integer.
+
+    Mirrors the hardware notation used throughout the paper, e.g.
+    ``PC[12:0]`` is ``bits(pc, 12, 0)``.
+
+    >>> bits(0b110100, 4, 2)
+    5
+    """
+    if high < low:
+        raise ValueError(f"invalid bit range [{high}:{low}]")
+    return (value >> low) & mask(high - low + 1)
+
+
+def set_bit(value: int, index: int, bit_value: int) -> int:
+    """Return ``value`` with bit ``index`` forced to ``bit_value`` (0 or 1)."""
+    if bit_value not in (0, 1):
+        raise ValueError(f"bit value must be 0 or 1, got {bit_value}")
+    cleared = value & ~(1 << index)
+    return cleared | (bit_value << index)
+
+
+def popcount(value: int) -> int:
+    """Return the number of set bits in ``value``."""
+    if value < 0:
+        raise ValueError("popcount of a negative value is undefined here")
+    return bin(value).count("1")
+
+
+def parity(value: int) -> int:
+    """Return the XOR of all bits of ``value`` (0 or 1)."""
+    return popcount(value) & 1
+
+
+def fold_xor(value: int, total_width: int, chunk_width: int) -> int:
+    """Fold ``value`` (``total_width`` bits) into ``chunk_width`` bits by XOR.
+
+    This is the classic history-folding operation used by TAGE-style
+    predictors to compress a long global history into a short table index:
+    the value is split into consecutive ``chunk_width``-bit chunks (the last
+    one possibly shorter) and all chunks are XORed together.
+
+    >>> fold_xor(0b1111_0000_1010, 12, 4)
+    5
+    """
+    if chunk_width <= 0:
+        raise ValueError(f"chunk width must be positive, got {chunk_width}")
+    if total_width < 0:
+        raise ValueError(f"total width must be non-negative, got {total_width}")
+    value &= mask(total_width)
+    folded = 0
+    while value:
+        folded ^= value & mask(chunk_width)
+        value >>= chunk_width
+    return folded
+
+
+def rotate_left(value: int, amount: int, width: int) -> int:
+    """Rotate ``value`` left by ``amount`` bits within a ``width``-bit word."""
+    if width <= 0:
+        raise ValueError(f"rotate width must be positive, got {width}")
+    amount %= width
+    value &= mask(width)
+    return ((value << amount) | (value >> (width - amount))) & mask(width)

@@ -1,0 +1,68 @@
+"""Shared fixtures and helpers for the Pathfinder reproduction tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu import Machine, RAPTOR_LAKE, SKYLAKE
+from repro.isa import ProgramBuilder
+from repro.utils.rng import DeterministicRng
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A fresh Raptor Lake machine."""
+    return Machine(RAPTOR_LAKE)
+
+
+@pytest.fixture
+def skylake_machine() -> Machine:
+    """A fresh Skylake machine (93-doublet PHR)."""
+    return Machine(SKYLAKE)
+
+
+@pytest.fixture
+def rng() -> DeterministicRng:
+    """A seeded RNG."""
+    return DeterministicRng(0x7E57)
+
+
+def build_counted_loop(iterations: int, base: int = 0x410000):
+    """A victim looping ``iterations`` times: taken x(n-1), then not-taken.
+
+    Returns the program; labels: ``loop`` (body block), ``loop_branch``.
+    """
+    b = ProgramBuilder(f"loop_{iterations}", base=base)
+    b.mov_imm("rcx", iterations)
+    b.label("loop")
+    b.sub("rcx", imm=1, set_flags=True)
+    b.label("loop_branch")
+    b.jne("loop")
+    b.ret()
+    return b.build()
+
+
+def build_branchy_victim(seed: int, conditional_count: int = 20,
+                         base: int = 0x430000):
+    """A victim with a fixed pseudo-random pattern of if/else diamonds.
+
+    Each diamond tests one bit of ``seed``: bit set -> taken arm.
+    Returns (program, expected_outcomes) where expected_outcomes is the
+    taken/not-taken list of the diamond branches in order.
+    """
+    b = ProgramBuilder(f"branchy_{seed}", base=base)
+    expected = []
+    b.mov_imm("rbit", 0)
+    for index in range(conditional_count):
+        bit_value = (seed >> index) & 1
+        expected.append(bit_value == 1)
+        b.mov_imm("rbit", bit_value)
+        b.cmp("rbit", imm=1)
+        b.jeq(f"then_{index}")
+        b.nop(2)
+        b.jmp(f"join_{index}")
+        b.label(f"then_{index}")
+        b.nop(1)
+        b.label(f"join_{index}")
+    b.ret()
+    return b.build(), expected

@@ -1,0 +1,78 @@
+"""Cross-cutting attack variants: primitive-driven profiling, other
+microarchitectures, CLI surface."""
+
+import pytest
+
+from repro.aes import AesSpectreAttack
+from repro.cpu import Machine, RAPTOR_LAKE, SKYLAKE
+from repro.utils.rng import DeterministicRng
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+class TestReadPhrDrivenProfiling:
+    def test_profile_via_read_phr_primitive(self):
+        """The full-fidelity pipeline: per-iteration PHR values obtained
+        through the actual Read_PHR primitive match the direct profile."""
+        direct = AesSpectreAttack(Machine(RAPTOR_LAKE), KEY,
+                                  use_read_phr_primitive=False,
+                                  rng=DeterministicRng(1))
+        primitive = AesSpectreAttack(Machine(RAPTOR_LAKE), KEY,
+                                     use_read_phr_primitive=True,
+                                     rng=DeterministicRng(1))
+        assert primitive.profile() == direct.profile()
+
+    def test_primitive_driven_leak(self):
+        attack = AesSpectreAttack(Machine(RAPTOR_LAKE), KEY,
+                                  use_read_phr_primitive=True,
+                                  rng=DeterministicRng(2))
+        plaintext = DeterministicRng(3).bytes(16)
+        assert attack.success_rate(plaintext, exit_iteration=2) == 1.0
+
+
+class TestSkylakeAttack:
+    """Section 3: the methodology spans Intel generations; the 93-doublet
+    Skylake PHR must carry the same attacks."""
+
+    def test_profile_on_skylake(self):
+        attack = AesSpectreAttack(Machine(SKYLAKE), KEY,
+                                  rng=DeterministicRng(4))
+        assert sorted(attack.profile()) == list(range(1, 10))
+
+    @pytest.mark.parametrize("exit_iteration", [1, 5, 9])
+    def test_leak_on_skylake(self, exit_iteration):
+        attack = AesSpectreAttack(Machine(SKYLAKE), KEY,
+                                  rng=DeterministicRng(5))
+        plaintext = DeterministicRng(exit_iteration).bytes(16)
+        assert attack.success_rate(plaintext, exit_iteration) == 1.0
+
+    def test_key_byte_recovery_on_skylake(self):
+        from repro.aes.keyrecovery import recover_key_byte
+
+        rng = DeterministicRng(6)
+        key = rng.bytes(16)
+        attack = AesSpectreAttack(Machine(SKYLAKE), key, rng=rng.fork(1))
+        base = rng.bytes(16)
+        assert recover_key_byte(attack.two_round_oracle, base,
+                                index=3) == key[3]
+
+
+class TestCli:
+    def test_table2_subcommand(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["table2"]) == 0
+        output = capsys.readouterr().out
+        assert "matches paper Table 2: True" in output
+
+    def test_list_subcommand(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["list"]) == 0
+        assert "quickstart" in capsys.readouterr().out
+
+    def test_unknown_demo_rejected(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,153 @@
+"""Unit and property tests for repro.utils.bits."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bits import (
+    bit,
+    bits,
+    fold_xor,
+    mask,
+    parity,
+    popcount,
+    rotate_left,
+    set_bit,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 1
+        assert mask(4) == 0xF
+        assert mask(16) == 0xFFFF
+
+    def test_wide(self):
+        assert mask(388) == (1 << 388) - 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestBit:
+    def test_extracts_each_position(self):
+        value = 0b1010_0110
+        assert [bit(value, i) for i in range(8)] == [0, 1, 1, 0, 0, 1, 0, 1]
+
+    def test_beyond_value_is_zero(self):
+        assert bit(0b1, 40) == 0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            bit(1, -1)
+
+
+class TestBits:
+    def test_slice(self):
+        assert bits(0b110100, 4, 2) == 0b101
+
+    def test_single_bit_slice(self):
+        assert bits(0b100, 2, 2) == 1
+
+    def test_full_value(self):
+        assert bits(0xDEADBEEF, 31, 0) == 0xDEADBEEF
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            bits(0, 0, 1)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=0, max_value=63),
+           st.integers(min_value=0, max_value=63))
+    def test_matches_shift_and_mask(self, value, a, b):
+        high, low = max(a, b), min(a, b)
+        assert bits(value, high, low) == (value >> low) & mask(high - low + 1)
+
+
+class TestSetBit:
+    def test_set_and_clear(self):
+        assert set_bit(0b1000, 0, 1) == 0b1001
+        assert set_bit(0b1001, 3, 0) == 0b0001
+
+    def test_idempotent(self):
+        assert set_bit(0b1010, 1, 1) == 0b1010
+
+    def test_invalid_bit_value_rejected(self):
+        with pytest.raises(ValueError):
+            set_bit(0, 0, 2)
+
+    @given(st.integers(min_value=0, max_value=2**32),
+           st.integers(min_value=0, max_value=40),
+           st.integers(min_value=0, max_value=1))
+    def test_result_has_bit(self, value, index, bit_value):
+        assert bit(set_bit(value, index, bit_value), index) == bit_value
+
+
+class TestPopcountParity:
+    def test_popcount_examples(self):
+        assert popcount(0) == 0
+        assert popcount(0xFF) == 8
+        assert popcount(0b1011) == 3
+
+    def test_parity_examples(self):
+        assert parity(0) == 0
+        assert parity(0b111) == 1
+        assert parity(0b1111) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-2)
+
+    @given(st.integers(min_value=0, max_value=2**128))
+    def test_parity_is_popcount_mod_2(self, value):
+        assert parity(value) == popcount(value) % 2
+
+
+class TestFoldXor:
+    def test_identity_when_chunk_covers(self):
+        assert fold_xor(0xABC, 12, 12) == 0xABC
+
+    def test_two_chunk_fold(self):
+        assert fold_xor(0xAB_CD, 16, 8) == 0xAB ^ 0xCD
+
+    def test_uneven_tail_chunk(self):
+        # 12 bits folded into 8: tail is the high nibble.
+        assert fold_xor(0xFCD, 12, 8) == 0xCD ^ 0x0F
+
+    def test_zero_folds_to_zero(self):
+        assert fold_xor(0, 388, 9) == 0
+
+    def test_bad_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            fold_xor(1, 8, 0)
+
+    @given(st.integers(min_value=0, max_value=2**96 - 1),
+           st.integers(min_value=1, max_value=16))
+    def test_result_fits_chunk(self, value, chunk):
+        assert fold_xor(value, 96, chunk) < (1 << chunk)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=1, max_value=16))
+    def test_linear_over_xor(self, a, b, chunk):
+        folded = fold_xor(a ^ b, 64, chunk)
+        assert folded == fold_xor(a, 64, chunk) ^ fold_xor(b, 64, chunk)
+
+
+class TestRotateLeft:
+    def test_simple(self):
+        assert rotate_left(0b0001, 1, 4) == 0b0010
+
+    def test_wraps(self):
+        assert rotate_left(0b1000, 1, 4) == 0b0001
+
+    def test_full_rotation_is_identity(self):
+        assert rotate_left(0xAB, 8, 8) == 0xAB
+
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=64))
+    def test_preserves_popcount(self, value, amount):
+        assert popcount(rotate_left(value, amount, 8)) == popcount(value)

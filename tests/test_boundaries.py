@@ -1,0 +1,72 @@
+"""Tests for the Table 2 boundary-practicality matrix (Section 7)."""
+
+import pytest
+
+from repro.attacks import BOUNDARIES, PRIMITIVES, evaluate_table2
+from repro.attacks.boundaries import (
+    _read_phr_works,
+    _read_pht_works,
+    _write_phr_works,
+    _write_pht_works,
+)
+from repro.cpu import RAPTOR_LAKE, SKYLAKE
+
+
+class TestFullMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return evaluate_table2(RAPTOR_LAKE)
+
+    def test_matches_paper_table2(self, matrix):
+        assert matrix.matches_paper()
+
+    def test_phr_primitives_fail_only_under_smt(self, matrix):
+        for primitive in ("Read PHR", "Write PHR"):
+            for boundary in BOUNDARIES:
+                expected = boundary != "SMT"
+                assert matrix.get(primitive, boundary) is expected, \
+                    (primitive, boundary)
+
+    def test_pht_primitives_work_everywhere(self, matrix):
+        for primitive in ("Read PHT", "Write PHT"):
+            for boundary in BOUNDARIES:
+                assert matrix.get(primitive, boundary), (primitive, boundary)
+
+    def test_rows_render_paper_layout(self, matrix):
+        rows = matrix.rows()
+        assert len(rows) == len(PRIMITIVES)
+        assert rows[0][0] == "Read PHR"
+        assert rows[0][1:] == ["yes", "yes", "yes", "yes", "no",
+                               "yes", "yes"]
+
+
+class TestIndividualCells:
+    def test_read_phr_across_kernel_exit(self):
+        assert _read_phr_works(RAPTOR_LAKE, "User/Kernel Exit")
+
+    def test_read_phr_blocked_by_smt(self):
+        assert not _read_phr_works(RAPTOR_LAKE, "SMT")
+
+    def test_write_phr_survives_ibpb(self):
+        assert _write_phr_works(RAPTOR_LAKE, "IBPB")
+
+    def test_write_pht_crosses_smt(self):
+        assert _write_pht_works(RAPTOR_LAKE, "SMT")
+
+    def test_read_pht_crosses_sgx(self):
+        assert _read_pht_works(RAPTOR_LAKE, "SGX Enter")
+        assert _read_pht_works(RAPTOR_LAKE, "SGX Exit")
+
+    def test_unknown_boundary_rejected(self):
+        from repro.attacks.boundaries import _transition
+        from repro.cpu import Machine
+
+        with pytest.raises(ValueError):
+            _transition(Machine(RAPTOR_LAKE), "Hypervisor", 0)
+
+
+class TestSkylakeGeneralisation:
+    """Section 3: the attacks generalise across microarchitectures."""
+
+    def test_table2_holds_on_skylake(self):
+        assert evaluate_table2(SKYLAKE).matches_paper()

@@ -1,0 +1,76 @@
+"""Tests for the BranchScope baseline attack."""
+
+import pytest
+
+from repro.attacks import BranchScopeAttack
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.utils.rng import DeterministicRng
+
+VICTIM_PC = 0x0041_2A00
+VICTIM_TARGET = VICTIM_PC + 0x80
+
+
+def victim_runner(machine, outcomes):
+    """A victim executing one branch with the given outcome sequence."""
+
+    def run():
+        for index, outcome in enumerate(outcomes):
+            # The victim's own history evolves as it executes.
+            machine.phr(0).set_value(index * 0x9E37 + 1)
+            machine.observe_conditional(VICTIM_PC, VICTIM_TARGET, outcome)
+
+    return run
+
+
+class TestBiasReading:
+    @pytest.mark.parametrize("outcomes,expected_bias", [
+        ([True] * 6, True),
+        ([False] * 6, False),
+        ([True, True, True, True, False], True),
+        ([False, False, False, False, True], False),
+    ])
+    def test_reads_dominant_direction(self, outcomes, expected_bias):
+        machine = Machine(RAPTOR_LAKE)
+        attack = BranchScopeAttack(machine, rng=DeterministicRng(1))
+        reading = attack.read_branch_bias(VICTIM_PC,
+                                          victim_runner(machine, outcomes))
+        assert reading.biased_taken is expected_bias
+
+    def test_bias_is_all_branchscope_sees(self):
+        """Two victims with very different per-instance sequences but the
+        same net bias are indistinguishable to BranchScope -- the
+        resolution limitation Pathfinder removes."""
+        sequence_a = [True, True, False, True, True]
+        sequence_b = [True, False, True, True, True]
+        readings = []
+        for outcomes in (sequence_a, sequence_b):
+            machine = Machine(RAPTOR_LAKE)
+            attack = BranchScopeAttack(machine, rng=DeterministicRng(2))
+            readings.append(
+                attack.read_branch_bias(VICTIM_PC,
+                                        victim_runner(machine, outcomes))
+            )
+        assert readings[0].biased_taken == readings[1].biased_taken
+
+
+class TestMechanics:
+    def test_randomize_populates_tagged_tables(self):
+        machine = Machine(RAPTOR_LAKE)
+        attack = BranchScopeAttack(machine, randomize_branches=500,
+                                   rng=DeterministicRng(3))
+        before = machine.cbp.populated_entries()
+        attack.randomize_predictor()
+        assert machine.cbp.populated_entries() > before
+
+    def test_prime_reaches_boundary(self):
+        machine = Machine(RAPTOR_LAKE)
+        attack = BranchScopeAttack(machine, rng=DeterministicRng(4))
+        attack.prime_to_boundary(VICTIM_PC)
+        counter = machine.cbp.base.counter_at(
+            VICTIM_PC + attack.pc_alias_offset
+        )
+        assert counter.value == counter.threshold - 1
+
+    def test_alias_offset_validated(self):
+        with pytest.raises(ValueError):
+            BranchScopeAttack(Machine(RAPTOR_LAKE), pc_alias_offset=0x100)

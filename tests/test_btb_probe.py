@@ -1,0 +1,61 @@
+"""Tests for the BTB probing baseline (Jump-over-ASLR style)."""
+
+from repro.attacks.btb_probe import BtbProbeAttack
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.primitives import VictimHandle
+
+from conftest import build_counted_loop
+
+
+class TestProbing:
+    def test_empty_btb_shows_no_collisions(self):
+        attack = BtbProbeAttack(Machine(RAPTOR_LAKE))
+        assert attack.scan(0x40_0000, 0x40, 64) == []
+
+    def test_executed_branch_detected(self):
+        machine = Machine(RAPTOR_LAKE)
+        machine.record_taken_branch(0x41_2340, 0x41_4000)
+        attack = BtbProbeAttack(machine)
+        result = attack.probe(0x41_2340)
+        assert result.collided
+        assert result.predicted_target == 0x41_4000
+
+    def test_locate_victim_branches(self):
+        """The differential scan finds exactly the victim's branch slots."""
+        machine = Machine(RAPTOR_LAKE)
+        program = build_counted_loop(5, base=0x410000)
+        handle = VictimHandle(machine, program)
+        loop_branch = program.address_of("loop_branch")
+        candidates = [0x410000 + 4 * index for index in range(64)]
+        attack = BtbProbeAttack(machine)
+        found = attack.locate_victim_branch(candidates,
+                                            lambda: handle.invoke())
+        assert found == [loop_branch]
+
+    def test_partial_tagging_causes_aliasing(self):
+        """The BTB's partial tags make distant addresses collide -- the
+        property Jump-over-ASLR exploits to probe from attacker-space
+        addresses."""
+        machine = Machine(RAPTOR_LAKE)
+        victim_pc = 0x0041_2340
+        machine.record_taken_branch(victim_pc, 0x41_4000)
+        attack = BtbProbeAttack(machine)
+        # An address equal in the index+tag-relevant bits collides even
+        # though the full addresses differ.
+        tag_bits = machine.btb.index_low_bit + machine.btb.index_bits \
+            + machine.btb.tag_bits
+        alias_pc = victim_pc + (1 << (tag_bits + 1))
+        assert attack.probe(alias_pc).collided
+
+    def test_resolution_is_existence_only(self):
+        """The baseline's limitation: the BTB channel says a branch exists
+        and where it goes -- nothing about per-instance outcomes."""
+        machine = Machine(RAPTOR_LAKE)
+        program = build_counted_loop(9, base=0x410000)
+        VictimHandle(machine, program).invoke()
+        attack = BtbProbeAttack(machine)
+        result = attack.probe(program.address_of("loop_branch"))
+        assert result.collided
+        # One bit of presence; contrast with Pathfinder's 9 outcomes
+        # (asserted across the suite, e.g. bench_baseline_branchscope).
+        assert isinstance(result.collided, bool)

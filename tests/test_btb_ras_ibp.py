@@ -1,0 +1,114 @@
+"""Tests for the auxiliary BPU structures: BTB, RAS, IBP."""
+
+import pytest
+
+from repro.cpu.btb import BranchTargetBuffer
+from repro.cpu.ibp import IndirectBranchPredictor
+from repro.cpu.phr import PathHistoryRegister
+from repro.cpu.ras import ReturnAddressStack
+
+
+class TestBtb:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer()
+        assert btb.predict(0x1000) is None
+        btb.update(0x1000, 0x2000)
+        assert btb.predict(0x1000) == 0x2000
+
+    def test_update_overwrites_target(self):
+        btb = BranchTargetBuffer()
+        btb.update(0x1000, 0x2000)
+        btb.update(0x1000, 0x3000)
+        assert btb.predict(0x1000) == 0x3000
+
+    def test_lru_within_set(self):
+        btb = BranchTargetBuffer(sets=1, ways=2, index_low_bit=5)
+        btb.update(0x1000, 0x1)
+        btb.update(0x2000, 0x2)
+        btb.predict(0x1000)        # refresh first entry
+        btb.update(0x3000, 0x3)    # evicts the LRU (0x2000)
+        assert btb.predict(0x1000) == 0x1
+        assert btb.predict(0x2000) is None
+
+    def test_flush(self):
+        btb = BranchTargetBuffer()
+        btb.update(0x1000, 0x2000)
+        btb.flush()
+        assert btb.populated_entries() == 0
+
+    def test_hit_miss_counters(self):
+        btb = BranchTargetBuffer()
+        btb.predict(0x1000)
+        btb.update(0x1000, 0x2000)
+        btb.predict(0x1000)
+        assert btb.misses == 1
+        assert btb.hits == 1
+
+    def test_invalid_sets_rejected(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(sets=3)
+
+
+class TestRas:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_underflow_returns_none(self):
+        assert ReturnAddressStack().pop() is None
+
+    def test_overflow_wraps_and_corrupts_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(0x1)
+        ras.push(0x2)
+        ras.push(0x3)  # overwrites 0x1
+        assert ras.overflows == 1
+        assert ras.pop() == 0x3
+        assert ras.pop() == 0x2
+        assert ras.pop() is None
+
+    def test_flush(self):
+        ras = ReturnAddressStack()
+        ras.push(0x1)
+        ras.flush()
+        assert ras.pop() is None
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(depth=0)
+
+
+class TestIbp:
+    def phr(self, value=0):
+        return PathHistoryRegister(194, value)
+
+    def test_miss_then_hit(self):
+        ibp = IndirectBranchPredictor()
+        assert ibp.predict(0x1000, self.phr()) is None
+        ibp.update(0x1000, self.phr(), 0x5000)
+        assert ibp.predict(0x1000, self.phr()) == 0x5000
+
+    def test_history_disambiguates_targets(self):
+        """The IBP keys on (PC, PHR): same branch, different history,
+        different predicted target -- the BHI attack surface."""
+        ibp = IndirectBranchPredictor()
+        ibp.update(0x1000, self.phr(0x1), 0xAAAA)
+        ibp.update(0x1000, self.phr(0x2 << 40), 0xBBBB)
+        assert ibp.predict(0x1000, self.phr(0x1)) == 0xAAAA
+        assert ibp.predict(0x1000, self.phr(0x2 << 40)) == 0xBBBB
+
+    def test_barrier_flushes(self):
+        """IBPB flushes the IBP -- and only the IBP (Section 7.4)."""
+        ibp = IndirectBranchPredictor()
+        ibp.update(0x1000, self.phr(), 0x5000)
+        ibp.barrier()
+        assert ibp.predict(0x1000, self.phr()) is None
+
+    def test_capacity_bounded(self):
+        ibp = IndirectBranchPredictor(max_entries=4)
+        for i in range(10):
+            ibp.update(0x1000 + i, self.phr(), 0x5000 + i)
+        assert ibp.populated_entries() <= 4

@@ -1,0 +1,135 @@
+"""Tests for the data cache and the flush+reload channel."""
+
+import pytest
+
+from repro.channels.flush_reload import FlushReloadChannel
+from repro.cpu.cache import DataCache
+from repro.cpu.machine import Machine
+
+
+class TestDataCache:
+    def test_first_access_misses(self):
+        cache = DataCache()
+        assert cache.access(0x1000) == cache.miss_latency
+
+    def test_second_access_hits(self):
+        cache = DataCache()
+        cache.access(0x1000)
+        assert cache.access(0x1000) == cache.hit_latency
+
+    def test_same_line_shares(self):
+        cache = DataCache(line_size=64)
+        cache.access(0x1000)
+        assert cache.access(0x103F) == cache.hit_latency
+
+    def test_adjacent_lines_do_not_share(self):
+        cache = DataCache(line_size=64)
+        cache.access(0x1000)
+        assert cache.access(0x1040) == cache.miss_latency
+
+    def test_flush_evicts(self):
+        cache = DataCache()
+        cache.access(0x1000)
+        cache.flush(0x1000)
+        assert not cache.contains(0x1000)
+        assert cache.access(0x1000) == cache.miss_latency
+
+    def test_flush_all(self):
+        cache = DataCache()
+        for address in range(0, 0x4000, 64):
+            cache.access(address)
+        cache.flush_all()
+        assert cache.populated_lines() == 0
+
+    def test_contains_has_no_lru_effect(self):
+        cache = DataCache(sets=1, ways=2)
+        cache.access(0)      # line A
+        cache.access(1 << 20)  # line B; LRU order [B, A]
+        cache.contains(0)    # must not refresh A
+        cache.access(2 << 20)  # evicts A (the LRU)
+        assert not cache.contains(0)
+        assert cache.contains(1 << 20)
+
+    def test_lru_eviction_order(self):
+        cache = DataCache(sets=1, ways=2)
+        cache.access(0)
+        cache.access(1 << 20)
+        cache.access(0)            # refresh A
+        cache.access(2 << 20)      # evicts B
+        assert cache.contains(0)
+        assert not cache.contains(1 << 20)
+
+    def test_hit_miss_counters(self):
+        cache = DataCache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(64 * 1024)
+        assert cache.misses == 2
+        assert cache.hits == 1
+
+    def test_page_stride_spreads_across_sets(self):
+        """The L3-style hashed index must spread a page-stride probe
+        array widely enough that a full reload pass self-preserves."""
+        cache = DataCache(sets=1024, ways=8)
+        for slot in range(4096):
+            cache.access(0x2000_0000 + slot * 4096)
+        hits = sum(
+            cache.access(0x2000_0000 + slot * 4096) == cache.hit_latency
+            for slot in range(4096)
+        )
+        assert hits >= 4096 * 0.9
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            DataCache(sets=100)
+        with pytest.raises(ValueError):
+            DataCache(line_size=100)
+
+
+class TestFlushReloadChannel:
+    def test_transmit_one_byte(self):
+        machine = Machine()
+        channel = FlushReloadChannel(machine, entries=256)
+        channel.flush()
+        machine.cache.access(channel.slot_address(0x5A))
+        assert channel.receive_byte() == 0x5A
+
+    def test_silence_reads_as_nothing(self):
+        machine = Machine()
+        channel = FlushReloadChannel(machine, entries=256)
+        channel.flush()
+        assert channel.receive_byte() == -1
+
+    def test_ambiguity_reads_as_nothing(self):
+        machine = Machine()
+        channel = FlushReloadChannel(machine, entries=256)
+        channel.flush()
+        machine.cache.access(channel.slot_address(1))
+        machine.cache.access(channel.slot_address(2))
+        assert channel.receive_byte() == -1
+
+    def test_hot_slots_lists_touched(self):
+        machine = Machine()
+        channel = FlushReloadChannel(machine, entries=256)
+        channel.flush()
+        for index in (3, 99, 200):
+            machine.cache.access(channel.slot_address(index))
+        assert channel.hot_slots() == [3, 99, 200]
+
+    def test_reload_refills(self):
+        machine = Machine()
+        channel = FlushReloadChannel(machine, entries=64)
+        channel.flush()
+        machine.cache.access(channel.slot_address(7))
+        channel.reload_times()
+        # Everything is now cached; a second pass sees all hits.
+        assert channel.hot_slots() == list(range(64))
+
+    def test_slot_bounds_checked(self):
+        channel = FlushReloadChannel(Machine(), entries=16)
+        with pytest.raises(ValueError):
+            channel.slot_address(16)
+
+    def test_small_stride_rejected(self):
+        with pytest.raises(ValueError):
+            FlushReloadChannel(Machine(), stride=16)

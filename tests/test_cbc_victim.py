@@ -1,0 +1,97 @@
+"""Tests for the CBC victim and the mode-generality claim of Section 9."""
+
+import pytest
+
+from repro.aes.cbc_victim import AesCbcVictim
+from repro.aes.modes import cbc_encrypt
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.cpu.phr import replay_taken_branches
+from repro.isa.interpreter import CpuState
+from repro.isa.memory import Memory
+from repro.pathfinder import ControlFlowGraph, PathSearch
+from repro.pathfinder.report import build_report
+from repro.primitives import PhtWriter
+from repro.utils.rng import DeterministicRng
+
+KEY = bytes(range(16))
+IV = bytes(range(100, 116))
+
+
+def run_victim(machine, plaintext):
+    victim = AesCbcVictim(KEY)
+    memory = Memory()
+    victim.provision(memory, plaintext, IV)
+    result = machine.run(victim.program, state=CpuState(), memory=memory,
+                         entry=victim.program.address_of("cbc_encrypt"))
+    return victim, memory, result
+
+
+class TestCorrectness:
+    def test_matches_reference_cbc(self):
+        plaintext = DeterministicRng(1).bytes(48)
+        machine = Machine(RAPTOR_LAKE)
+        victim, memory, __ = run_victim(machine, plaintext)
+        assert victim.read_ciphertext(memory, 3) == \
+               cbc_encrypt(plaintext, KEY, IV)
+
+    def test_single_block(self):
+        plaintext = DeterministicRng(2).bytes(16)
+        machine = Machine(RAPTOR_LAKE)
+        victim, memory, __ = run_victim(machine, plaintext)
+        assert victim.read_ciphertext(memory, 1) == \
+               cbc_encrypt(plaintext, KEY, IV)
+
+    def test_validation(self):
+        victim = AesCbcVictim(KEY)
+        with pytest.raises(ValueError):
+            victim.provision(Memory(), b"short", IV)
+        with pytest.raises(ValueError):
+            victim.provision(Memory(), bytes(16), b"shortiv")
+
+
+class TestTwoDimensionalPoisoning:
+    def test_pathfinder_gives_per_block_per_round_coordinates(self):
+        """The inner branch executes (rounds-1) x blocks times; Pathfinder
+        pins a distinct PHR for every (block, round) instance."""
+        plaintext = DeterministicRng(3).bytes(32)
+        machine = Machine(RAPTOR_LAKE)
+        victim, __, result = run_victim(machine, plaintext)
+        taken = [(r.pc, r.target) for r in result.trace if r.taken]
+        doublets = replay_taken_branches(len(taken), taken).doublets()
+        cfg = ControlFlowGraph(victim.program,
+                               entry=victim.program.address_of("cbc_encrypt"))
+        paths = PathSearch(cfg, mode="exact").search(doublets)
+        assert len(paths) == 1
+        report = build_report(cfg, paths[0])
+        inner_phrs = [value for block, value in report.phr_at_block
+                      if block == victim.round_block_start]
+        assert len(inner_phrs) == 9 * 2  # 9 iterations x 2 blocks
+        assert len(set(inner_phrs)) == len(inner_phrs)
+
+    def test_poison_selects_block_and_round(self):
+        """Poisoning (block 1, iteration 3) mispredicts exactly there."""
+        plaintext = DeterministicRng(4).bytes(32)
+        machine = Machine(RAPTOR_LAKE)
+        victim, __, result = run_victim(machine, plaintext)
+        taken = [(r.pc, r.target) for r in result.trace if r.taken]
+        doublets = replay_taken_branches(len(taken), taken).doublets()
+        cfg = ControlFlowGraph(victim.program,
+                               entry=victim.program.address_of("cbc_encrypt"))
+        report = build_report(cfg,
+                              PathSearch(cfg, mode="exact").search(doublets)[0])
+        inner_phrs = [value for block, value in report.phr_at_block
+                      if block == victim.round_block_start]
+        target_instance = 9 + 2  # block 1, iteration 3 (0-indexed list)
+        writer = PhtWriter(machine)
+        writer.write(victim.round_branch_pc, inner_phrs[target_instance],
+                     taken=False)
+
+        machine.clear_phr()
+        before = machine.perf.snapshot()
+        memory = Memory()
+        victim.provision(memory, plaintext, IV)
+        machine.run(victim.program, state=CpuState(), memory=memory,
+                    entry=victim.program.address_of("cbc_encrypt"))
+        delta = machine.perf.delta(before)
+        assert delta.per_pc_mispredictions.get(victim.round_branch_pc,
+                                               0) == 1

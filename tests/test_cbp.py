@@ -1,0 +1,119 @@
+"""Tests for the TAGE-style conditional branch predictor."""
+
+from repro.cpu.cbp import ConditionalBranchPredictor
+from repro.cpu.phr import PathHistoryRegister
+
+
+def make_cbp() -> ConditionalBranchPredictor:
+    return ConditionalBranchPredictor(history_lengths=(34, 66, 194))
+
+
+def phr_of(value: int) -> PathHistoryRegister:
+    return PathHistoryRegister(194, value)
+
+
+class TestPrediction:
+    def test_cold_prediction_comes_from_base(self):
+        cbp = make_cbp()
+        prediction = cbp.predict(0x40, phr_of(0))
+        assert prediction.provider == 0
+        assert prediction.entry is None
+        assert not prediction.taken  # weak not-taken default
+
+    def test_base_trains_without_history(self):
+        cbp = make_cbp()
+        for _ in range(3):
+            cbp.update(0x40, phr_of(0), True)
+        assert cbp.predict(0x40, phr_of(0)).taken
+
+    def test_allocation_on_mispredict(self):
+        cbp = make_cbp()
+        prediction = cbp.predict(0x40, phr_of(5))
+        cbp.update(0x40, phr_of(5), True, prediction)  # base said NT
+        assert cbp.tables[0].lookup(0x40, phr_of(5)) is not None
+
+    def test_no_allocation_on_correct_prediction(self):
+        cbp = make_cbp()
+        prediction = cbp.predict(0x40, phr_of(5))
+        cbp.update(0x40, phr_of(5), False, prediction)  # base said NT, right
+        assert cbp.tables[0].lookup(0x40, phr_of(5)) is None
+
+    def test_longest_matching_table_provides(self):
+        cbp = make_cbp()
+        phr = phr_of(7)
+        cbp.tables[0].allocate(0x40, phr, taken=False)
+        cbp.tables[2].allocate(0x40, phr, taken=True)
+        prediction = cbp.predict(0x40, phr)
+        assert prediction.provider == 3
+        assert prediction.taken
+
+    def test_update_recomputes_prediction_if_missing(self):
+        cbp = make_cbp()
+        cbp.update(0x40, phr_of(1), True)  # no prediction passed
+        assert cbp.tables[0].lookup(0x40, phr_of(1)) is not None
+
+
+class TestHistoryCorrelation:
+    """The predictor must learn patterns only global history separates --
+    the mechanism behind the Figure 4 read protocol."""
+
+    def test_disambiguates_by_top_doublet(self):
+        cbp = make_cbp()
+        context_a = phr_of(0b01 << (2 * 193))
+        context_b = phr_of(0b11 << (2 * 193))
+        pc = 0x1234
+        # Alternate: context A always taken, context B always not-taken.
+        for _ in range(12):
+            cbp.observe(pc, context_a, True)
+            cbp.observe(pc, context_b, False)
+        assert cbp.predict(pc, context_a).taken
+        assert not cbp.predict(pc, context_b).taken
+
+    def test_converges_to_zero_mispredicts(self):
+        cbp = make_cbp()
+        context_a = phr_of(0b10 << (2 * 193))
+        context_b = phr_of(0)
+        pc = 0x40AC00
+        for _ in range(16):
+            cbp.observe(pc, context_a, True)
+            cbp.observe(pc, context_b, False)
+        missed = 0
+        for _ in range(8):
+            missed += cbp.observe(pc, context_a, True)
+            missed += cbp.observe(pc, context_b, False)
+        assert missed == 0
+
+    def test_identical_history_cannot_converge(self):
+        """50% misprediction when the contexts collide (X == P_i)."""
+        cbp = make_cbp()
+        context = phr_of(0b01 << (2 * 193))
+        pc = 0x40AC00
+        outcomes = [True, False] * 16
+        missed = sum(cbp.observe(pc, context, outcome)
+                     for outcome in outcomes[16:])
+        assert missed >= 8  # keeps mispredicting about half the time
+
+
+class TestObserve:
+    def test_returns_mispredict_flag(self):
+        cbp = make_cbp()
+        assert cbp.observe(0x40, phr_of(0), True) is True  # cold NT vs T
+        for _ in range(4):
+            cbp.observe(0x40, phr_of(0), True)
+        assert cbp.observe(0x40, phr_of(0), True) is False
+
+
+class TestMaintenance:
+    def test_flush(self):
+        cbp = make_cbp()
+        for value in range(8):
+            cbp.observe(0x40, phr_of(value), True)
+        assert cbp.populated_entries() > 0
+        cbp.flush()
+        assert cbp.populated_entries() == 0
+
+    def test_non_monotonic_lengths_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ConditionalBranchPredictor(history_lengths=(66, 34))

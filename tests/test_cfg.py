@@ -1,0 +1,142 @@
+"""Tests for CFG construction."""
+
+from repro.isa import ProgramBuilder
+from repro.pathfinder import ControlFlowGraph, EdgeKind
+
+from conftest import build_counted_loop
+
+
+def edges_of(cfg, source, kind=None):
+    edges = cfg.edges_out.get(source, [])
+    if kind is not None:
+        edges = [e for e in edges if e.kind is kind]
+    return edges
+
+
+class TestBlockCarving:
+    def test_loop_has_three_blocks(self):
+        program = build_counted_loop(5)
+        cfg = ControlFlowGraph(program)
+        assert cfg.block_count() == 3
+
+    def test_branch_target_starts_block(self):
+        b = ProgramBuilder(base=0x1000)
+        b.nop()
+        b.jmp("target")
+        b.nop()
+        b.label("target")
+        b.nop()
+        b.halt()
+        cfg = ControlFlowGraph(b.build())
+        assert 0x100C in cfg.blocks
+
+    def test_fall_through_after_branch_starts_block(self):
+        program = build_counted_loop(2)
+        cfg = ControlFlowGraph(program)
+        loop_branch = program.address_of("loop_branch")
+        assert loop_branch + 4 in cfg.blocks
+
+    def test_address_gap_starts_block(self):
+        b = ProgramBuilder(base=0x1000)
+        b.nop()
+        b.at(0x2000)
+        b.nop()
+        b.halt()
+        cfg = ControlFlowGraph(b.build())
+        assert 0x2000 in cfg.blocks
+        # The pre-gap block has no fall-through edge (nothing at 0x1004).
+        assert not edges_of(cfg, 0x1000)
+        assert cfg.blocks[0x1000].is_exit
+
+    def test_block_containing(self):
+        program = build_counted_loop(3)
+        cfg = ControlFlowGraph(program)
+        loop = program.address_of("loop")
+        assert cfg.block_containing(loop + 4).start == loop
+
+
+class TestEdges:
+    def test_conditional_branch_edges(self):
+        program = build_counted_loop(4)
+        cfg = ControlFlowGraph(program)
+        loop = program.address_of("loop")
+        taken = edges_of(cfg, loop, EdgeKind.TAKEN)
+        not_taken = edges_of(cfg, loop, EdgeKind.NOT_TAKEN)
+        assert len(taken) == 1 and taken[0].destination == loop
+        assert len(not_taken) == 1
+        assert taken[0].footprint is not None
+        assert not_taken[0].footprint is None
+
+    def test_jump_edge_has_footprint(self):
+        b = ProgramBuilder(base=0x1000)
+        b.jmp("end")
+        b.nop()
+        b.label("end")
+        b.halt()
+        cfg = ControlFlowGraph(b.build())
+        edge = edges_of(cfg, 0x1000, EdgeKind.JUMP)[0]
+        assert edge.footprint is not None
+        assert edge.kind.updates_phr
+
+    def test_call_records_continuation(self):
+        b = ProgramBuilder(base=0x1000)
+        b.call("fn")
+        b.halt()
+        b.label("fn")
+        b.ret()
+        cfg = ControlFlowGraph(b.build())
+        continuation = 0x1004
+        assert continuation in cfg.call_continuations
+        assert cfg.call_continuations[continuation] == [0x1008]
+
+    def test_edges_in_indexes_destinations(self):
+        program = build_counted_loop(3)
+        cfg = ControlFlowGraph(program)
+        loop = program.address_of("loop")
+        incoming = cfg.edges_in[loop]
+        kinds = {edge.kind for edge in incoming}
+        assert EdgeKind.TAKEN in kinds
+        assert EdgeKind.FALLTHROUGH in kinds
+
+
+class TestExits:
+    def test_ret_block_is_exit(self):
+        program = build_counted_loop(2)
+        cfg = ControlFlowGraph(program)
+        exits = cfg.exit_blocks()
+        assert len(exits) == 1
+        from repro.isa.instructions import Ret
+        assert isinstance(exits[0].terminator, Ret)
+
+    def test_halt_block_is_exit(self):
+        b = ProgramBuilder()
+        b.nop().halt()
+        cfg = ControlFlowGraph(b.build())
+        assert cfg.exit_blocks()
+
+    def test_conditional_branch_pcs(self):
+        program = build_counted_loop(3)
+        cfg = ControlFlowGraph(program)
+        assert cfg.conditional_branch_pcs() == \
+               [program.address_of("loop_branch")]
+
+    def test_describe_mentions_blocks(self):
+        cfg = ControlFlowGraph(build_counted_loop(3))
+        text = cfg.describe()
+        assert "block" in text
+        assert "taken" in text
+
+
+class TestEdgeKind:
+    def test_updates_phr_classification(self):
+        assert EdgeKind.TAKEN.updates_phr
+        assert EdgeKind.JUMP.updates_phr
+        assert EdgeKind.CALL.updates_phr
+        assert EdgeKind.RET.updates_phr
+        assert not EdgeKind.NOT_TAKEN.updates_phr
+        assert not EdgeKind.FALLTHROUGH.updates_phr
+
+    def test_conditional_classification(self):
+        assert EdgeKind.TAKEN.is_conditional
+        assert EdgeKind.NOT_TAKEN.is_conditional
+        assert not EdgeKind.JUMP.is_conditional

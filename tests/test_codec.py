@@ -1,0 +1,94 @@
+"""Tests for the JPEG-style codec pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.jpeg import JpegCodec
+from repro.jpeg.images import checkerboard, flat, gradient, logo, noise
+
+
+class TestBlockPlumbing:
+    def test_split_pads_to_block_multiple(self):
+        codec = JpegCodec()
+        image = np.zeros((10, 13))
+        blocks, height, width = codec.split_blocks(image)
+        assert (height, width) == (10, 13)
+        assert len(blocks) == 2 * 2
+        assert all(block.shape == (8, 8) for block in blocks)
+
+    def test_join_inverts_split(self):
+        codec = JpegCodec()
+        rng = np.random.default_rng(0)
+        image = rng.uniform(0, 255, (24, 16))
+        blocks, height, width = codec.split_blocks(image)
+        assert np.allclose(codec.join_blocks(blocks, height, width), image)
+
+    def test_padding_replicates_edges(self):
+        codec = JpegCodec()
+        image = np.full((4, 4), 99.0)
+        blocks, __, __ = codec.split_blocks(image)
+        assert np.allclose(blocks[0][:4, :4], 99.0)
+        assert np.allclose(blocks[0][4:, :], 99.0)  # replicated rows
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("make_image", [flat, gradient, logo])
+    def test_smooth_images_survive_high_quality(self, make_image):
+        codec = JpegCodec(quality=95)
+        image = make_image(32)
+        decoded = codec.decode(codec.encode(image))
+        assert decoded.shape == image.shape
+        assert np.mean(np.abs(decoded - image)) < 10.0
+
+    def test_flat_image_is_near_lossless(self):
+        codec = JpegCodec(quality=75)
+        image = flat(16)
+        decoded = codec.decode(codec.encode(image))
+        assert np.max(np.abs(decoded - image)) <= 2.0
+
+    def test_lower_quality_gives_smaller_streams(self):
+        image = noise(32, seed=1)
+        high = JpegCodec(quality=95).encode(image)
+        low = JpegCodec(quality=10).encode(image)
+        assert len(low.entropy_data) < len(high.entropy_data)
+
+    def test_decode_to_blocks_count(self):
+        codec = JpegCodec()
+        encoded = codec.encode(gradient(32))
+        blocks = codec.decode_to_blocks(encoded)
+        assert len(blocks) == encoded.block_count == 16
+
+    def test_encoded_geometry(self):
+        encoded = JpegCodec().encode(np.zeros((20, 28)))
+        assert encoded.blocks_per_row == 4
+        assert encoded.blocks_per_column == 3
+        assert encoded.block_count == 12
+
+
+class TestConstancyMap:
+    def test_flat_image_has_all_constant(self):
+        codec = JpegCodec()
+        assert np.all(codec.constancy_map(flat(32)) == 0)
+
+    def test_noise_has_few_constant(self):
+        codec = JpegCodec(quality=90)
+        assert np.mean(codec.constancy_map(noise(32, seed=2))) > 10
+
+    def test_map_shape_follows_blocks(self):
+        codec = JpegCodec()
+        assert codec.constancy_map(np.zeros((16, 24))).shape == (2, 3)
+
+    def test_checkerboard_blocks_are_flat_inside(self):
+        """8-pixel-aligned checkerboard squares are flat within each
+        block, so every block reads as fully constant."""
+        codec = JpegCodec()
+        assert np.all(codec.constancy_map(checkerboard(32, square=8)) == 0)
+
+    def test_counts_rows_and_columns_separately(self):
+        codec = JpegCodec(quality=75)
+        # Vertical stripes: every *row* of the coefficient block carries
+        # horizontal frequency content, but columns 1..7 of the DCT are
+        # non-zero only in row 0 -> rows non-constant, columns constant.
+        image = np.tile(np.array([0.0, 255.0] * 16), (32, 1))[:, :32]
+        value = codec.constancy_map(image)[0, 0]
+        assert 1 <= value <= 16

@@ -1,0 +1,69 @@
+"""Edge-case coverage for the JPEG pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.jpeg import HuffmanCodec, JpegCodec
+from repro.jpeg.images import captcha, photo_like, text_banner
+
+
+class TestCodecEdges:
+    def test_single_block_image(self):
+        codec = JpegCodec(quality=90)
+        image = np.full((8, 8), 77.0)
+        decoded = codec.decode(codec.encode(image))
+        assert decoded.shape == (8, 8)
+        assert np.max(np.abs(decoded - image)) <= 2.0
+
+    def test_non_multiple_dimensions(self):
+        codec = JpegCodec()
+        image = np.random.default_rng(0).uniform(0, 255, (13, 21))
+        decoded = codec.decode(codec.encode(image))
+        assert decoded.shape == (13, 21)
+
+    def test_extreme_qualities_roundtrip(self):
+        image = photo_like(24, seed=1)
+        for quality in (1, 100):
+            codec = JpegCodec(quality=quality)
+            decoded = codec.decode(codec.encode(image))
+            assert decoded.shape == image.shape
+
+    def test_quality_1_flattens_everything(self):
+        codec = JpegCodec(quality=1)
+        constancy = codec.constancy_map(photo_like(32, seed=2))
+        better = JpegCodec(quality=95).constancy_map(photo_like(32, seed=2))
+        assert constancy.mean() <= better.mean()
+
+
+class TestHuffmanEdges:
+    def test_invalid_stream_rejected(self):
+        codec = HuffmanCodec()
+        with pytest.raises((ValueError, EOFError)):
+            codec.decode_blocks(b"\x00\x00", block_count=1)
+
+    def test_large_dc_values(self):
+        codec = HuffmanCodec()
+        block = [1000] + [0] * 63
+        assert codec.decode_blocks(codec.encode_blocks([block]), 1) == \
+               [block]
+
+    def test_alternating_extremes(self):
+        codec = HuffmanCodec()
+        block = [(-1) ** i * 120 for i in range(64)]
+        assert codec.decode_blocks(codec.encode_blocks([block]), 1) == \
+               [block]
+
+
+class TestGeneratorDetails:
+    def test_captcha_has_strokes(self):
+        image = captcha(48, seed=23)
+        assert image.min() < 60  # dark stroke pixels exist
+
+    def test_text_banner_has_glyphs(self):
+        image = text_banner(48)
+        assert (image < 50).sum() > 20
+
+    def test_photo_bump_count_changes_content(self):
+        sparse = photo_like(32, seed=3, bumps=2)
+        dense = photo_like(32, seed=3, bumps=25)
+        assert not np.array_equal(sparse, dense)

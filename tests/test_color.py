@@ -1,0 +1,132 @@
+"""Tests for color JPEG support and the colored recovery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.jpeg.color import (
+    ColorImageRecoveryAttack,
+    ColorJpegCodec,
+    rgb_to_ycbcr,
+    subsample_420,
+    upsample_420,
+    ycbcr_to_rgb,
+)
+from repro.jpeg.images import logo
+
+
+def color_test_image(size=32):
+    """A color scene: red disc on green gradient with a blue edge."""
+    yy, xx = np.mgrid[0:size, 0:size]
+    rgb = np.zeros((size, size, 3))
+    rgb[:, :, 1] = (xx / (size - 1)) * 200 + 30
+    disc = (yy - size / 3) ** 2 + (xx - size / 3) ** 2 < (size / 4) ** 2
+    rgb[disc, 0] = 220.0
+    rgb[disc, 1] = 40.0
+    rgb[yy > 3 * size // 4, 2] = 230.0
+    return rgb
+
+
+class TestColorConversion:
+    def test_known_colors(self):
+        white = rgb_to_ycbcr(np.full((1, 1, 3), 255.0))
+        assert white[0, 0, 0] == pytest.approx(255.0, abs=0.5)
+        assert white[0, 0, 1] == pytest.approx(128.0, abs=0.5)
+        black = rgb_to_ycbcr(np.zeros((1, 1, 3)))
+        assert black[0, 0, 0] == pytest.approx(0.0, abs=0.5)
+
+    def test_red_has_high_cr(self):
+        red = rgb_to_ycbcr(np.array([[[255.0, 0.0, 0.0]]]))
+        assert red[0, 0, 2] > 200
+
+    @given(arrays(dtype=np.float64, shape=(4, 4, 3),
+                  elements=st.floats(min_value=0, max_value=255,
+                                     allow_nan=False)))
+    @settings(max_examples=20)
+    def test_roundtrip(self, rgb):
+        # Fully saturated primaries push Cb/Cr half a step past the 0..255
+        # storage range, so the (physical, JPEG-mandated) clamp costs up
+        # to ~1.5 levels at the gamut corners.
+        assert np.allclose(ycbcr_to_rgb(rgb_to_ycbcr(rgb)), rgb, atol=1.6)
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            rgb_to_ycbcr(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            ycbcr_to_rgb(np.zeros((4, 4, 2)))
+
+
+class TestSubsampling:
+    def test_downsample_halves(self):
+        assert subsample_420(np.zeros((16, 16))).shape == (8, 8)
+
+    def test_box_average(self):
+        plane = np.array([[0.0, 4.0], [8.0, 12.0]])
+        assert subsample_420(plane)[0, 0] == 6.0
+
+    def test_odd_dimensions_padded(self):
+        assert subsample_420(np.zeros((5, 7))).shape == (3, 4)
+
+    def test_upsample_restores_shape(self):
+        small = subsample_420(np.random.default_rng(0).uniform(0, 255,
+                                                               (10, 14)))
+        assert upsample_420(small, 10, 14).shape == (10, 14)
+
+    def test_flat_plane_roundtrips_exactly(self):
+        plane = np.full((16, 16), 99.0)
+        assert np.array_equal(upsample_420(subsample_420(plane), 16, 16),
+                              plane)
+
+
+class TestColorCodec:
+    def test_roundtrip_quality(self):
+        codec = ColorJpegCodec(quality=90)
+        image = color_test_image(32)
+        decoded = codec.decode(codec.encode(image))
+        assert decoded.shape == image.shape
+        assert np.mean(np.abs(decoded - image)) < 16.0
+
+    def test_chroma_planes_smaller(self):
+        codec = ColorJpegCodec()
+        encoded = codec.encode(color_test_image(32))
+        assert encoded.chroma_blue.block_count < encoded.luma.block_count
+        assert encoded.total_blocks == 16 + 4 + 4
+
+    def test_grayscale_input_yields_neutral_chroma(self):
+        codec = ColorJpegCodec(quality=90)
+        gray = np.repeat(logo(32)[:, :, None], 3, axis=2)
+        decoded = codec.decode(codec.encode(gray))
+        # R ~= G ~= B everywhere (chroma stays near 128).
+        assert np.mean(np.abs(decoded[:, :, 0] - decoded[:, :, 1])) < 6.0
+
+
+class TestColoredRecovery:
+    def test_recovers_all_three_planes(self):
+        attack = ColorImageRecoveryAttack(lambda: Machine(RAPTOR_LAKE),
+                                          quality=75)
+        encoded = attack.codec.encode(color_test_image(32))
+        results = attack.recover(encoded)
+        assert set(results) == {"luma", "chroma_blue", "chroma_red",
+                                "colored"}
+        # Each plane's map must match its own ground truth.
+        ycbcr = rgb_to_ycbcr(color_test_image(32))
+        component = attack.codec.component_codec
+        assert np.array_equal(results["luma"].complexity_map,
+                              component.constancy_map(ycbcr[:, :, 0]))
+        assert np.array_equal(
+            results["chroma_red"].complexity_map,
+            component.constancy_map(subsample_420(ycbcr[:, :, 2])),
+        )
+
+    def test_colored_render_shape_and_tinting(self):
+        attack = ColorImageRecoveryAttack(lambda: Machine(RAPTOR_LAKE),
+                                          quality=75)
+        encoded = attack.codec.encode(color_test_image(32))
+        results = attack.recover(encoded)
+        colored = results["colored"]
+        assert colored.shape == (32, 32, 3)
+        # Chroma activity exists (the red disc edge), so R and B channels
+        # must diverge from the gray baseline somewhere.
+        assert np.any(colored[:, :, 0] != colored[:, :, 1])

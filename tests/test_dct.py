@@ -1,0 +1,86 @@
+"""Tests for the 8x8 DCT pair."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.jpeg.dct import (
+    BLOCK,
+    constant_idct_1d,
+    dct2_8x8,
+    idct2_8x8,
+    idct_1d,
+    _DCT_BASIS,
+)
+
+block_arrays = arrays(
+    dtype=np.float64,
+    shape=(8, 8),
+    elements=st.floats(min_value=-255, max_value=255, allow_nan=False),
+)
+
+
+class TestBasis:
+    def test_orthonormal(self):
+        identity = _DCT_BASIS @ _DCT_BASIS.T
+        assert np.allclose(identity, np.eye(BLOCK), atol=1e-12)
+
+    def test_dc_row_is_constant(self):
+        assert np.allclose(_DCT_BASIS[0], _DCT_BASIS[0][0])
+
+
+class TestTransforms:
+    @given(block_arrays)
+    @settings(max_examples=25)
+    def test_roundtrip(self, block):
+        assert np.allclose(idct2_8x8(dct2_8x8(block)), block, atol=1e-8)
+
+    def test_flat_block_has_only_dc(self):
+        flat = np.full((8, 8), 100.0)
+        coefficients = dct2_8x8(flat)
+        assert abs(coefficients[0, 0] - 800.0) < 1e-9
+        coefficients[0, 0] = 0
+        assert np.allclose(coefficients, 0, atol=1e-9)
+
+    def test_parseval_energy_preserved(self):
+        rng = np.random.default_rng(1)
+        block = rng.uniform(-100, 100, (8, 8))
+        assert np.isclose(np.sum(block ** 2),
+                          np.sum(dct2_8x8(block) ** 2))
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            dct2_8x8(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            idct2_8x8(np.zeros((8, 4)))
+
+    def test_linearity(self):
+        rng = np.random.default_rng(2)
+        a = rng.uniform(-50, 50, (8, 8))
+        b = rng.uniform(-50, 50, (8, 8))
+        assert np.allclose(dct2_8x8(a + b), dct2_8x8(a) + dct2_8x8(b))
+
+
+class TestOneDimensional:
+    def test_idct_1d_matches_2d_on_columns(self):
+        rng = np.random.default_rng(3)
+        coefficients = rng.uniform(-50, 50, (8, 8))
+        # Column-wise 1-D IDCT equals one pass of the separable 2-D IDCT.
+        workspace = np.column_stack([idct_1d(coefficients[:, c])
+                                     for c in range(8)])
+        full = idct2_8x8(coefficients)
+        recomposed = np.vstack([idct_1d(workspace[r, :])
+                                   for r in range(8)])
+        assert np.allclose(recomposed, full, atol=1e-9)
+
+    def test_constant_idct_matches_general(self):
+        """The 'simple computation' arm equals the general transform on a
+        DC-only vector -- the libjpeg optimisation's correctness."""
+        vector = np.zeros(8)
+        vector[0] = 37.0
+        assert np.allclose(constant_idct_1d(37.0), idct_1d(vector))
+
+    def test_idct_1d_shape_validated(self):
+        with pytest.raises(ValueError):
+            idct_1d(np.zeros(4))

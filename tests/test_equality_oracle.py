@@ -1,0 +1,96 @@
+"""Tests for the one-bit equality-leak oracle variant (Section 9)."""
+
+import pytest
+
+from repro.aes.core import reduced_round_ciphertext
+from repro.aes.equality_oracle import EqualityLeakAttack, EqualityOracle
+from repro.aes.keyschedule import expand_key
+from repro.aes.modes import ecb_encrypt
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.utils.rng import DeterministicRng
+
+KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+
+
+class TestOracleBehaviour:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EqualityOracle(Machine(RAPTOR_LAKE), KEY, position=16, constant=0)
+        with pytest.raises(ValueError):
+            EqualityOracle(Machine(RAPTOR_LAKE), KEY, position=0,
+                           constant=300)
+
+    def test_flag_follows_architectural_equality(self):
+        rng = DeterministicRng(1)
+        machine = Machine(RAPTOR_LAKE)
+        plaintext = rng.bytes(16)
+        expected = ecb_encrypt(plaintext, KEY)
+        position = 5
+        oracle_hit = EqualityOracle(machine, KEY, position,
+                                    constant=expected[position])
+        oracle_hit.run(plaintext)  # warm the predictor (steady state)
+        ciphertext, flagged = oracle_hit.run(plaintext)
+        assert ciphertext == expected
+        assert flagged
+
+    def test_flag_silent_on_mismatch(self):
+        rng = DeterministicRng(2)
+        machine = Machine(RAPTOR_LAKE)
+        plaintext = rng.bytes(16)
+        expected = ecb_encrypt(plaintext, KEY)
+        position = 3
+        oracle_miss = EqualityOracle(machine, KEY, position,
+                                     constant=expected[position] ^ 0xFF)
+        oracle_miss.run(plaintext)  # warm the predictor (steady state)
+        __, flagged = oracle_miss.run(plaintext)
+        assert not flagged
+
+
+class TestTransientDetection:
+    def test_detects_reduced_round_matches(self):
+        """Over random inputs, the attack flags exactly the trials whose
+        reduced-round byte equals the constant (the paper's repeat-until-
+        detected protocol)."""
+        rng = DeterministicRng(3)
+        round_keys = expand_key(KEY)
+        position = 0
+        exit_iteration = 2
+
+        # Pick a constant that some trials will hit: use the RRC byte of
+        # the first plaintext.
+        plaintexts = [rng.bytes(16) for _ in range(12)]
+        constant = reduced_round_ciphertext(plaintexts[0], round_keys,
+                                            exit_iteration)[position]
+
+        machine = Machine(RAPTOR_LAKE)
+        attack = EqualityLeakAttack(machine, KEY, position, constant)
+        detected = attack.collect_matches(plaintexts, exit_iteration)
+
+        expected = [
+            p for p in plaintexts
+            if reduced_round_ciphertext(p, round_keys,
+                                        exit_iteration)[position] == constant
+            and ecb_encrypt(p, KEY)[position] != constant
+        ]
+        assert detected == expected
+        assert plaintexts[0] in detected
+
+    def test_single_observation(self):
+        rng = DeterministicRng(4)
+        round_keys = expand_key(KEY)
+        plaintext = rng.bytes(16)
+        rrc = reduced_round_ciphertext(plaintext, round_keys, 1)
+        machine = Machine(RAPTOR_LAKE)
+        attack = EqualityLeakAttack(machine, KEY, position=7,
+                                    constant=rrc[7])
+        assert attack.observe(plaintext, exit_iteration=1)
+
+    def test_no_false_positives(self):
+        rng = DeterministicRng(5)
+        round_keys = expand_key(KEY)
+        plaintext = rng.bytes(16)
+        rrc = reduced_round_ciphertext(plaintext, round_keys, 1)
+        machine = Machine(RAPTOR_LAKE)
+        attack = EqualityLeakAttack(machine, KEY, position=7,
+                                    constant=rrc[7] ^ 0x5A)
+        assert not attack.observe(plaintext, exit_iteration=1)

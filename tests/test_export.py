@@ -1,0 +1,56 @@
+"""Tests for DOT export of Pathfinder CFGs."""
+
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.cpu.phr import replay_taken_branches
+from repro.pathfinder import ControlFlowGraph, PathSearch
+from repro.pathfinder.export import to_dot
+from repro.primitives import VictimHandle
+
+from conftest import build_counted_loop
+
+
+def cfg_and_path(iterations=5):
+    program = build_counted_loop(iterations)
+    handle = VictimHandle(Machine(RAPTOR_LAKE), program)
+    taken = handle.taken_branches()
+    doublets = replay_taken_branches(len(taken), taken).doublets()
+    cfg = ControlFlowGraph(program)
+    path = PathSearch(cfg, mode="exact").search(doublets)[0]
+    return cfg, path
+
+
+class TestDotExport:
+    def test_valid_skeleton(self):
+        cfg, __ = cfg_and_path()
+        dot = to_dot(cfg)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+    def test_all_blocks_present(self):
+        cfg, __ = cfg_and_path()
+        dot = to_dot(cfg)
+        for number in range(1, cfg.block_count() + 1):
+            assert f'"BB{number}"' in dot
+
+    def test_path_highlighting(self):
+        cfg, path = cfg_and_path(9)
+        dot = to_dot(cfg, path)
+        assert "color=red" in dot
+        assert "x8" in dot          # the back edge traversal count
+        assert 'xlabel="x9"' in dot  # loop body visits
+
+    def test_edge_kinds_styled(self):
+        cfg, path = cfg_and_path()
+        dot = to_dot(cfg, path)
+        assert "style=dashed" in dot or '"NT' in dot
+
+    def test_title_escaped(self):
+        cfg, __ = cfg_and_path()
+        dot = to_dot(cfg, title='my "quoted" run')
+        assert 'digraph "my \\"quoted\\" run"' in dot
+
+    def test_without_path_no_highlight(self):
+        cfg, __ = cfg_and_path()
+        dot = to_dot(cfg)
+        assert "color=red" not in dot

@@ -1,0 +1,110 @@
+"""Tests for the branch footprint function (paper Figure 2)."""
+
+from hypothesis import given, strategies as st
+
+from repro.cpu.footprint import (
+    FOOTPRINT_BITS,
+    branch_footprint,
+    footprint_bit_sources,
+    footprint_doublet,
+)
+from repro.utils.bits import bit
+
+import pytest
+
+
+class TestZeroFootprint:
+    """The Shift_PHR property: aligned branch + aligned target -> zero."""
+
+    def test_fully_aligned_is_zero(self):
+        assert branch_footprint(0x7F00_0000, 0x7F01_0000) == 0
+
+    def test_target_low6_only_matters(self):
+        # Bits 6+ of the target never appear in the footprint.
+        assert branch_footprint(0x40_0000, 0x40_0000 + (1 << 6)) == 0
+        assert branch_footprint(0x40_0000, 0x123456_0000 + 0x40) == 0
+
+    def test_branch_high_bits_ignored(self):
+        a = branch_footprint(0x0001_2344, 0x0001_2388)
+        b = branch_footprint(0xFFFF_0001_2344, 0xABCD_0001_2388)
+        assert a == b
+
+
+class TestWritePhrProperty:
+    """Target bits T0/T1 map exactly onto footprint doublet 0."""
+
+    @pytest.mark.parametrize("t0", [0, 1])
+    @pytest.mark.parametrize("t1", [0, 1])
+    def test_doublet0_encoding(self, t0, t1):
+        target = 0x50_0000 | t0 | (t1 << 1)
+        footprint = branch_footprint(0x7000_0000, target)
+        assert footprint_doublet(0x7000_0000, target, 0) == (t0 << 1) | t1
+        # Nothing else is set.
+        assert footprint >> 2 == 0
+
+
+class TestLayout:
+    def test_documented_layout(self):
+        assert footprint_bit_sources() == [
+            "B12", "B13", "B5", "B6", "B7", "B8", "B9", "B10",
+            "B0^T2", "B1^T3", "B2^T4", "B11^T5", "B14", "B15",
+            "B3^T0", "B4^T1",
+        ]
+
+    def test_every_low_branch_bit_appears(self):
+        # Flipping any of B15..B0 alone must flip exactly one footprint bit.
+        for b_index in range(16):
+            base = branch_footprint(0, 0)
+            flipped = branch_footprint(1 << b_index, 0)
+            assert bin(base ^ flipped).count("1") == 1, f"B{b_index}"
+
+    def test_every_target_bit_appears(self):
+        for t_index in range(6):
+            base = branch_footprint(0, 0)
+            flipped = branch_footprint(0, 1 << t_index)
+            assert bin(base ^ flipped).count("1") == 1, f"T{t_index}"
+
+    def test_width(self):
+        assert FOOTPRINT_BITS == 16
+        assert branch_footprint(0xFFFF, 0x3F) < (1 << 16)
+
+
+class TestDoubletAccess:
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            footprint_doublet(0, 0, 8)
+        with pytest.raises(ValueError):
+            footprint_doublet(0, 0, -1)
+
+    def test_consistent_with_full_footprint(self):
+        pc, target = 0x41F2C4, 0x41F300
+        footprint = branch_footprint(pc, target)
+        for index in range(8):
+            assert footprint_doublet(pc, target, index) == \
+                   (footprint >> (2 * index)) & 0b11
+
+
+class TestLinearity:
+    """The footprint is XOR-linear in (pc, target) bit vectors."""
+
+    @given(st.integers(min_value=0, max_value=0xFFFF),
+           st.integers(min_value=0, max_value=0xFFFF),
+           st.integers(min_value=0, max_value=0x3F),
+           st.integers(min_value=0, max_value=0x3F))
+    def test_xor_linearity(self, pc_a, pc_b, t_a, t_b):
+        combined = branch_footprint(pc_a ^ pc_b, t_a ^ t_b)
+        separate = branch_footprint(pc_a, t_a) ^ branch_footprint(pc_b, t_b)
+        assert combined == separate
+
+    @given(st.integers(min_value=0, max_value=2**48),
+           st.integers(min_value=0, max_value=2**48))
+    def test_only_low_bits_matter(self, pc, target):
+        assert branch_footprint(pc, target) == \
+               branch_footprint(pc & 0xFFFF, target & 0x3F)
+
+    def test_flipped_b3_t0_cancel(self):
+        # B3 and T0 feed the same footprint bit: flipping both cancels.
+        assert branch_footprint(1 << 3, 1 << 0) == 0
+
+    def test_flipped_b11_t5_cancel(self):
+        assert branch_footprint(1 << 11, 1 << 5) == 0

@@ -1,0 +1,62 @@
+"""Tests for PHR-driven indirect-branch steering (Sections 7.1/7.4/11)."""
+
+from repro.attacks.history_injection import (
+    HistoryInjectionAttack,
+    demonstrate_history_steering,
+)
+from repro.cpu import Machine, RAPTOR_LAKE
+
+DISPATCH_PC = 0xFFFF_FFFF_8123_4560
+TARGET_A = 0xFFFF_FFFF_8124_0000
+TARGET_B = 0xFFFF_FFFF_8125_0000
+
+
+class TestSteering:
+    def test_phr_selects_among_victim_targets(self):
+        machine = Machine(RAPTOR_LAKE)
+        attack = HistoryInjectionAttack(machine)
+        attack.observe_victim_training(
+            DISPATCH_PC, [(0x11, TARGET_A), (0x22 << 50, TARGET_B)]
+        )
+        assert attack.steer(DISPATCH_PC, 0x11, TARGET_A).steered
+        assert attack.steer(DISPATCH_PC, 0x22 << 50, TARGET_B).steered
+
+    def test_wrong_history_selects_nothing(self):
+        machine = Machine(RAPTOR_LAKE)
+        attack = HistoryInjectionAttack(machine)
+        attack.observe_victim_training(DISPATCH_PC, [(0x11, TARGET_A)])
+        result = attack.steer(DISPATCH_PC, 0x99 << 30, TARGET_A)
+        assert not result.steered
+        assert result.predicted_target is None
+
+    def test_write_phr_macro_is_the_vector(self):
+        """The steering happens through the real Write_PHR macro, i.e.
+        194 architecturally executed branches, not register poking."""
+        machine = Machine(RAPTOR_LAKE)
+        attack = HistoryInjectionAttack(machine)
+        attack.observe_victim_training(DISPATCH_PC, [(0x3C, TARGET_A)])
+        taken_before = machine.perf.taken_branches
+        attack.steer(DISPATCH_PC, 0x3C, TARGET_A)
+        assert machine.perf.taken_branches - taken_before == 194
+
+
+class TestIbpbInteraction:
+    def test_full_demonstration(self):
+        results = demonstrate_history_steering(Machine(RAPTOR_LAKE))
+        assert results == {
+            "steered_a": True,
+            "steered_b": True,
+            "injection_works_before_ibpb": True,
+            "ibpb_blocks_injection": True,
+            "ibpb_spares_history_steering": True,
+        }
+
+    def test_ibpb_only_flushes_targets_not_history(self):
+        machine = Machine(RAPTOR_LAKE)
+        attack = HistoryInjectionAttack(machine)
+        attack.observe_victim_training(DISPATCH_PC, [(0x77, TARGET_A)])
+        machine.phr(0).set_value(0xABC)
+        machine.ibpb()
+        # The IBP entry is gone, the PHR value is not.
+        assert machine.ibp.predict(DISPATCH_PC, machine.phr(0)) is None
+        assert machine.phr(0).value == 0xABC

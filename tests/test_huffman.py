@@ -1,0 +1,134 @@
+"""Tests for the baseline JPEG entropy coder."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.jpeg.huffman import (
+    BitReader,
+    BitWriter,
+    HuffmanCodec,
+    build_canonical_codes,
+    decode_magnitude,
+    DC_LUMINANCE_BITS,
+    DC_LUMINANCE_VALUES,
+    magnitude_bits,
+    magnitude_category,
+)
+
+
+class TestBitIo:
+    def test_roundtrip_bits(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        writer.write(0b01, 2)
+        reader = BitReader(writer.getvalue())
+        assert reader.read(3) == 0b101
+        assert reader.read(2) == 0b01
+
+    def test_padding_with_ones(self):
+        writer = BitWriter()
+        writer.write(0, 1)
+        assert writer.getvalue() == bytes([0b0111_1111])
+
+    def test_reader_eof(self):
+        reader = BitReader(b"")
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    def test_writer_length_tracks_bits(self):
+        writer = BitWriter()
+        writer.write(0xFF, 8)
+        writer.write(1, 3)
+        assert len(writer) == 11
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=2**16 - 1),
+                              st.integers(min_value=1, max_value=16)),
+                    max_size=20))
+    @settings(max_examples=25)
+    def test_roundtrip_random_fields(self, fields):
+        writer = BitWriter()
+        for value, width in fields:
+            writer.write(value & ((1 << width) - 1), width)
+        reader = BitReader(writer.getvalue())
+        for value, width in fields:
+            assert reader.read(width) == value & ((1 << width) - 1)
+
+
+class TestCanonicalCodes:
+    def test_dc_table_shape(self):
+        codes = build_canonical_codes(DC_LUMINANCE_BITS, DC_LUMINANCE_VALUES)
+        assert len(codes) == 12
+        # Annex K: category 0 has code 00 (2 bits).
+        assert codes[0] == (0b00, 2)
+
+    def test_codes_are_prefix_free(self):
+        codes = build_canonical_codes(DC_LUMINANCE_BITS, DC_LUMINANCE_VALUES)
+        entries = sorted(codes.values(), key=lambda cl: cl[1])
+        for i, (code_a, len_a) in enumerate(entries):
+            for code_b, len_b in entries[i + 1:]:
+                assert code_b >> (len_b - len_a) != code_a
+
+
+class TestMagnitudeCoding:
+    @pytest.mark.parametrize("value,category", [
+        (0, 0), (1, 1), (-1, 1), (2, 2), (-3, 2), (7, 3),
+        (255, 8), (-255, 8), (1023, 10),
+    ])
+    def test_categories(self, value, category):
+        assert magnitude_category(value) == category
+
+    @given(st.integers(min_value=-2047, max_value=2047))
+    def test_roundtrip(self, value):
+        category = magnitude_category(value)
+        bits = magnitude_bits(value, category)
+        assert decode_magnitude(bits, category) == value
+
+
+class TestBlockCoding:
+    def roundtrip(self, blocks):
+        codec = HuffmanCodec()
+        data = codec.encode_blocks(blocks)
+        return codec.decode_blocks(data, len(blocks))
+
+    def test_all_zero_block(self):
+        block = [0] * 64
+        assert self.roundtrip([block]) == [block]
+
+    def test_dc_only_block(self):
+        block = [-37] + [0] * 63
+        assert self.roundtrip([block]) == [block]
+
+    def test_dense_block(self):
+        block = [((-1) ** i) * (i % 9) for i in range(64)]
+        assert self.roundtrip([block]) == [block]
+
+    def test_long_zero_run_needs_zrl(self):
+        block = [5] + [0] * 40 + [3] + [0] * 22
+        assert self.roundtrip([block]) == [block]
+
+    def test_trailing_coefficient_no_eob(self):
+        block = [0] * 63 + [1]
+        assert self.roundtrip([block]) == [block]
+
+    def test_dc_differences_chain_across_blocks(self):
+        blocks = [[10] + [0] * 63, [25] + [0] * 63, [-5] + [0] * 63]
+        assert self.roundtrip(blocks) == blocks
+
+    def test_wrong_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            HuffmanCodec().encode_blocks([[0] * 63])
+
+    @given(st.lists(
+        st.lists(st.integers(min_value=-128, max_value=128),
+                 min_size=64, max_size=64),
+        min_size=1, max_size=4,
+    ))
+    @settings(max_examples=20)
+    def test_roundtrip_random_blocks(self, blocks):
+        assert self.roundtrip(blocks) == blocks
+
+    def test_compression_beats_raw_for_sparse_blocks(self):
+        codec = HuffmanCodec()
+        sparse = [[3] + [0] * 63] * 32
+        data = codec.encode_blocks(sparse)
+        assert len(data) < 32 * 64  # far below one byte per coefficient

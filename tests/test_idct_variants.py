@@ -1,0 +1,125 @@
+"""Tests for IDCT implementation variants and detailed rendering.
+
+Paper Section 8: "The libjpeg software offers multiple IDCT
+implementations, all of which follow a shared structure" -- the attack
+must work against each flavour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.jpeg import ImageRecoveryAttack, JpegCodec
+from repro.jpeg.idct_victim import IDCT_VARIANTS, IdctVictim
+from repro.jpeg.images import logo
+
+
+class TestVariants:
+    def test_three_variants_exist(self):
+        assert set(IDCT_VARIANTS) == {"islow", "ifast", "float"}
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            IdctVictim(variant="turbo")
+
+    def test_variants_have_distinct_code(self):
+        pcs = {variant: IdctVictim(variant).column_check_pc
+               for variant in IDCT_VARIANTS}
+        assert len(set(pcs.values())) == len(pcs)
+
+    @pytest.mark.parametrize("variant", sorted(IDCT_VARIANTS))
+    def test_attack_recovers_each_variant(self, variant):
+        codec = JpegCodec(quality=75)
+        image = logo(24)
+        attack = ImageRecoveryAttack(Machine(RAPTOR_LAKE), codec,
+                                     idct_variant=variant)
+        recovered = attack.recover(codec.encode(image))
+        truth = attack.ground_truth_map(image)
+        assert np.array_equal(recovered.complexity_map, truth), variant
+
+    @pytest.mark.parametrize("variant", sorted(IDCT_VARIANTS))
+    def test_decode_output_identical_across_variants(self, variant):
+        """All flavours compute the same mathematics."""
+        from repro.isa.interpreter import CpuState
+        from repro.isa.memory import Memory
+
+        codec = JpegCodec()
+        blocks = codec.decode_to_blocks(codec.encode(logo(16)))
+        victim = IdctVictim(variant)
+        machine = Machine(RAPTOR_LAKE)
+        memory = Memory()
+        victim.provision(memory, blocks)
+        machine.run(victim.program, state=CpuState(), memory=memory,
+                    entry=victim.program.address_of("idct"),
+                    max_instructions=20_000_000)
+        reference = IdctVictim("islow")
+        ref_memory = Memory()
+        reference.provision(ref_memory, blocks)
+        Machine(RAPTOR_LAKE).run(
+            reference.program, state=CpuState(), memory=ref_memory,
+            entry=reference.program.address_of("idct"),
+            max_instructions=20_000_000,
+        )
+        for index in range(len(blocks)):
+            assert np.array_equal(victim.read_output_block(memory, index),
+                                  reference.read_output_block(ref_memory,
+                                                              index))
+
+
+class TestDetailedRendering:
+    def test_detailed_image_shape_and_range(self):
+        codec = JpegCodec()
+        image = logo(24)
+        attack = ImageRecoveryAttack(Machine(RAPTOR_LAKE), codec)
+        recovered = attack.recover(codec.encode(image))
+        detailed = recovered.as_detailed_image()
+        assert detailed.shape == (24, 24)
+        assert detailed.min() >= 0.0
+        assert detailed.max() <= 255.0
+
+    def test_detailed_image_shows_directionality(self):
+        """Vertical stripes excite rows, not columns: the detailed render
+        must be row-uniform within blocks."""
+        import numpy as np
+
+        codec = JpegCodec(quality=75)
+        stripes = np.tile(np.array([0.0, 255.0] * 12), (24, 1))[:, :24]
+        attack = ImageRecoveryAttack(Machine(RAPTOR_LAKE), codec)
+        recovered = attack.recover(codec.encode(stripes))
+        # Columns of the coefficient blocks are constant (vertical
+        # uniformity), rows are not.
+        assert recovered.column_constancy.all()
+        assert not recovered.row_constancy.all()
+        detailed = recovered.as_detailed_image()
+        # Row-activity-only tiles: every pixel row within a block is flat.
+        first_block = detailed[:8, :8]
+        assert np.allclose(first_block.std(axis=1), 0.0)
+
+
+class TestAmbiguityDisambiguation:
+    """The float layout produces a genuinely ambiguous history on some
+    images; the PHT-evidence scorer must select the executed path."""
+
+    def test_float_variant_is_ambiguous_yet_recovered(self):
+        from repro.cpu.phr import replay_taken_branches
+        from repro.isa.interpreter import BranchKind
+        from repro.pathfinder import ControlFlowGraph, PathSearch
+
+        codec = JpegCodec(quality=75)
+        image = logo(24)
+        machine = Machine(RAPTOR_LAKE)
+        attack = ImageRecoveryAttack(machine, codec, idct_variant="float")
+        encoded = codec.encode(image)
+
+        trace, __ = attack._run_victim(encoded)
+        taken = [(r.pc, r.target) for r in trace if r.taken]
+        doublets = replay_taken_branches(len(taken), taken).doublets()
+        cfg = ControlFlowGraph(attack.victim.program,
+                               entry=attack.victim.program.address_of("idct"))
+        paths = PathSearch(cfg, mode="exact", max_paths=4).search(doublets)
+        assert len(paths) > 1  # the ambiguity is real...
+
+        true_outcomes = [(r.pc, r.taken) for r in trace
+                         if r.kind is BranchKind.CONDITIONAL]
+        best = max(paths, key=attack._path_evidence)
+        assert best.branch_outcomes == true_outcomes  # ...and resolved.

@@ -1,0 +1,85 @@
+"""Tests for the IDCT victim program (Listing 2)."""
+
+import numpy as np
+
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.isa.interpreter import BranchKind, CpuState
+from repro.isa.memory import Memory
+from repro.jpeg import IdctVictim, JpegCodec
+from repro.jpeg.images import gradient, logo
+
+
+def run_victim(coefficient_blocks):
+    victim = IdctVictim()
+    machine = Machine(RAPTOR_LAKE)
+    memory = Memory()
+    victim.provision(memory, coefficient_blocks)
+    result = machine.run(
+        victim.program,
+        state=CpuState(),
+        memory=memory,
+        entry=victim.program.address_of("idct"),
+        max_instructions=20_000_000,
+    )
+    return victim, memory, result
+
+
+class TestDecodeCorrectness:
+    def test_output_matches_reference_idct(self):
+        codec = JpegCodec()
+        encoded = codec.encode(logo(16))
+        blocks = codec.decode_to_blocks(encoded)
+        victim, memory, __ = run_victim(blocks)
+        from repro.jpeg.dct import idct2_8x8
+
+        for index, block in enumerate(blocks):
+            expected = np.clip(np.round(idct2_8x8(block) + 128.0), 0, 255)
+            assert np.array_equal(victim.read_output_block(memory, index),
+                                  expected)
+
+
+class TestControlFlowSignal:
+    def test_check_branch_outcomes_encode_constancy(self):
+        codec = JpegCodec()
+        image = gradient(16)
+        encoded = codec.encode(image)
+        blocks = codec.decode_to_blocks(encoded)
+        victim, __, result = run_victim(blocks)
+
+        column_outcomes = [r.taken for r in result.trace
+                           if r.pc == victim.column_check_pc]
+        row_outcomes = [r.taken for r in result.trace
+                        if r.pc == victim.row_check_pc]
+        assert len(column_outcomes) == 8 * len(blocks)
+        assert len(row_outcomes) == 8 * len(blocks)
+
+        # Ground truth straight from the coefficients: taken == constant.
+        for block_index, block in enumerate(blocks):
+            for c in range(8):
+                expected_constant = not np.any(block[1:, c] != 0)
+                assert column_outcomes[8 * block_index + c] == \
+                       expected_constant
+            for r in range(8):
+                expected_constant = not np.any(block[r, 1:] != 0)
+                assert row_outcomes[8 * block_index + r] == expected_constant
+
+    def test_branch_volume_scales_with_blocks(self):
+        codec = JpegCodec()
+        small = codec.decode_to_blocks(codec.encode(logo(16)))
+        large = codec.decode_to_blocks(codec.encode(logo(32)))
+        __, __, small_run = run_victim(small)
+        __, __, large_run = run_victim(large)
+        small_taken = sum(1 for r in small_run.trace if r.taken)
+        large_taken = sum(1 for r in large_run.trace if r.taken)
+        assert large_taken > 3 * small_taken
+
+    def test_mostly_conditional_taken_branches(self):
+        """Extended read needs conditional branches densely through the
+        history; the victim's structure guarantees that."""
+        codec = JpegCodec()
+        blocks = codec.decode_to_blocks(codec.encode(logo(16)))
+        __, __, result = run_victim(blocks)
+        taken = [r for r in result.trace if r.taken]
+        conditional = [r for r in taken
+                       if r.kind is BranchKind.CONDITIONAL]
+        assert len(conditional) / len(taken) > 0.4

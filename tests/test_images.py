@@ -1,0 +1,102 @@
+"""Tests for the synthetic evaluation image set."""
+
+import numpy as np
+
+from repro.jpeg.images import (
+    ascii_render,
+    block_complexity_image,
+    checkerboard,
+    evaluation_images,
+    flat,
+    gradient,
+    logo,
+    noise,
+    qr_code,
+    stripes,
+)
+
+
+class TestEvaluationSet:
+    def test_fifteen_images(self):
+        images = evaluation_images(64)
+        assert len(images) == 15
+
+    def test_shapes_and_ranges(self):
+        for name, image in evaluation_images(64).items():
+            assert image.shape == (64, 64), name
+            assert image.min() >= 0.0, name
+            assert image.max() <= 255.0, name
+
+    def test_deterministic(self):
+        first = evaluation_images(32)
+        second = evaluation_images(32)
+        for name in first:
+            assert np.array_equal(first[name], second[name]), name
+
+    def test_structural_variety(self):
+        """The set must span the complexity spectrum, as the paper's mix
+        of photographs, logos, QR codes and captchas does."""
+        from repro.jpeg import JpegCodec
+
+        codec = JpegCodec()
+        means = {name: codec.constancy_map(image).mean()
+                 for name, image in evaluation_images(32).items()}
+        assert means["flat"] == 0.0
+        assert means["noise"] > 12.0
+        spread = sorted(means.values())
+        assert spread[-1] - spread[0] > 10.0
+
+
+class TestGenerators:
+    def test_qr_code_finders_are_dark(self):
+        image = qr_code(64)
+        assert image[0, 0] == 0.0
+        assert image[2 * 4, 2 * 4] == 0.0  # inner finder square
+
+    def test_qr_code_seed_changes_pattern(self):
+        assert not np.array_equal(qr_code(64, seed=1), qr_code(64, seed=2))
+
+    def test_logo_has_flat_background(self):
+        image = logo(64)
+        assert image[0, -1] == 230.0
+
+    def test_gradient_monotonic_on_diagonal(self):
+        image = gradient(64)
+        diagonal = np.diag(image)
+        assert np.all(np.diff(diagonal) >= 0)
+
+    def test_stripes_orientation(self):
+        horizontal = stripes(32, horizontal=True)
+        vertical = stripes(32, horizontal=False)
+        assert np.all(horizontal[0, :] == horizontal[0, 0])
+        assert np.all(vertical[:, 0] == vertical[0, 0])
+
+    def test_checkerboard_alternates(self):
+        image = checkerboard(32, square=8)
+        assert image[0, 0] != image[0, 8]
+        assert image[0, 0] == image[8, 8]
+
+    def test_flat_is_flat(self):
+        assert np.ptp(flat(16)) == 0.0
+
+    def test_noise_is_not_flat(self):
+        assert np.ptp(noise(16)) > 100
+
+
+class TestRendering:
+    def test_block_complexity_upscales(self):
+        complexity = np.array([[0, 16], [8, 4]])
+        image = block_complexity_image(complexity)
+        assert image.shape == (16, 16)
+        assert image[0, 0] == 0.0
+        assert image[0, 8] == 255.0
+
+    def test_ascii_render_dimensions(self):
+        rows = ascii_render(flat(64), width=32)
+        assert all(len(row) == 32 for row in rows)
+        assert len(rows) >= 1
+
+    def test_ascii_render_contrast(self):
+        dark = ascii_render(flat(32, level=0.0), width=8)
+        bright = ascii_render(flat(32, level=255.0), width=8)
+        assert dark != bright

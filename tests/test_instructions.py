@@ -1,0 +1,98 @@
+"""Tests for instruction definitions and condition/flag semantics."""
+
+import pytest
+
+from repro.isa.instructions import (
+    Align,
+    BinaryOp,
+    CondBranch,
+    Condition,
+    Flags,
+    Jump,
+    Label,
+    Nop,
+    Ret,
+)
+
+
+class TestFlags:
+    def test_eq_ne(self):
+        zero = Flags(zero=True)
+        nonzero = Flags(zero=False)
+        assert zero.satisfies(Condition.EQ)
+        assert not zero.satisfies(Condition.NE)
+        assert nonzero.satisfies(Condition.NE)
+
+    def test_signed_orderings(self):
+        less = Flags(zero=False, sign=True)
+        equal = Flags(zero=True, sign=False)
+        greater = Flags(zero=False, sign=False)
+        assert less.satisfies(Condition.LT)
+        assert less.satisfies(Condition.LE)
+        assert not less.satisfies(Condition.GE)
+        assert equal.satisfies(Condition.LE)
+        assert equal.satisfies(Condition.GE)
+        assert not equal.satisfies(Condition.GT)
+        assert greater.satisfies(Condition.GT)
+        assert greater.satisfies(Condition.GE)
+
+    def test_unsigned_orderings(self):
+        below = Flags(zero=False, carry=True)
+        equal = Flags(zero=True, carry=False)
+        above = Flags(zero=False, carry=False)
+        assert below.satisfies(Condition.BE)
+        assert not below.satisfies(Condition.A)
+        assert equal.satisfies(Condition.BE)
+        assert not equal.satisfies(Condition.A)
+        assert above.satisfies(Condition.A)
+        assert not above.satisfies(Condition.BE)
+
+
+class TestBinaryOp:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryOp("frobnicate", "rax", imm=1)
+
+    def test_needs_exactly_one_operand(self):
+        with pytest.raises(ValueError):
+            BinaryOp("add", "rax")
+        with pytest.raises(ValueError):
+            BinaryOp("add", "rax", src="rbx", imm=1)
+
+    def test_cmp_only_requires_sub(self):
+        with pytest.raises(ValueError):
+            BinaryOp("add", "rax", imm=1, cmp_only=True)
+
+    @pytest.mark.parametrize("op,lhs,rhs,expected", [
+        ("add", 2, 3, 5),
+        ("sub", 5, 3, 2),
+        ("and", 0b1100, 0b1010, 0b1000),
+        ("or", 0b1100, 0b1010, 0b1110),
+        ("xor", 0b1100, 0b1010, 0b0110),
+        ("shl", 1, 4, 16),
+        ("shr", 16, 4, 1),
+        ("mul", 6, 7, 42),
+    ])
+    def test_apply(self, op, lhs, rhs, expected):
+        instruction = BinaryOp(op, "rax", imm=rhs)
+        assert instruction.apply(lhs, rhs) == expected
+
+
+class TestStructural:
+    def test_align_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            Align(3)
+
+    def test_label_occupies_no_space(self):
+        assert Label("x").size == 0
+        assert Align(64).size == 0
+
+    def test_branch_flags(self):
+        assert CondBranch(Condition.EQ, "x").is_branch
+        assert Jump("x").is_branch
+        assert Ret().is_branch
+        assert not Nop().is_branch
+
+    def test_instructions_are_hashable_value_types(self):
+        assert Jump("a") == Jump("a")
+        assert {Nop(), Nop()} == {Nop()}

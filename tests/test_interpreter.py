@@ -1,0 +1,277 @@
+"""Tests for the architectural interpreter."""
+
+import pytest
+
+from repro.isa import (
+    BranchKind,
+    Condition,
+    ExecutionLimitExceeded,
+    Interpreter,
+    ProgramBuilder,
+)
+from repro.isa.interpreter import CpuHooks, CpuState
+from repro.isa.memory import Memory
+
+
+def run(builder: ProgramBuilder, hooks=None, state=None, memory=None):
+    interpreter = Interpreter(builder.build(), hooks)
+    return interpreter.run(state=state, memory=memory)
+
+
+class TestDataPath:
+    def test_mov_and_arithmetic(self):
+        b = ProgramBuilder()
+        b.mov_imm("rax", 10).mov("rbx", "rax").add("rbx", imm=5)
+        b.sub("rax", "rbx").halt()
+        result = run(b)
+        assert result.state.read("rbx") == 15
+        assert result.state.read("rax") == (10 - 15) % (1 << 64)
+
+    def test_logic_and_shifts(self):
+        b = ProgramBuilder()
+        b.mov_imm("rax", 0b1100)
+        b.xor("rax", imm=0b1010)
+        b.shl("rax", 2)
+        b.shr("rax", 1)
+        b.and_("rax", imm=0xF)
+        b.halt()
+        assert run(b).state.read("rax") == (0b0110 << 1) & 0xF
+
+    def test_mul(self):
+        b = ProgramBuilder()
+        b.mov_imm("rax", 7).mul("rax", imm=6).halt()
+        assert run(b).state.read("rax") == 42
+
+    def test_64_bit_wraparound(self):
+        b = ProgramBuilder()
+        b.mov_imm("rax", (1 << 64) - 1).add("rax", imm=2).halt()
+        assert run(b).state.read("rax") == 1
+
+    def test_load_store_roundtrip(self):
+        b = ProgramBuilder()
+        b.mov_imm("rbase", 0x1000)
+        b.mov_imm("rval", 0xCAFE)
+        b.store("rval", "rbase", offset=8, width=4)
+        b.load("rout", "rbase", offset=8, width=4)
+        b.halt()
+        assert run(b).state.read("rout") == 0xCAFE
+
+    def test_pyop_reads_and_writes(self):
+        def double(reads):
+            return {"rout": reads["rin"] * 2}
+
+        b = ProgramBuilder()
+        b.mov_imm("rin", 21)
+        b.pyop("double", double, reads=("rin",), writes=("rout",))
+        b.halt()
+        assert run(b).state.read("rout") == 42
+
+    def test_pyop_with_memory(self):
+        def bump(reads, memory):
+            memory.write(0x40, 1, memory.read(0x40, 1) + 1)
+            return {}
+
+        b = ProgramBuilder()
+        b.pyop("bump", bump, touches_memory=True)
+        b.pyop("bump", bump, touches_memory=True)
+        b.halt()
+        memory = Memory()
+        run(b, memory=memory)
+        assert memory.read(0x40, 1) == 2
+
+
+class TestControlFlow:
+    @pytest.mark.parametrize("condition,a,b,expected_taken", [
+        (Condition.EQ, 5, 5, True),
+        (Condition.EQ, 5, 6, False),
+        (Condition.NE, 5, 6, True),
+        (Condition.LT, 3, 5, True),
+        (Condition.GE, 5, 5, True),
+        (Condition.GT, 5, 5, False),
+        (Condition.LE, 7, 5, False),
+        (Condition.BE, 3, 5, True),
+        (Condition.A, 7, 5, True),
+    ])
+    def test_conditions(self, condition, a, b, expected_taken):
+        builder = ProgramBuilder()
+        builder.mov_imm("ra", a)
+        builder.mov_imm("rb", b)
+        builder.cmp("ra", "rb")
+        builder.branch(condition, "taken")
+        builder.mov_imm("rout", 0)
+        builder.halt()
+        builder.label("taken")
+        builder.mov_imm("rout", 1)
+        builder.halt()
+        result = run(builder)
+        assert result.state.read("rout") == (1 if expected_taken else 0)
+        record = result.trace[0]
+        assert record.kind is BranchKind.CONDITIONAL
+        assert record.taken is expected_taken
+
+    def test_unsigned_wraps_vs_signed(self):
+        # 0 - 1 is "below" unsigned but "greater" is false; LT sees sign.
+        b = ProgramBuilder()
+        b.mov_imm("ra", 0).cmp("ra", imm=1)
+        b.jbe("below")
+        b.halt()
+        b.label("below")
+        b.mov_imm("rout", 1).halt()
+        assert run(b).state.read("rout") == 1
+
+    def test_loop_executes_n_times(self):
+        b = ProgramBuilder()
+        b.mov_imm("rcx", 5).mov_imm("racc", 0)
+        b.label("loop")
+        b.add("racc", imm=3)
+        b.sub("rcx", imm=1, set_flags=True)
+        b.jne("loop")
+        b.halt()
+        result = run(b)
+        assert result.state.read("racc") == 15
+        loop_records = [r for r in result.trace
+                        if r.kind is BranchKind.CONDITIONAL]
+        assert [r.taken for r in loop_records] == [True] * 4 + [False]
+
+    def test_call_ret(self):
+        b = ProgramBuilder()
+        b.call("fn")
+        b.mov_imm("rafter", 1)
+        b.halt()
+        b.label("fn")
+        b.mov_imm("rinside", 1)
+        b.ret()
+        result = run(b)
+        assert result.state.read("rinside") == 1
+        assert result.state.read("rafter") == 1
+        kinds = [r.kind for r in result.trace]
+        assert kinds == [BranchKind.CALL, BranchKind.RET]
+
+    def test_ret_from_top_frame_ends_run(self):
+        b = ProgramBuilder()
+        b.mov_imm("rax", 1)
+        b.ret()
+        b.mov_imm("rax", 2)
+        b.halt()
+        result = run(b)
+        assert result.halted
+        assert result.state.read("rax") == 1
+
+    def test_indirect_jump(self):
+        b = ProgramBuilder(base=0x1000)
+        b.mov_imm("rtarget", 0x1010)
+        b.jmp_reg("rtarget")
+        b.nop()  # skipped
+        b.nop()
+        b.at(0x1010)
+        b.mov_imm("rout", 7)
+        b.halt()
+        result = run(b)
+        assert result.state.read("rout") == 7
+        assert result.trace[0].kind is BranchKind.INDIRECT
+
+    def test_execution_limit(self):
+        b = ProgramBuilder()
+        b.label("spin")
+        b.jmp("spin")
+        with pytest.raises(ExecutionLimitExceeded):
+            Interpreter(b.build()).run(max_instructions=100)
+
+
+class TestLatencyTracking:
+    def test_load_latency_reaches_branch(self):
+        observed = []
+
+        class Hooks(CpuHooks):
+            def load(self, address, width):
+                return 250
+
+            def conditional_branch(self, pc, target, fallthrough, taken,
+                                   resolve_latency):
+                observed.append(resolve_latency)
+
+        b = ProgramBuilder()
+        b.mov_imm("rbase", 0x100)
+        b.load("rcx", "rbase")
+        b.cmp("rcx", imm=5)
+        b.jeq("out")
+        b.label("out")
+        b.halt()
+        run(b, hooks=Hooks())
+        assert observed == [250]
+
+    def test_immediate_compare_resolves_fast(self):
+        observed = []
+
+        class Hooks(CpuHooks):
+            def conditional_branch(self, pc, target, fallthrough, taken,
+                                   resolve_latency):
+                observed.append(resolve_latency)
+
+        b = ProgramBuilder()
+        b.mov_imm("rcx", 5)
+        b.cmp("rcx", imm=5)
+        b.jeq("out")
+        b.label("out")
+        b.halt()
+        run(b, hooks=Hooks())
+        assert observed == [0]
+
+
+class TestTransientExecution:
+    def test_wrong_path_stores_do_not_commit(self):
+        b = ProgramBuilder()
+        b.mov_imm("rbase", 0x40)
+        b.mov_imm("rval", 9)
+        b.store("rval", "rbase")
+        b.halt()
+        program = b.build()
+        interpreter = Interpreter(program)
+        memory = Memory()
+        executed = interpreter.run_transient(program.entry, CpuState(),
+                                             memory, budget=10)
+        assert executed == 4
+        assert memory.read(0x40, 8) == 0
+
+    def test_wrong_path_loads_see_wrong_path_stores(self):
+        loads = []
+
+        class Hooks(CpuHooks):
+            def transient_load(self, address, width):
+                loads.append(address)
+                return 1
+
+        b = ProgramBuilder()
+        b.mov_imm("rbase", 0x40)
+        b.mov_imm("rval", 0x7)
+        b.store("rval", "rbase")
+        b.load("rsecret", "rbase")
+        b.mov("rindex", "rsecret")
+        b.shl("rindex", 12)
+        b.load("rleak", "rindex")
+        b.halt()
+        program = b.build()
+        interpreter = Interpreter(program, Hooks())
+        interpreter.run_transient(program.entry, CpuState(), Memory(),
+                                  budget=20)
+        assert 0x7 << 12 in loads
+
+    def test_budget_caps_execution(self):
+        b = ProgramBuilder()
+        b.label("spin")
+        b.jmp("spin")
+        program = b.build()
+        interpreter = Interpreter(program)
+        executed = interpreter.run_transient(program.entry, CpuState(),
+                                             Memory(), budget=17)
+        assert executed == 17
+
+    def test_halt_ends_transient(self):
+        b = ProgramBuilder()
+        b.nop()
+        b.halt()
+        program = b.build()
+        interpreter = Interpreter(program)
+        executed = interpreter.run_transient(program.entry, CpuState(),
+                                             Memory(), budget=100)
+        assert executed == 2

@@ -1,0 +1,67 @@
+"""Edge-case coverage for the ISA layer."""
+
+import pytest
+
+from repro.isa import Interpreter, ProgramBuilder, ProgramError
+from repro.isa.instructions import Align, Label, Nop
+from repro.isa.program import Program
+
+
+class TestAssembleDirect:
+    def test_assemble_from_item_stream(self):
+        program = Program.assemble(
+            [(None, Label("start")), (None, Nop()), (0x5000, Nop())],
+            base=0x4000, entry_label="start",
+        )
+        assert program.entry == 0x4000
+        assert program.has_instruction_at(0x5000)
+
+    def test_alignment_item(self):
+        program = Program.assemble(
+            [(None, Nop()), (None, Align(0x100)), (None, Nop())],
+            base=0x4000,
+        )
+        addresses = [a for a, __ in program.items()]
+        assert addresses == [0x4000, 0x4100]
+
+    def test_label_at_placed_instruction(self):
+        program = Program.assemble(
+            [(None, Nop()), (0x8000, Label("far")), (None, Nop())],
+            base=0x4000,
+        )
+        assert program.address_of("far") == 0x8000
+
+
+class TestPyOpContract:
+    def test_missing_write_is_an_error(self):
+        b = ProgramBuilder()
+        b.pyop("bad", lambda reads: {}, writes=("rout",))
+        b.halt()
+        with pytest.raises(ProgramError):
+            Interpreter(b.build()).run()
+
+    def test_extra_writes_are_ignored(self):
+        b = ProgramBuilder()
+        b.pyop("chatty", lambda reads: {"rout": 1, "runclaimed": 2},
+               writes=("rout",))
+        b.halt()
+        result = Interpreter(b.build()).run()
+        assert result.state.read("rout") == 1
+        assert result.state.read("runclaimed") == 0
+
+
+class TestBuilderChaining:
+    def test_fluent_interface_returns_builder(self):
+        b = ProgramBuilder()
+        assert b.nop().mov_imm("r", 1).add("r", imm=1).halt() is b
+
+    def test_nop_count(self):
+        b = ProgramBuilder(base=0x1000)
+        b.nop(3).halt()
+        assert len(b.build()) == 4
+
+    def test_raw_emission(self):
+        b = ProgramBuilder(base=0x1000)
+        b.raw(Nop(size=2)).halt()
+        program = b.build()
+        assert program.next_address(0x1000) == 0x1002

@@ -1,0 +1,59 @@
+"""Tests for AES key expansion and its inversion."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aes.keyschedule import expand_key, invert_round_key_128, rounds_for_key
+
+
+class TestExpansion:
+    def test_round_key_counts(self):
+        assert len(expand_key(bytes(16))) == 11
+        assert len(expand_key(bytes(24))) == 13
+        assert len(expand_key(bytes(32))) == 15
+
+    def test_first_round_key_is_master_key(self):
+        key = bytes(range(16))
+        assert expand_key(key)[0] == key
+
+    def test_fips_a1_expansion(self):
+        """FIPS-197 Appendix A.1: last round key of the example schedule."""
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        round_keys = expand_key(key)
+        assert round_keys[10].hex() == "d014f9a8c9ee2589e13f0cc8b6630ca6"
+
+    def test_fips_a1_intermediate(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        round_keys = expand_key(key)
+        assert round_keys[1].hex() == "a0fafe1788542cb123a339392a6c7605"
+
+    def test_bad_key_length_rejected(self):
+        with pytest.raises(ValueError):
+            expand_key(bytes(15))
+        with pytest.raises(ValueError):
+            rounds_for_key(bytes(10))
+
+    def test_rounds_for_key(self):
+        assert rounds_for_key(bytes(16)) == 10
+        assert rounds_for_key(bytes(24)) == 12
+        assert rounds_for_key(bytes(32)) == 14
+
+
+class TestInversion:
+    def test_round_zero_is_identity(self):
+        key = bytes(range(16))
+        assert invert_round_key_128(key, 0) == key
+
+    @given(st.binary(min_size=16, max_size=16),
+           st.integers(min_value=0, max_value=10))
+    @settings(max_examples=40)
+    def test_any_round_key_recovers_master(self, key, round_index):
+        round_keys = expand_key(key)
+        assert invert_round_key_128(round_keys[round_index],
+                                    round_index) == key
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            invert_round_key_128(bytes(8), 1)
+        with pytest.raises(ValueError):
+            invert_round_key_128(bytes(16), 11)

@@ -1,0 +1,63 @@
+"""Deeper speculation-model coverage: nesting, rollback, budgets."""
+
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.isa import ProgramBuilder
+from repro.isa.interpreter import CpuState
+from repro.isa.memory import Memory
+
+
+class TestArchitecturalRollback:
+    def build_program(self):
+        """A mispredictable branch guarding a store and a register write."""
+        b = ProgramBuilder(base=0x1000)
+        b.mov_imm("rbase", 0x100)
+        b.load("rcx", "rbase")
+        b.cmp("rcx", imm=0)
+        b.jeq("skip")
+        b.mov_imm("rpoison", 0xBAD)
+        b.mov_imm("rtmp", 0x8000)
+        b.store("rpoison", "rtmp")
+        b.label("skip")
+        b.halt()
+        return b.build()
+
+    def test_wrong_path_register_writes_squashed(self):
+        machine = Machine(RAPTOR_LAKE)
+        program = self.build_program()
+        # Train toward fall-through, then run with the branch taken.
+        memory_train = Memory()
+        memory_train.write(0x100, 8, 1)
+        for _ in range(6):
+            m = Memory()
+            m.write(0x100, 8, 1)
+            machine.run(program, state=CpuState(), memory=m)
+        machine.cache.flush(0x100)
+        memory = Memory()  # [0x100] == 0 -> branch taken, mispredicted
+        result = machine.run(program, state=CpuState(), memory=memory)
+        assert result.perf.conditional_mispredictions == 1
+        assert result.state.read("rpoison") == 0       # squashed
+        assert memory.read(0x8000, 8) == 0             # store squashed
+        assert result.perf.transient_instructions > 0  # but it did run
+
+    def test_committed_path_unaffected_by_window(self):
+        machine = Machine(RAPTOR_LAKE)
+        program = self.build_program()
+        memory = Memory()
+        memory.write(0x100, 8, 1)  # fall-through: the store commits
+        result = machine.run(program, state=CpuState(), memory=memory)
+        assert memory.read(0x8000, 8) == 0xBAD
+        del result
+
+
+class TestWindowBudget:
+    def test_budget_monotone_in_latency(self):
+        machine = Machine(RAPTOR_LAKE)
+        budgets = [machine._speculation_budget(latency)
+                   for latency in (0, 50, 150, 300, 1000)]
+        assert budgets == sorted(budgets)
+        assert budgets[-1] == machine.config.spec_window_max
+
+    def test_budget_floor_is_base_window(self):
+        machine = Machine(RAPTOR_LAKE)
+        assert machine._speculation_budget(0) == \
+               machine.config.spec_window_base

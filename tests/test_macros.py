@@ -1,0 +1,144 @@
+"""Equivalence tests for the Shift/Clear/Write PHR macros.
+
+These are the load-bearing tests for DESIGN.md's fidelity-levels claim:
+the instruction-emitting, machine-apply, and closed-form transform paths
+must leave bit-identical PHR state, and none of them may touch the PHTs.
+"""
+
+import pytest
+
+from repro.cpu import Machine, RAPTOR_LAKE, SKYLAKE
+from repro.cpu.phr import PathHistoryRegister
+from repro.isa import ProgramBuilder
+from repro.primitives.macros import (
+    PhrMacros,
+    branch_pairs_footprint_free,
+    _doublet_to_target_offset,
+)
+from repro.utils.rng import DeterministicRng
+
+
+def run_emitted(config, emit, initial_phr=0):
+    """Build a program from an emit callback and run it on a machine."""
+    machine = Machine(config)
+    machine.phr(0).set_value(initial_phr)
+    macros = PhrMacros(machine)
+    builder = ProgramBuilder("macro_program", base=macros.region_base)
+    emit(macros, builder)
+    builder.halt()
+    machine.run(builder.build(), speculate=False)
+    return machine
+
+
+class TestShift:
+    @pytest.mark.parametrize("amount", [0, 1, 5, 194])
+    def test_three_paths_agree(self, amount):
+        rng = DeterministicRng(amount + 1)
+        initial = rng.value_bits(388)
+
+        transformed = PathHistoryRegister(194, initial)
+        PhrMacros.shift_transform(transformed, amount)
+
+        applied = Machine(RAPTOR_LAKE)
+        applied.phr(0).set_value(initial)
+        PhrMacros(applied).apply_shift(amount)
+
+        emitted = run_emitted(
+            RAPTOR_LAKE,
+            lambda macros, builder: macros.emit_shift(builder, amount),
+            initial_phr=initial,
+        )
+
+        assert applied.phr(0).value == transformed.value
+        assert emitted.phr(0).value == transformed.value
+
+    def test_shift_branches_are_footprint_free(self):
+        macros = PhrMacros(Machine(RAPTOR_LAKE))
+        assert branch_pairs_footprint_free(macros._shift_branches(194))
+
+    def test_shift_does_not_touch_phts(self):
+        machine = Machine(RAPTOR_LAKE)
+        PhrMacros(machine).apply_shift(194)
+        assert machine.cbp.populated_entries() == 0
+
+
+class TestClear:
+    def test_clear_zeroes_any_state(self):
+        machine = Machine(RAPTOR_LAKE)
+        machine.phr(0).set_value((1 << 388) - 1)
+        PhrMacros(machine).apply_clear()
+        assert machine.phr(0).value == 0
+
+    def test_emitted_clear(self):
+        emitted = run_emitted(
+            RAPTOR_LAKE,
+            lambda macros, builder: macros.emit_clear(builder),
+            initial_phr=(1 << 388) - 1,
+        )
+        assert emitted.phr(0).value == 0
+
+    def test_clear_is_shift_capacity(self):
+        a = Machine(SKYLAKE)
+        b = Machine(SKYLAKE)
+        a.phr(0).set_value(123456789)
+        b.phr(0).set_value(123456789)
+        PhrMacros(a).apply_clear()
+        PhrMacros(b).apply_shift(93)
+        assert a.phr(0).value == b.phr(0).value == 0
+
+
+class TestWrite:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_three_paths_agree(self, seed):
+        rng = DeterministicRng(seed)
+        value = rng.value_bits(388)
+
+        transformed = PathHistoryRegister(194)
+        PhrMacros.write_transform(transformed, value)
+        assert transformed.value == value
+
+        applied = Machine(RAPTOR_LAKE)
+        applied.phr(0).set_value(rng.value_bits(388))  # junk pre-state
+        PhrMacros(applied).apply_write(value)
+        assert applied.phr(0).value == value
+
+        emitted = run_emitted(
+            RAPTOR_LAKE,
+            lambda macros, builder: macros.emit_write(builder, value),
+            initial_phr=rng.value_bits(388),
+        )
+        assert emitted.phr(0).value == value
+
+    def test_write_overwrites_independent_of_prior_state(self):
+        machine = Machine(RAPTOR_LAKE)
+        macros = PhrMacros(machine)
+        machine.phr(0).set_value((1 << 388) - 1)
+        macros.apply_write(0xDEAD)
+        assert machine.phr(0).value == 0xDEAD
+
+    def test_write_does_not_touch_phts(self):
+        machine = Machine(RAPTOR_LAKE)
+        PhrMacros(machine).apply_write(0x5555)
+        assert machine.cbp.populated_entries() == 0
+
+    def test_skylake_capacity(self):
+        machine = Machine(SKYLAKE)
+        value = DeterministicRng(9).value_bits(2 * 93)
+        PhrMacros(machine).apply_write(value)
+        assert machine.phr(0).value == value
+
+
+class TestDoubletEncoding:
+    @pytest.mark.parametrize("doublet,offset", [
+        (0b00, 0b00), (0b01, 0b10), (0b10, 0b01), (0b11, 0b11),
+    ])
+    def test_target_offset_encoding(self, doublet, offset):
+        assert _doublet_to_target_offset(doublet) == offset
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            _doublet_to_target_offset(4)
+
+    def test_unaligned_region_base_rejected(self):
+        with pytest.raises(ValueError):
+            PhrMacros(Machine(RAPTOR_LAKE), region_base=0x1234)

@@ -1,0 +1,80 @@
+"""Tests for the flat memory and the transient store-buffer overlay."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.memory import Memory, TransientMemory
+
+
+class TestMemory:
+    def test_uninitialised_reads_zero(self):
+        assert Memory().read(0x1234, 8) == 0
+
+    def test_little_endian_roundtrip(self):
+        memory = Memory()
+        memory.write(0x100, 4, 0xAABBCCDD)
+        assert memory.read(0x100, 1) == 0xDD
+        assert memory.read(0x101, 1) == 0xCC
+        assert memory.read(0x100, 4) == 0xAABBCCDD
+
+    def test_write_masks_to_width(self):
+        memory = Memory()
+        memory.write(0x0, 1, 0x1FF)
+        assert memory.read(0x0, 1) == 0xFF
+        assert memory.read(0x1, 1) == 0
+
+    def test_bytes_roundtrip(self):
+        memory = Memory()
+        memory.write_bytes(0x10, b"hello")
+        assert memory.read_bytes(0x10, 5) == b"hello"
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            Memory().read(0, 0)
+        with pytest.raises(ValueError):
+            Memory().write(0, -1, 0)
+
+    def test_snapshot_is_copy(self):
+        memory = Memory()
+        memory.write(0, 1, 5)
+        snap = memory.snapshot()
+        memory.write(0, 1, 9)
+        assert snap[0] == 5
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=1, max_value=8))
+    def test_roundtrip_any_width(self, value, width):
+        memory = Memory()
+        memory.write(0x4000, width, value)
+        assert memory.read(0x4000, width) == value & ((1 << (8 * width)) - 1)
+
+
+class TestTransientMemory:
+    def test_reads_through_to_underlying(self):
+        memory = Memory()
+        memory.write(0x10, 8, 0x1234)
+        overlay = TransientMemory(memory)
+        assert overlay.read(0x10, 8) == 0x1234
+
+    def test_writes_stay_in_overlay(self):
+        memory = Memory()
+        memory.write(0x10, 8, 1)
+        overlay = TransientMemory(memory)
+        overlay.write(0x10, 8, 99)
+        assert overlay.read(0x10, 8) == 99
+        assert memory.read(0x10, 8) == 1
+
+    def test_partial_overlay_merge(self):
+        memory = Memory()
+        memory.write(0x0, 4, 0xAABBCCDD)
+        overlay = TransientMemory(memory)
+        overlay.write(0x1, 1, 0x11)
+        assert overlay.read(0x0, 4) == 0xAABB11DD
+        assert memory.read(0x0, 4) == 0xAABBCCDD
+
+    def test_bytes_helpers(self):
+        memory = Memory()
+        overlay = TransientMemory(memory)
+        overlay.write_bytes(0x20, b"\x01\x02")
+        assert overlay.read_bytes(0x20, 2) == b"\x01\x02"
+        assert memory.read_bytes(0x20, 2) == b"\x00\x00"

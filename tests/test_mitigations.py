@@ -1,0 +1,127 @@
+"""Tests for the Section 10 mitigation strategies."""
+
+import pytest
+
+from repro.cpu import Machine, RAPTOR_LAKE, SKYLAKE
+from repro.mitigations import (
+    HalfAndHalfPartition,
+    PhrFlushMitigation,
+    PhrRandomizeMitigation,
+    PhtFlushMitigation,
+    software_flush_cost,
+)
+from repro.primitives import VictimHandle
+from repro.utils.rng import DeterministicRng
+
+from conftest import build_counted_loop
+
+
+class TestPhrFlush:
+    def test_flush_erases_victim_history(self):
+        machine = Machine(RAPTOR_LAKE)
+        handle = VictimHandle(machine, build_counted_loop(10))
+        handle.invoke()
+        assert machine.phr(0).value != 0
+        mitigation = PhrFlushMitigation(machine)
+        cost = mitigation.on_domain_switch()
+        assert machine.phr(0).value == 0
+        assert not mitigation.read_phr_leaks()
+        assert cost.branches == 194
+
+    def test_flush_leaves_phts_alone(self):
+        """The flushing branches are unconditional with zero footprints:
+        they must not plant PHT state an attacker could mine."""
+        machine = Machine(RAPTOR_LAKE)
+        before = machine.cbp.populated_entries()
+        PhrFlushMitigation(machine).on_domain_switch()
+        assert machine.cbp.populated_entries() == before
+
+    def test_skylake_costs_93_branches(self):
+        machine = Machine(SKYLAKE)
+        cost = PhrFlushMitigation(machine).on_domain_switch()
+        assert cost.branches == 93
+
+    def test_flush_counter(self):
+        machine = Machine(RAPTOR_LAKE)
+        mitigation = PhrFlushMitigation(machine)
+        mitigation.on_domain_switch()
+        mitigation.on_domain_switch()
+        assert mitigation.flushes == 2
+
+
+class TestPhrRandomize:
+    def test_repeated_reads_diverge(self):
+        machine = Machine(RAPTOR_LAKE)
+        handle = VictimHandle(machine, build_counted_loop(6))
+        mitigation = PhrRandomizeMitigation(machine,
+                                            rng=DeterministicRng(3))
+        agree = mitigation.repeated_reads_agree(lambda: handle.invoke(),
+                                                reads=4)
+        assert not agree
+
+    def test_without_mitigation_reads_agree(self):
+        machine = Machine(RAPTOR_LAKE)
+        handle = VictimHandle(machine, build_counted_loop(6))
+        observed = set()
+        for _ in range(4):
+            machine.clear_phr()
+            handle.invoke()
+            observed.add(machine.phr(0).value)
+        assert len(observed) == 1
+
+    def test_cost_is_small(self):
+        machine = Machine(RAPTOR_LAKE)
+        mitigation = PhrRandomizeMitigation(machine, max_branches=8,
+                                            rng=DeterministicRng(4))
+        cost = mitigation.on_domain_switch()
+        assert 1 <= cost.branches <= 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhrRandomizeMitigation(Machine(RAPTOR_LAKE), max_branches=0)
+
+
+class TestPhtFlush:
+    def test_software_cost_near_100k(self):
+        """The paper: 'Flushing the PHTs in software requires around 100k
+        instructions (mostly branches)'."""
+        cost = software_flush_cost(RAPTOR_LAKE)
+        assert 90_000 <= cost.total_instructions <= 130_000
+
+    def test_cost_breakdown(self):
+        cost = software_flush_cost(RAPTOR_LAKE)
+        assert cost.base_entries == 8192
+        assert cost.tagged_entries == 3 * 512 * 4
+        assert cost.branches_per_entry == 8
+
+    def test_flush_empties_predictor(self):
+        machine = Machine(RAPTOR_LAKE)
+        for i in range(10):
+            machine.observe_conditional(0x40 + 4 * i, 0x4000, True)
+        mitigation = PhtFlushMitigation(machine)
+        mitigation.on_domain_switch()
+        assert not mitigation.pht_state_survives()
+
+
+class TestHalfAndHalf:
+    def test_pht_partitioning_blocks_aliasing(self):
+        machine = Machine(RAPTOR_LAKE)
+        partition = HalfAndHalfPartition(machine)
+        phr_value = DeterministicRng(5).value_bits(388)
+        assert partition.pht_isolated(0x0040_AC00, phr_value)
+
+    def test_relocation_sets_partition_bit(self):
+        partition = HalfAndHalfPartition(Machine(RAPTOR_LAKE))
+        assert partition.domain_of(partition.relocate(0x40AC00, 1)) == 1
+        assert partition.domain_of(partition.relocate(0x40AC20, 0)) == 0
+
+    def test_phr_not_isolated(self):
+        """The paper's key point: Half&Half (and every PHT-partitioning
+        scheme) leaves the PHR fully exposed."""
+        partition = HalfAndHalfPartition(Machine(RAPTOR_LAKE))
+        assert not partition.phr_isolated()
+
+    def test_invalid_domain_rejected(self):
+        partition = HalfAndHalfPartition(Machine(RAPTOR_LAKE))
+        with pytest.raises(ValueError):
+            partition.relocate(0x40, 2)

@@ -1,0 +1,149 @@
+"""Tests for the AES block cipher modes (NIST SP 800-38A vectors)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aes.modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    cfb_decrypt,
+    cfb_encrypt,
+    ctr_transform,
+    ecb_decrypt,
+    ecb_encrypt,
+)
+
+#: NIST SP 800-38A common test key and data.
+NIST_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+NIST_PLAIN = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710"
+)
+
+
+class TestEcb:
+    def test_nist_f11(self):
+        expected = (
+            "3ad77bb40d7a3660a89ecaf32466ef97"
+            "f5d3d58503b9699de785895a96fdbaaf"
+            "43b1cd7f598ece23881b00e3ed030688"
+            "7b0c785e27e8ad3f8223207104725dd4"
+        )
+        assert ecb_encrypt(NIST_PLAIN, NIST_KEY).hex() == expected
+
+    def test_roundtrip(self):
+        ciphertext = ecb_encrypt(NIST_PLAIN, NIST_KEY)
+        assert ecb_decrypt(ciphertext, NIST_KEY) == NIST_PLAIN
+
+    def test_partial_block_rejected(self):
+        with pytest.raises(ValueError):
+            ecb_encrypt(b"x" * 17, NIST_KEY)
+
+
+class TestCbc:
+    IV = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+
+    def test_nist_f21(self):
+        expected = (
+            "7649abac8119b246cee98e9b12e9197d"
+            "5086cb9b507219ee95db113a917678b2"
+            "73bed6b8e3c1743b7116e69e22229516"
+            "3ff1caa1681fac09120eca307586e1a7"
+        )
+        assert cbc_encrypt(NIST_PLAIN, NIST_KEY, self.IV).hex() == expected
+
+    def test_roundtrip(self):
+        ciphertext = cbc_encrypt(NIST_PLAIN, NIST_KEY, self.IV)
+        assert cbc_decrypt(ciphertext, NIST_KEY, self.IV) == NIST_PLAIN
+
+    def test_bad_iv_rejected(self):
+        with pytest.raises(ValueError):
+            cbc_encrypt(NIST_PLAIN, NIST_KEY, b"short")
+        with pytest.raises(ValueError):
+            cbc_decrypt(NIST_PLAIN, NIST_KEY, b"short")
+
+    def test_chaining_propagates(self):
+        a = cbc_encrypt(bytes(32), NIST_KEY, self.IV)
+        flipped = bytes([1] + [0] * 31)
+        b = cbc_encrypt(flipped, NIST_KEY, self.IV)
+        assert a[:16] != b[:16]
+        assert a[16:] != b[16:]
+
+
+class TestCtr:
+    def test_nist_f51(self):
+        # SP 800-38A F.5.1 uses a full 16-byte initial counter block; we
+        # express it as a 8-byte nonce + 8-byte starting counter.
+        nonce = bytes.fromhex("f0f1f2f3f4f5f6f7")
+        initial = int.from_bytes(bytes.fromhex("f8f9fafbfcfdfeff"), "big")
+        expected = (
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff"
+            "5ae4df3edbd5d35e5b4f09020db03eab"
+            "1e031dda2fbe03d1792170a0f3009cee"
+        )
+        result = ctr_transform(NIST_PLAIN, NIST_KEY, nonce,
+                               initial_counter=initial)
+        assert result.hex() == expected
+
+    def test_ctr_is_involution(self):
+        data = b"The quick brown fox jumps over the lazy dog"
+        nonce = b"12345678"
+        once = ctr_transform(data, NIST_KEY, nonce)
+        assert ctr_transform(once, NIST_KEY, nonce) == data
+
+    def test_handles_partial_blocks(self):
+        data = b"odd-sized"
+        nonce = b"abcdefgh"
+        assert len(ctr_transform(data, NIST_KEY, nonce)) == len(data)
+
+    def test_bad_nonce_rejected(self):
+        with pytest.raises(ValueError):
+            ctr_transform(b"x", NIST_KEY, b"")
+        with pytest.raises(ValueError):
+            ctr_transform(b"x", NIST_KEY, bytes(16))
+
+
+class TestCfb:
+    IV = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+
+    def test_nist_f313_cfb128(self):
+        expected = (
+            "3b3fd92eb72dad20333449f8e83cfb4a"
+            "c8a64537a0b3a93fcde3cdad9f1ce58b"
+            "26751f67a3cbb140b1808cf187a4f4df"
+            "c04b05357c5d1c0eeac4c66f9ff7f2e6"
+        )
+        assert cfb_encrypt(NIST_PLAIN, NIST_KEY, self.IV).hex() == expected
+
+    def test_roundtrip(self):
+        ciphertext = cfb_encrypt(NIST_PLAIN, NIST_KEY, self.IV)
+        assert cfb_decrypt(ciphertext, NIST_KEY, self.IV) == NIST_PLAIN
+
+    def test_partial_tail(self):
+        data = b"seventeen bytes!!"
+        ciphertext = cfb_encrypt(data, NIST_KEY, self.IV)
+        assert cfb_decrypt(ciphertext, NIST_KEY, self.IV) == data
+
+    def test_bad_iv_rejected(self):
+        with pytest.raises(ValueError):
+            cfb_encrypt(b"x", NIST_KEY, b"bad")
+
+
+class TestPropertyRoundtrips:
+    @given(st.binary(min_size=16, max_size=64).filter(lambda d: len(d) % 16 == 0),
+           st.binary(min_size=16, max_size=16),
+           st.binary(min_size=16, max_size=16))
+    @settings(max_examples=10)
+    def test_cbc_roundtrip_random(self, data, key, iv):
+        assert cbc_decrypt(cbc_encrypt(data, key, iv), key, iv) == data
+
+    @given(st.binary(min_size=0, max_size=70),
+           st.binary(min_size=16, max_size=16),
+           st.binary(min_size=8, max_size=8))
+    @settings(max_examples=10)
+    def test_ctr_roundtrip_random(self, data, key, nonce):
+        assert ctr_transform(ctr_transform(data, key, nonce),
+                             key, nonce) == data

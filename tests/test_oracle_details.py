@@ -1,0 +1,64 @@
+"""Additional coverage: oracle internals and leak-result semantics."""
+
+from repro.aes import AesSpectreAttack, EncryptionOracle, ecb_encrypt
+from repro.aes.oracle import PROBE_BASE, PROBE_SLOTS, PROBE_STRIDE
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.utils.rng import DeterministicRng
+
+KEY = bytes(range(16))
+
+
+class TestOracleProgram:
+    def test_oracle_and_victim_share_one_image(self):
+        oracle = EncryptionOracle(Machine(RAPTOR_LAKE), KEY)
+        # The spliced victim labels resolve inside the oracle program.
+        assert oracle.program.address_of("aes_encrypt") == \
+               oracle.victim.program.address_of("aes_encrypt")
+        assert oracle.program.address_of("loop_branch") == \
+               oracle.victim.loop_branch_pc
+
+    def test_channel_geometry(self):
+        oracle = EncryptionOracle(Machine(RAPTOR_LAKE), KEY)
+        assert oracle.channel.base_address == PROBE_BASE
+        assert oracle.channel.stride == PROBE_STRIDE
+        assert oracle.channel.entries == PROBE_SLOTS == 16 * 256
+
+    def test_run_is_repeatable(self):
+        machine = Machine(RAPTOR_LAKE)
+        oracle = EncryptionOracle(machine, KEY)
+        plaintext = DeterministicRng(1).bytes(16)
+        first, __ = oracle.run_and_read(plaintext)
+        second, __ = oracle.run_and_read(plaintext)
+        assert first == second == ecb_encrypt(plaintext, KEY)
+
+    def test_speculate_flag_suppresses_transient_state(self):
+        machine = Machine(RAPTOR_LAKE)
+        oracle = EncryptionOracle(machine, KEY)
+        before = machine.perf.snapshot()
+        oracle.run(bytes(16), speculate=False)
+        delta = machine.perf.delta(before)
+        assert delta.transient_instructions == 0
+
+
+class TestLeakResultSemantics:
+    def test_coverage_field(self):
+        machine = Machine(RAPTOR_LAKE)
+        attack = AesSpectreAttack(machine, KEY, rng=DeterministicRng(2))
+        leak = attack.leak_reduced_round(DeterministicRng(3).bytes(16), 4)
+        assert leak.coverage == 1.0
+        assert len(leak.recovered) == 16
+        assert len(leak.ciphertext) == 16
+
+    def test_ciphertext_is_architectural(self):
+        machine = Machine(RAPTOR_LAKE)
+        attack = AesSpectreAttack(machine, KEY, rng=DeterministicRng(4))
+        plaintext = DeterministicRng(5).bytes(16)
+        leak = attack.leak_reduced_round(plaintext, 2)
+        assert leak.ciphertext == ecb_encrypt(plaintext, KEY)
+
+    def test_transient_differs_from_architectural(self):
+        machine = Machine(RAPTOR_LAKE)
+        attack = AesSpectreAttack(machine, KEY, rng=DeterministicRng(6))
+        plaintext = DeterministicRng(7).bytes(16)
+        leak = attack.leak_reduced_round(plaintext, 3)
+        assert bytes(leak.recovered) != leak.ciphertext

@@ -1,0 +1,92 @@
+"""Tests for performance counters and machine configuration."""
+
+import dataclasses
+
+import pytest
+
+from repro.cpu.config import MachineConfig, RAPTOR_LAKE, SKYLAKE, TARGET_MACHINES
+from repro.cpu.perf import PerfCounters
+
+
+class TestPerfCounters:
+    def test_record_conditional(self):
+        perf = PerfCounters()
+        perf.record_conditional(0x40, mispredicted=True)
+        perf.record_conditional(0x40, mispredicted=False)
+        perf.record_conditional(0x80, mispredicted=False)
+        assert perf.conditional_branches == 3
+        assert perf.conditional_mispredictions == 1
+        assert perf.per_pc_executions[0x40] == 2
+
+    def test_misprediction_rate(self):
+        perf = PerfCounters()
+        for outcome in (True, False, False, False):
+            perf.record_conditional(0x40, mispredicted=outcome)
+        assert perf.misprediction_rate(0x40) == 0.25
+
+    def test_rate_of_unknown_pc_is_zero(self):
+        assert PerfCounters().misprediction_rate(0x999) == 0.0
+
+    def test_snapshot_is_independent(self):
+        perf = PerfCounters()
+        perf.record_conditional(0x40, True)
+        snap = perf.snapshot()
+        perf.record_conditional(0x40, True)
+        assert snap.conditional_branches == 1
+        assert perf.conditional_branches == 2
+
+    def test_delta(self):
+        perf = PerfCounters()
+        perf.record_conditional(0x40, True)
+        before = perf.snapshot()
+        perf.record_conditional(0x40, False)
+        perf.record_conditional(0x80, True)
+        perf.taken_branches += 5
+        delta = perf.delta(before)
+        assert delta.conditional_branches == 2
+        assert delta.conditional_mispredictions == 1
+        assert delta.taken_branches == 5
+        assert delta.per_pc_executions == {0x40: 1, 0x80: 1}
+        assert delta.per_pc_mispredictions == {0x80: 1}
+
+    def test_delta_drops_zero_entries(self):
+        perf = PerfCounters()
+        perf.record_conditional(0x40, False)
+        delta = perf.delta(perf.snapshot())
+        assert delta.per_pc_executions == {}
+
+
+class TestMachineConfig:
+    def test_presets_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            RAPTOR_LAKE.phr_capacity = 10  # type: ignore[misc]
+
+    def test_table1_presets(self):
+        assert len(TARGET_MACHINES) == 3
+        names = [config.model_name for config in TARGET_MACHINES]
+        assert names == ["Core i9-13900KS", "Core i9-12900",
+                         "Core i7-6770HQ"]
+
+    def test_describe_fields(self):
+        description = SKYLAKE.describe()
+        assert description["uArch."] == "Skylake"
+        assert description["PHR size"] == "93"
+
+    def test_history_window_must_fit_phr(self):
+        with pytest.raises(ValueError):
+            MachineConfig(name="bad", model_name="x",
+                          microarchitecture="y", phr_capacity=32,
+                          pht_history_lengths=(34, 66, 194))
+
+    def test_tiny_phr_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(name="bad", model_name="x",
+                          microarchitecture="y", phr_capacity=4,
+                          pht_history_lengths=(4,))
+
+    def test_custom_config_round_trip(self):
+        config = dataclasses.replace(RAPTOR_LAKE, spec_window_base=32)
+        from repro.cpu import Machine
+
+        machine = Machine(config)
+        assert machine._speculation_budget(0) == 32

@@ -1,0 +1,169 @@
+"""Tests for the pattern history tables and base predictor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.pht import BasePredictor, TaggedTable, default_history_lengths
+from repro.cpu.phr import PathHistoryRegister
+
+
+def phr_of(value: int, capacity: int = 194) -> PathHistoryRegister:
+    return PathHistoryRegister(capacity, value)
+
+
+class TestBasePredictor:
+    def test_index_uses_low_13_bits(self):
+        base = BasePredictor()
+        assert base.index(0x0000_1FFF) == 0x1FFF
+        assert base.index(0xABCD_1FFF) == 0x1FFF
+
+    def test_aliasing_shares_counter(self):
+        base = BasePredictor()
+        base.update(0x1234, True)
+        base.update(0xFF_1234, True)
+        assert base.counter_at(0x1234).value == 5
+
+    def test_default_prediction_not_taken(self):
+        assert not BasePredictor().predict(0x42)
+
+    def test_training(self):
+        base = BasePredictor()
+        base.update(0x42, True)
+        assert base.predict(0x42)
+
+    def test_flush(self):
+        base = BasePredictor()
+        base.update(0x42, True)
+        base.flush()
+        assert base.populated_entries() == 0
+        assert not base.predict(0x42)
+
+    def test_populated_entries_counts_touched(self):
+        base = BasePredictor()
+        base.predict(0x1)
+        base.predict(0x2)
+        base.predict(0x2001)  # aliases 0x1
+        assert base.populated_entries() == 2
+
+
+class TestTaggedTableHashing:
+    def test_index_in_range(self):
+        table = TaggedTable(history_doublets=34)
+        for value in (0, 1, 0xDEAD, (1 << 68) - 1):
+            assert 0 <= table.index(0x40AC00, phr_of(value)) < 512
+
+    def test_pc_bit_selects_half(self):
+        table = TaggedTable(history_doublets=34, pc_index_bit=5)
+        phr = phr_of(0x1234)
+        low = table.index(0x40AC00, phr)   # PC[5] == 0
+        high = table.index(0x40AC20, phr)  # PC[5] == 1
+        assert (low >> 8) == 0
+        assert (high >> 8) == 1
+
+    def test_same_coordinates_same_entry(self):
+        table = TaggedTable(history_doublets=66)
+        phr = phr_of(0xABCDEF)
+        assert table.index(0x40AC00, phr) == table.index(0x40AC00, phr)
+        assert table.tag(0x40AC00, phr) == table.tag(0x40AC00, phr)
+
+    def test_pc_low16_aliasing(self):
+        """Branches sharing PC[15:0] alias fully -- the cross-address
+        collision both Write_PHT and Extended Read rely on."""
+        table = TaggedTable(history_doublets=194)
+        phr = phr_of(0x1357_9BDF)
+        assert table.index(0x0040_AC00, phr) == table.index(0x1050_AC00, phr)
+        assert table.tag(0x0040_AC00, phr) == table.tag(0x1050_AC00, phr)
+
+    def test_history_beyond_window_ignored(self):
+        table = TaggedTable(history_doublets=34)
+        base_value = 0x3FF
+        beyond = base_value | (1 << (2 * 40))
+        assert table.index(0x40, phr_of(base_value)) == \
+               table.index(0x40, phr_of(beyond))
+        assert table.tag(0x40, phr_of(base_value)) == \
+               table.tag(0x40, phr_of(beyond))
+
+    def test_history_within_window_matters(self):
+        table = TaggedTable(history_doublets=194)
+        a = phr_of(1 << (2 * 193))
+        b = phr_of(0)
+        differs = (table.index(0x40, a) != table.index(0x40, b)
+                   or table.tag(0x40, a) != table.tag(0x40, b))
+        assert differs
+
+    @given(st.integers(min_value=0, max_value=2**388 - 1),
+           st.integers(min_value=0, max_value=2**388 - 1))
+    @settings(max_examples=40)
+    def test_distinct_histories_rarely_fully_collide(self, a, b):
+        """Full (index, tag) collisions between random distinct histories
+        should be essentially absent in a 40-sample run."""
+        if a == b:
+            return
+        table = TaggedTable(history_doublets=194)
+        collision = (table.index(0x40, phr_of(a)) == table.index(0x40, phr_of(b))
+                     and table.tag(0x40, phr_of(a)) == table.tag(0x40, phr_of(b)))
+        assert not collision
+
+
+class TestTaggedTableStorage:
+    def test_lookup_miss_returns_none(self):
+        table = TaggedTable(history_doublets=34)
+        assert table.lookup(0x40, phr_of(1)) is None
+
+    def test_allocate_then_lookup(self):
+        table = TaggedTable(history_doublets=34)
+        entry = table.allocate(0x40, phr_of(1), taken=True)
+        assert table.lookup(0x40, phr_of(1)) is entry
+        assert entry.counter.prediction
+
+    def test_eviction_picks_least_useful(self):
+        table = TaggedTable(history_doublets=34, sets=512, ways=2)
+        phr_a, phr_b = phr_of(0x111), phr_of(0x222)
+        # Force both into the same set by crafting equal indexes via the
+        # same history (different pc tags).
+        entry_a = table.allocate(0x40, phr_a, True)
+        entry_a.useful = 2
+        # Find a second coordinate landing in the same set.
+        index = table.index(0x40, phr_a)
+        other_pc = None
+        for candidate in range(0x41, 0x2000):
+            if table.index(candidate, phr_a) == index and \
+                    table.tag(candidate, phr_a) != entry_a.tag:
+                other_pc = candidate
+                break
+        assert other_pc is not None
+        entry_b = table.allocate(other_pc, phr_a, False)
+        entry_b.useful = 0
+        # Third allocation into the full set evicts the useful == 0 way.
+        third_pc = None
+        for candidate in range(other_pc + 1, 0x4000):
+            if table.index(candidate, phr_a) == index and \
+                    table.tag(candidate, phr_a) not in (entry_a.tag,
+                                                        entry_b.tag):
+                third_pc = candidate
+                break
+        assert third_pc is not None
+        table.allocate(third_pc, phr_a, True)
+        assert table.lookup(0x40, phr_a) is entry_a
+        assert table.lookup(other_pc, phr_a) is None
+
+    def test_flush_empties(self):
+        table = TaggedTable(history_doublets=34)
+        table.allocate(0x40, phr_of(1), True)
+        table.flush()
+        assert table.populated_entries() == 0
+
+    def test_invalid_sets_rejected(self):
+        with pytest.raises(ValueError):
+            TaggedTable(history_doublets=34, sets=100)
+
+
+class TestDefaultHistoryLengths:
+    def test_alder_lake(self):
+        assert default_history_lengths(194) == (34, 66, 194)
+
+    def test_skylake_capped(self):
+        assert default_history_lengths(93) == (34, 66, 93)
+
+    def test_tiny_capped(self):
+        assert default_history_lengths(20) == (20, 20, 20)

@@ -1,0 +1,127 @@
+"""Tests for program assembly: layout, labels, placement."""
+
+import pytest
+
+from repro.isa import ProgramBuilder, ProgramError
+from repro.isa.program import conditional_branches, unconditional_branches
+
+
+class TestLayout:
+    def test_sequential_addresses(self):
+        b = ProgramBuilder(base=0x1000)
+        b.nop().nop().halt()
+        p = b.build()
+        addresses = [a for a, __ in p.items()]
+        assert addresses == [0x1000, 0x1004, 0x1008]
+
+    def test_alignment_pads(self):
+        b = ProgramBuilder(base=0x1000)
+        b.nop()
+        b.align(64)
+        b.label("aligned")
+        b.nop()
+        b.halt()
+        p = b.build()
+        assert p.address_of("aligned") == 0x1040
+
+    def test_explicit_placement(self):
+        b = ProgramBuilder(base=0x1000)
+        b.nop()
+        b.at(0x2000)
+        b.label("far")
+        b.halt()
+        p = b.build()
+        assert p.address_of("far") == 0x2000
+
+    def test_backward_placement_rejected(self):
+        b = ProgramBuilder(base=0x1000)
+        b.nop()
+        b.at(0x500)
+        b.nop()
+        with pytest.raises(ProgramError):
+            b.build()
+
+    def test_entry_defaults_to_first_instruction(self):
+        b = ProgramBuilder(base=0x4000)
+        b.nop().halt()
+        assert b.build().entry == 0x4000
+
+    def test_entry_label(self):
+        b = ProgramBuilder(base=0x4000)
+        b.nop()
+        b.label("start")
+        b.halt()
+        b.entry("start")
+        assert b.build().entry == 0x4004
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProgramError):
+            ProgramBuilder().build()
+
+
+class TestLabels:
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder()
+        b.label("x").nop().label("x").halt()
+        with pytest.raises(ProgramError):
+            b.build()
+
+    def test_trailing_label_rejected(self):
+        b = ProgramBuilder()
+        b.nop().label("end")
+        with pytest.raises(ProgramError):
+            b.build()
+
+    def test_unknown_branch_target_rejected(self):
+        b = ProgramBuilder()
+        b.jmp("nowhere")
+        with pytest.raises(ProgramError):
+            b.build()
+
+    def test_unknown_label_lookup(self):
+        b = ProgramBuilder()
+        b.nop().halt()
+        with pytest.raises(ProgramError):
+            b.build().address_of("missing")
+
+
+class TestAccessors:
+    def make_program(self):
+        b = ProgramBuilder(base=0x1000)
+        b.label("top")
+        b.cmp("rax", imm=0)
+        b.jeq("top")
+        b.jmp("end")
+        b.label("end")
+        b.halt()
+        return b.build()
+
+    def test_instruction_at(self):
+        p = self.make_program()
+        assert p.has_instruction_at(0x1000)
+        assert not p.has_instruction_at(0x1002)
+        with pytest.raises(ProgramError):
+            p.instruction_at(0x9999)
+
+    def test_next_address(self):
+        p = self.make_program()
+        assert p.next_address(0x1000) == 0x1004
+
+    def test_branch_target(self):
+        p = self.make_program()
+        assert p.branch_target(0x1004) == 0x1000
+        assert p.branch_target(0x1008) == 0x100C
+
+    def test_branch_lists(self):
+        p = self.make_program()
+        assert p.branch_addresses() == [0x1004, 0x1008]
+        assert conditional_branches(p) == [0x1004]
+        assert unconditional_branches(p) == [0x1008]
+
+    def test_len(self):
+        assert len(self.make_program()) == 4
+
+    def test_disassemble_mentions_labels_and_addresses(self):
+        text = self.make_program().disassemble()
+        assert "top:" in text
+        assert "0x00001000" in text

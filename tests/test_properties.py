@@ -1,0 +1,148 @@
+"""Cross-module property-based tests on core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.cpu.cbp import ConditionalBranchPredictor
+from repro.cpu.phr import PathHistoryRegister, replay_taken_branches
+from repro.primitives.macros import PhrMacros
+from repro.utils.rng import DeterministicRng
+
+branch_strategy = st.tuples(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+phr_value_strategy = st.integers(min_value=0, max_value=2**388 - 1)
+
+
+class TestPhrAlgebra:
+    @given(phr_value_strategy,
+           st.integers(min_value=0, max_value=50),
+           st.integers(min_value=0, max_value=50))
+    @settings(max_examples=30)
+    def test_shift_composes(self, value, a, b):
+        """shift(a); shift(b) == shift(a + b)."""
+        left = PathHistoryRegister(194, value)
+        left.shift(a)
+        left.shift(b)
+        right = PathHistoryRegister(194, value)
+        right.shift(a + b)
+        assert left.value == right.value
+
+    @given(phr_value_strategy, st.lists(branch_strategy, min_size=1,
+                                        max_size=8))
+    @settings(max_examples=30)
+    def test_top_doublet_shifts_out_cleanly(self, value, branches):
+        """Registers differing only in the top doublet converge fully
+        after one update (shift-out never feeds back) -- the property that
+        makes PHR reversal lose exactly one doublet per step."""
+        a = PathHistoryRegister(194, value)
+        b = PathHistoryRegister(194, value ^ (0b11 << 386))  # differ at top
+        for pc, target in branches:
+            a.update(pc, target)
+            b.update(pc, target)
+        assert a.value == b.value
+
+    @given(st.lists(branch_strategy, min_size=1, max_size=20))
+    @settings(max_examples=30)
+    def test_replay_equals_machine_recording(self, branches):
+        machine = Machine(RAPTOR_LAKE)
+        for pc, target in branches:
+            machine.record_taken_branch(pc, target)
+        assert machine.phr(0).value == \
+               replay_taken_branches(194, branches).value
+
+
+class TestCbpDeterminism:
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=0xFFFF),
+                  st.integers(min_value=0, max_value=2**64 - 1),
+                  st.booleans()),
+        min_size=1, max_size=40,
+    ))
+    @settings(max_examples=20)
+    def test_identical_histories_identical_predictions(self, events):
+        """Two predictors fed the same stream agree on every prediction --
+        the property all replay/fast-path equivalences build on."""
+        a = ConditionalBranchPredictor(history_lengths=(34, 66, 194))
+        b = ConditionalBranchPredictor(history_lengths=(34, 66, 194))
+        for pc, phr_value, taken in events:
+            phr = PathHistoryRegister(194, phr_value)
+            assert a.observe(pc, phr, taken) == b.observe(pc, phr, taken)
+
+    @given(st.integers(min_value=0, max_value=2**388 - 1),
+           st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=20)
+    def test_training_is_recallable(self, phr_value, pc):
+        """Eight taken updates at any coordinate make it predict taken."""
+        cbp = ConditionalBranchPredictor(history_lengths=(34, 66, 194))
+        phr = PathHistoryRegister(194, phr_value)
+        for _ in range(8):
+            cbp.observe(pc, phr, True)
+        assert cbp.predict(pc, phr).taken
+
+
+class TestMacroProperties:
+    @given(phr_value_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_write_then_read_back(self, value):
+        """apply_write installs exactly the requested value."""
+        machine = Machine(RAPTOR_LAKE)
+        PhrMacros(machine).apply_write(value)
+        assert machine.phr(0).value == value
+
+    @given(phr_value_strategy, st.integers(min_value=0, max_value=194))
+    @settings(max_examples=15, deadline=None)
+    def test_apply_shift_equals_transform(self, value, amount):
+        machine = Machine(RAPTOR_LAKE)
+        machine.phr(0).set_value(value)
+        PhrMacros(machine).apply_shift(amount)
+        expected = PathHistoryRegister(194, value)
+        expected.shift(amount)
+        assert machine.phr(0).value == expected.value
+
+
+class TestSmtIsolation:
+    @given(st.lists(branch_strategy, min_size=1, max_size=10))
+    @settings(max_examples=20)
+    def test_thread_phrs_never_mix(self, branches):
+        machine = Machine(RAPTOR_LAKE)
+        rng = DeterministicRng(1)
+        for pc, target in branches:
+            machine.record_taken_branch(pc, target,
+                                        thread=rng.integer(0, 1))
+        # Replaying each thread's sub-stream reproduces its PHR.
+        machine2 = Machine(RAPTOR_LAKE)
+        rng2 = DeterministicRng(1)
+        streams = {0: [], 1: []}
+        for pc, target in branches:
+            streams[rng2.integer(0, 1)].append((pc, target))
+        for thread, stream in streams.items():
+            for pc, target in stream:
+                machine2.record_taken_branch(pc, target, thread=thread)
+        assert machine.phr(0).value == machine2.phr(0).value
+        assert machine.phr(1).value == machine2.phr(1).value
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=2**24),
+                    min_size=1, max_size=40))
+    @settings(max_examples=20)
+    def test_access_then_contains(self, addresses):
+        from repro.cpu.cache import DataCache
+
+        cache = DataCache(sets=1024, ways=8)
+        for address in addresses:
+            cache.access(address)
+        # The most recent access is always resident.
+        assert cache.contains(addresses[-1])
+
+    @given(st.integers(min_value=0, max_value=2**24))
+    @settings(max_examples=20)
+    def test_flush_then_absent(self, address):
+        from repro.cpu.cache import DataCache
+
+        cache = DataCache()
+        cache.access(address)
+        cache.flush(address)
+        assert not cache.contains(address)

@@ -1,0 +1,84 @@
+"""Tests for quantization and zigzag ordering."""
+
+import numpy as np
+import pytest
+
+from repro.jpeg.quant import (
+    STANDARD_LUMINANCE_TABLE,
+    dequantize,
+    quantize,
+    scale_table,
+)
+from repro.jpeg.zigzag import ZIGZAG_ORDER, from_zigzag, to_zigzag
+
+
+class TestQuantization:
+    def test_standard_table_shape_and_corner(self):
+        assert STANDARD_LUMINANCE_TABLE.shape == (8, 8)
+        assert STANDARD_LUMINANCE_TABLE[0, 0] == 16
+        assert STANDARD_LUMINANCE_TABLE[7, 7] == 99
+
+    def test_quantize_rounds_to_nearest(self):
+        table = np.full((8, 8), 10, dtype=np.int64)
+        coefficients = np.full((8, 8), 26.0)
+        assert quantize(coefficients, table)[0, 0] == 3
+
+    def test_quantize_flattens_small_coefficients(self):
+        coefficients = np.full((8, 8), 4.0)
+        levels = quantize(coefficients, STANDARD_LUMINANCE_TABLE)
+        assert levels[7, 7] == 0  # 4/99 rounds to zero
+
+    def test_dequantize_inverts_scale(self):
+        table = STANDARD_LUMINANCE_TABLE
+        levels = np.ones((8, 8), dtype=np.int64)
+        assert np.array_equal(dequantize(levels, table), table)
+
+    def test_quality_50_is_identity(self):
+        scaled = scale_table(STANDARD_LUMINANCE_TABLE, 50)
+        assert np.array_equal(scaled, STANDARD_LUMINANCE_TABLE)
+
+    def test_higher_quality_divides_less(self):
+        q90 = scale_table(STANDARD_LUMINANCE_TABLE, 90)
+        q10 = scale_table(STANDARD_LUMINANCE_TABLE, 10)
+        assert np.all(q90 <= STANDARD_LUMINANCE_TABLE)
+        assert np.all(q10 >= STANDARD_LUMINANCE_TABLE)
+
+    def test_scaled_entries_stay_in_byte_range(self):
+        for quality in (1, 25, 75, 100):
+            scaled = scale_table(STANDARD_LUMINANCE_TABLE, quality)
+            assert np.all(scaled >= 1)
+            assert np.all(scaled <= 255)
+
+    def test_quality_bounds_validated(self):
+        with pytest.raises(ValueError):
+            scale_table(STANDARD_LUMINANCE_TABLE, 0)
+        with pytest.raises(ValueError):
+            scale_table(STANDARD_LUMINANCE_TABLE, 101)
+
+
+class TestZigzag:
+    def test_order_is_a_permutation(self):
+        assert sorted(ZIGZAG_ORDER) == [(r, c) for r in range(8)
+                                        for c in range(8)]
+
+    def test_known_prefix(self):
+        assert ZIGZAG_ORDER[:6] == [(0, 0), (0, 1), (1, 0),
+                                    (2, 0), (1, 1), (0, 2)]
+
+    def test_ends_at_bottom_right(self):
+        assert ZIGZAG_ORDER[-1] == (7, 7)
+
+    def test_roundtrip(self):
+        block = np.arange(64, dtype=np.int64).reshape(8, 8)
+        assert np.array_equal(from_zigzag(to_zigzag(block)), block)
+
+    def test_dc_comes_first(self):
+        block = np.zeros((8, 8), dtype=np.int64)
+        block[0, 0] = 42
+        assert to_zigzag(block)[0] == 42
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            to_zigzag(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            from_zigzag([0] * 63)

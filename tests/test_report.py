@@ -1,0 +1,92 @@
+"""Tests for Pathfinder's reporting (the Figure 6 output)."""
+
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.cpu.phr import replay_taken_branches
+from repro.pathfinder import ControlFlowGraph, PathSearch
+from repro.pathfinder.report import build_report, dynamic_edge_counts, render_cfg
+from repro.primitives import VictimHandle
+
+from conftest import build_counted_loop
+
+
+def recovered_path(program):
+    handle = VictimHandle(Machine(RAPTOR_LAKE), program)
+    taken = handle.taken_branches()
+    doublets = replay_taken_branches(len(taken), taken).doublets()
+    cfg = ControlFlowGraph(program)
+    return cfg, PathSearch(cfg, mode="exact").search(doublets)[0]
+
+
+class TestBuildReport:
+    def test_visit_counts_are_loop_iterations(self):
+        program = build_counted_loop(10)
+        cfg, path = recovered_path(program)
+        report = build_report(cfg, path)
+        assert report.loop_iterations(program.address_of("loop")) == 10
+
+    def test_unvisited_block_counts_zero(self):
+        program = build_counted_loop(3)
+        cfg, path = recovered_path(program)
+        report = build_report(cfg, path)
+        assert report.loop_iterations(0xDEAD) == 0
+
+    def test_branch_outcomes_in_order(self):
+        program = build_counted_loop(4)
+        cfg, path = recovered_path(program)
+        report = build_report(cfg, path)
+        assert [taken for __, taken in report.branch_outcomes] == \
+               [True, True, True, False]
+
+    def test_phr_at_block_replays_forward(self):
+        program = build_counted_loop(3)
+        cfg, path = recovered_path(program)
+        report = build_report(cfg, path)
+        first_block, first_value = report.phr_at_block[0]
+        assert first_block == cfg.entry
+        assert first_value == 0
+        # The final entry equals the full replay.
+        taken = path.taken_branches
+        expected = replay_taken_branches(194, taken).value
+        assert report.phr_at_block[-1][1] == expected
+
+    def test_phr_at_block_entry_count(self):
+        program = build_counted_loop(3)
+        cfg, path = recovered_path(program)
+        report = build_report(cfg, path)
+        assert len(report.phr_at_block) == len(path.blocks)
+
+
+class TestRenderCfg:
+    def test_marks_executed_edges_and_counts(self):
+        program = build_counted_loop(9)
+        cfg, path = recovered_path(program)
+        text = render_cfg(cfg, path)
+        assert "* x8" in text           # the back edge, like Figure 6's '9'
+        assert "[entry]" in text
+        assert "[exit]" in text
+        assert "executed x9" in text    # the loop body block
+
+    def test_unexecuted_blocks_marked(self):
+        from repro.isa import ProgramBuilder
+
+        b = ProgramBuilder(base=0x1000)
+        b.mov_imm("r", 1)
+        b.cmp("r", imm=1)
+        b.jeq("yes")
+        b.label("no_block")
+        b.nop()
+        b.label("yes")
+        b.ret()
+        program = b.build()
+        cfg, path = recovered_path(program)
+        text = render_cfg(cfg, path)
+        assert "(not executed)" in text
+
+
+class TestEdgeCounts:
+    def test_dynamic_edge_totals(self):
+        program = build_counted_loop(5)
+        __, path = recovered_path(program)
+        counts = dynamic_edge_counts(path)
+        assert counts["taken"] == 4
+        assert counts["not-taken"] == 1

@@ -1,0 +1,49 @@
+"""Report coverage for call-heavy paths and edge counting."""
+
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.cpu.phr import replay_taken_branches
+from repro.isa import ProgramBuilder
+from repro.pathfinder import ControlFlowGraph, PathSearch
+from repro.pathfinder.report import build_report, dynamic_edge_counts
+from repro.primitives import VictimHandle
+
+
+def call_victim_path():
+    b = ProgramBuilder(base=0x1000)
+    b.mov_imm("rcx", 3)
+    b.label("loop")
+    b.call("helper")
+    b.sub("rcx", imm=1, set_flags=True)
+    b.jne("loop")
+    b.ret()
+    b.label("helper")
+    b.nop()
+    b.ret()
+    program = b.build()
+    handle = VictimHandle(Machine(RAPTOR_LAKE), program)
+    taken = handle.taken_branches()
+    doublets = replay_taken_branches(len(taken), taken).doublets()
+    cfg = ControlFlowGraph(program)
+    return program, cfg, PathSearch(cfg, mode="exact").search(doublets)[0]
+
+
+class TestCallHeavyReport:
+    def test_edge_counts_include_calls_and_rets(self):
+        __, __, path = call_victim_path()
+        counts = dynamic_edge_counts(path)
+        assert counts["call"] == 3
+        assert counts["ret"] == 3
+        assert counts["taken"] == 2
+        assert counts["not-taken"] == 1
+
+    def test_helper_visits_counted(self):
+        program, cfg, path = call_victim_path()
+        report = build_report(cfg, path)
+        helper = program.address_of("helper")
+        assert report.loop_iterations(helper) == 3
+
+    def test_phr_replay_spans_calls(self):
+        program, cfg, path = call_victim_path()
+        report = build_report(cfg, path)
+        expected = replay_taken_branches(194, path.taken_branches).value
+        assert report.phr_at_block[-1][1] == expected

@@ -1,0 +1,80 @@
+"""Tests for the deterministic RNG wrapper."""
+
+from repro.utils.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.integer(0, 100) for _ in range(20)] == \
+               [b.integer(0, 100) for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.integer(0, 10**9) for _ in range(8)] != \
+               [b.integer(0, 10**9) for _ in range(8)]
+
+    def test_seed_property(self):
+        assert DeterministicRng(7).seed == 7
+
+
+class TestFork:
+    def test_fork_is_deterministic(self):
+        a = DeterministicRng(9).fork(3)
+        b = DeterministicRng(9).fork(3)
+        assert a.bytes(16) == b.bytes(16)
+
+    def test_fork_salts_decorrelate(self):
+        parent = DeterministicRng(9)
+        assert parent.fork(1).bytes(16) != parent.fork(2).bytes(16)
+
+    def test_fork_does_not_disturb_parent(self):
+        parent = DeterministicRng(5)
+        first = parent.integer(0, 1000)
+        parent2 = DeterministicRng(5)
+        parent2.fork(99)
+        assert parent2.integer(0, 1000) == first
+
+
+class TestDraws:
+    def test_coin_is_boolean_and_mixed(self):
+        rng = DeterministicRng(1)
+        flips = [rng.coin() for _ in range(200)]
+        assert all(isinstance(f, bool) for f in flips)
+        assert 50 < sum(flips) < 150
+
+    def test_integer_range_inclusive(self):
+        rng = DeterministicRng(2)
+        draws = {rng.integer(3, 5) for _ in range(100)}
+        assert draws == {3, 4, 5}
+
+    def test_value_bits_width(self):
+        rng = DeterministicRng(3)
+        for _ in range(50):
+            assert rng.value_bits(12) < (1 << 12)
+
+    def test_value_bits_zero_width(self):
+        assert DeterministicRng(3).value_bits(0) == 0
+
+    def test_doublet_range(self):
+        rng = DeterministicRng(4)
+        assert {rng.doublet() for _ in range(100)} == {0, 1, 2, 3}
+
+    def test_bytes_length_and_range(self):
+        data = DeterministicRng(5).bytes(64)
+        assert len(data) == 64
+        assert all(0 <= b <= 255 for b in data)
+
+    def test_choice_uses_all_items(self):
+        rng = DeterministicRng(6)
+        picks = {rng.choice("abc") for _ in range(100)}
+        assert picks == {"a", "b", "c"}
+
+    def test_shuffled_is_permutation(self):
+        rng = DeterministicRng(7)
+        items = list(range(20))
+        shuffled = rng.shuffled(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(20))  # original untouched

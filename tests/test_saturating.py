@@ -1,0 +1,119 @@
+"""Tests for saturating counters, including the Observation 2 experiment."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpu.saturating import SaturatingCounter
+
+
+class TestBasics:
+    def test_default_is_weak_not_taken(self):
+        counter = SaturatingCounter(3)
+        assert counter.value == 3
+        assert not counter.prediction
+
+    def test_threshold(self):
+        counter = SaturatingCounter(3, value=4)
+        assert counter.prediction
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(0)
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(3, value=8)
+
+    def test_weak_factory(self):
+        assert SaturatingCounter.weak(3, True).value == 4
+        assert SaturatingCounter.weak(3, False).value == 3
+
+    def test_strong_factory(self):
+        assert SaturatingCounter.strong(3, True).value == 7
+        assert SaturatingCounter.strong(3, False).value == 0
+
+    def test_copy_independent(self):
+        a = SaturatingCounter(3, value=5)
+        b = a.copy()
+        b.update(False)
+        assert a.value == 5
+
+
+class TestUpdates:
+    def test_saturates_high(self):
+        counter = SaturatingCounter(3)
+        for _ in range(20):
+            counter.update(True)
+        assert counter.value == 7
+        assert counter.is_saturated
+
+    def test_saturates_low(self):
+        counter = SaturatingCounter(3)
+        for _ in range(20):
+            counter.update(False)
+        assert counter.value == 0
+        assert counter.is_saturated
+
+    def test_reset_weak(self):
+        counter = SaturatingCounter(3, value=7)
+        counter.reset_weak(False)
+        assert counter.value == 3
+
+    @given(st.integers(min_value=1, max_value=6),
+           st.lists(st.booleans(), max_size=64))
+    def test_value_stays_in_range(self, bits, outcomes):
+        counter = SaturatingCounter(bits)
+        for outcome in outcomes:
+            counter.update(outcome)
+        assert 0 <= counter.value <= counter.maximum
+
+
+class TestObservation2Plateau:
+    """The paper's counter-width probe: feed T^m N^m and count mispredicts.
+
+    A b-bit counter in steady state mispredicts 2^(b-1) times per phase
+    once each phase is long enough to saturate it, so the per-period
+    misprediction count grows with m until m = 2^b - 1 and stays constant
+    after; the paper's formula ``n = log2(m + 1)`` recovers the width from
+    that onset point."""
+
+    @staticmethod
+    def _mispredictions_per_period(bits: int, m: int) -> int:
+        counter = SaturatingCounter(bits)
+        # Warm up with two periods so the counter reaches steady state.
+        pattern = [True] * m + [False] * m
+        for outcome in pattern * 2:
+            counter.update(outcome)
+        mispredictions = 0
+        for outcome in pattern:
+            if counter.prediction != outcome:
+                mispredictions += 1
+            counter.update(outcome)
+        return mispredictions
+
+    @staticmethod
+    def _plateau_onset(bits: int) -> int:
+        values = {
+            m: TestObservation2Plateau._mispredictions_per_period(bits, m)
+            for m in range(1, 2 ** (bits + 1) + 4)
+        }
+        plateau_value = values[max(values)]
+        onset = max(values)
+        for m in sorted(values, reverse=True):
+            if values[m] != plateau_value:
+                break
+            onset = m
+        return onset
+
+    @pytest.mark.parametrize("bits", [2, 3, 4])
+    def test_onset_recovers_width(self, bits):
+        onset = self._plateau_onset(bits)
+        assert onset == 2 ** bits - 1
+        # The paper's formula: n = log2(m + 1).
+        assert (onset + 1).bit_length() - 1 == bits
+
+    def test_three_bit_steady_state_value(self):
+        """Observation 2 on the modeled Intel width: plateau of 2*4
+        mispredictions per period, onset at m = 7."""
+        assert self._mispredictions_per_period(3, 16) == 8
+        assert self._plateau_onset(3) == 7

@@ -1,0 +1,78 @@
+"""Tests for the Section 10.2 secure-predictor models."""
+
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.cpu.phr import PathHistoryRegister
+from repro.mitigations.secure_predictors import (
+    PerDomainPhrTable,
+    StbpuCbp,
+    machine_with_stbpu,
+    per_domain_phr_blocks_read,
+    per_domain_phr_preserves_victim_state,
+    stbpu_blocks_extended_read,
+    stbpu_blocks_pht_aliasing,
+    stbpu_leaves_read_phr_intact,
+)
+
+
+class TestStbpuCbp:
+    def phr(self, value=0):
+        return PathHistoryRegister(194, value)
+
+    def test_same_token_same_behaviour(self):
+        cbp = StbpuCbp(history_lengths=(34, 66, 194))
+        cbp.set_context(0x42)
+        for _ in range(4):
+            cbp.observe(0x1000, self.phr(7), True)
+        assert cbp.predict(0x1000, self.phr(7)).taken
+
+    def test_tokens_isolate_training(self):
+        cbp = StbpuCbp(history_lengths=(34, 66, 194))
+        cbp.set_context(0x42)
+        for _ in range(8):
+            cbp.observe(0x1000, self.phr(7), True)
+        cbp.set_context(0x43)
+        assert not cbp.predict(0x1000, self.phr(7)).taken
+
+    def test_token_masked_to_width(self):
+        cbp = StbpuCbp(history_lengths=(34,))
+        cbp.set_context(1 << 60)
+        assert cbp.active_token < (1 << 48)
+
+    def test_machine_factory_installs_secure_cbp(self):
+        machine = machine_with_stbpu(RAPTOR_LAKE)
+        assert isinstance(machine.cbp, StbpuCbp)
+
+
+class TestPaperClaims:
+    """Section 10.2: 'each of these can be effective at isolating the
+    PHT, they all fail to isolate the PHR'."""
+
+    def test_pht_aliasing_blocked(self):
+        assert stbpu_blocks_pht_aliasing()
+
+    def test_read_phr_survives(self):
+        assert stbpu_leaves_read_phr_intact()
+
+    def test_extended_read_blocked(self):
+        assert stbpu_blocks_extended_read()
+
+
+class TestPerDomainPhr:
+    def test_blocks_cross_domain_read(self):
+        assert per_domain_phr_blocks_read()
+
+    def test_preserves_victim_state(self):
+        assert per_domain_phr_preserves_victim_state()
+
+    def test_table_tracks_current_domain(self):
+        table = PerDomainPhrTable(Machine(RAPTOR_LAKE))
+        assert table.current_domain == "user"
+        table.switch_to("enclave")
+        assert table.current_domain == "enclave"
+
+    def test_unknown_domain_starts_clean(self):
+        machine = Machine(RAPTOR_LAKE)
+        table = PerDomainPhrTable(machine)
+        machine.record_taken_branch(0x40_0000, 0x40_0044)
+        table.switch_to("fresh")
+        assert machine.phr(0).value == 0

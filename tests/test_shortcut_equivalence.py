@@ -1,0 +1,52 @@
+"""Explicit equivalence tests for the documented oracle-side shortcuts
+(ARCHITECTURE.md section 5)."""
+
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.primitives import PhrReader, VictimHandle
+
+from conftest import build_branchy_victim, build_counted_loop
+
+
+class TestVictimPhrCaching:
+    def test_cached_and_uncached_reads_agree(self):
+        """Read_PHR with the post-Clear PHR cache vs. full victim
+        re-execution every iteration must recover identical doublets."""
+        program = build_counted_loop(6)
+
+        cached_machine = Machine(RAPTOR_LAKE)
+        cached_reader = PhrReader(cached_machine,
+                                  VictimHandle(cached_machine, program))
+        cached = cached_reader.read(count=10)
+
+        replay_machine = Machine(RAPTOR_LAKE)
+
+        class UncachedVictim:
+            """Defeats the reader's cache by exposing no stable invoke
+            identity: each call truly re-executes."""
+
+            def __init__(self):
+                self.handle = VictimHandle(replay_machine, program,
+                                           mode="execute")
+
+            def invoke(self, thread=0):
+                self.handle.invoke(thread=thread)
+
+        uncached_reader = PhrReader(replay_machine, UncachedVictim())
+        # Invalidate the cache before every doublet read to force real
+        # execution on each taken-path iteration.
+        doublets = []
+        for index in range(10):
+            uncached_reader._victim_phr_cache = None
+            doublet, __ = uncached_reader.read_doublet(index, doublets)
+            doublets.append(doublet)
+        assert doublets == cached.doublets
+
+    def test_replay_and_execute_victims_read_identically(self):
+        program, __ = build_branchy_victim(seed=0x2D, conditional_count=8)
+        results = {}
+        for mode in ("replay", "execute"):
+            machine = Machine(RAPTOR_LAKE)
+            reader = PhrReader(machine,
+                               VictimHandle(machine, program, mode=mode))
+            results[mode] = reader.read(count=12).doublets
+        assert results["replay"] == results["execute"]

@@ -1,0 +1,50 @@
+"""Integration: reading kernel syscall history with the actual Read_PHR
+primitive from userspace (the full Section 7.1 attack loop)."""
+
+from repro.attacks import SimulatedKernel
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.cpu.phr import PathHistoryRegister
+from repro.primitives import PhrReader
+
+
+class KernelVictim:
+    """A 'victim' that is one whole syscall round trip."""
+
+    def __init__(self, machine, kernel, name):
+        self.machine = machine
+        self.kernel = kernel
+        self.name = name
+
+    def invoke(self, thread: int = 0) -> None:
+        self.kernel.invoke(self.machine, self.name, thread=thread)
+
+
+class TestSyscallReadout:
+    def test_read_phr_recovers_syscall_history(self):
+        """The user-side Read_PHR run against a syscall reproduces the
+        kernel's exact PHR contribution."""
+        machine = Machine(RAPTOR_LAKE)
+        kernel = SimulatedKernel()
+        victim = KernelVictim(machine, kernel, "getppid")
+
+        # Ground truth: the deterministic post-syscall PHR from zero.
+        truth_machine = Machine(RAPTOR_LAKE)
+        truth_machine.clear_phr()
+        truth_value = kernel.invoke(truth_machine, "getppid").phr_value
+        truth = PathHistoryRegister(194, truth_value).doublets()
+
+        reader = PhrReader(machine, victim)
+        result = reader.read(count=24)
+        assert result.doublets == truth[:24]
+
+    def test_readout_distinguishes_syscalls(self):
+        """Reading a short window is enough to tell syscalls apart (the
+        exit stub is shared, so look past its 7 doublets)."""
+        kernel = SimulatedKernel()
+        windows = {}
+        for name in ("getppid", "geteuid"):
+            machine = Machine(RAPTOR_LAKE)
+            victim = KernelVictim(machine, kernel, name)
+            result = PhrReader(machine, victim).read(count=12)
+            windows[name] = tuple(result.doublets)
+        assert windows["getppid"] != windows["geteuid"]

@@ -1,0 +1,95 @@
+"""Tests for the simulated kernel / syscall model (Section 7.1)."""
+
+from repro.attacks import SimulatedKernel
+from repro.attacks.syscalls import ENTRY_TAKEN_BRANCHES, EXIT_TAKEN_BRANCHES
+from repro.cpu import Machine, RAPTOR_LAKE
+
+
+class TestBranchCounts:
+    def test_entry_and_exit_counts_match_paper(self):
+        """'approximately 23 and 7 branch outcomes' (Section 7.1)."""
+        machine = Machine(RAPTOR_LAKE)
+        kernel = SimulatedKernel()
+        result = kernel.invoke(machine, "getppid")
+        assert result.entry_taken == ENTRY_TAKEN_BRANCHES == 23
+        assert result.exit_taken == EXIT_TAKEN_BRANCHES == 7
+
+    def test_body_length_per_syscall(self):
+        machine = Machine(RAPTOR_LAKE)
+        kernel = SimulatedKernel()
+        assert kernel.invoke(machine, "getppid").body_taken == 41
+        assert kernel.invoke(machine, "geteuid").body_taken == 35
+
+    def test_total_taken(self):
+        machine = Machine(RAPTOR_LAKE)
+        kernel = SimulatedKernel()
+        result = kernel.invoke(machine, "custom_small")
+        assert result.total_taken == 23 + 12 + 7
+
+
+class TestDeterminism:
+    def test_same_syscall_same_phr(self):
+        kernel = SimulatedKernel()
+        values = []
+        for _ in range(2):
+            machine = Machine(RAPTOR_LAKE)
+            machine.clear_phr()
+            values.append(kernel.invoke(machine, "geteuid").phr_value)
+        assert values[0] == values[1]
+
+    def test_different_syscalls_distinguishable(self):
+        """Read PHR after the syscall identifies which syscall ran."""
+        kernel = SimulatedKernel()
+        values = {}
+        for name in kernel.syscall_names():
+            machine = Machine(RAPTOR_LAKE)
+            machine.clear_phr()
+            values[name] = kernel.invoke(machine, name).phr_value
+        assert len(set(values.values())) == len(values)
+
+    def test_streams_are_stable_across_instances(self):
+        a = SimulatedKernel().entry_branches()
+        b = SimulatedKernel().entry_branches()
+        assert a == b
+
+
+class TestKernelStructure:
+    def test_kernel_addresses_are_high_half(self):
+        kernel = SimulatedKernel()
+        for pc, target, __, __ in kernel.entry_branches():
+            assert pc >= 0xFFFF_FFFF_8100_0000
+            assert target > pc
+
+    def test_streams_include_not_taken_conditionals(self):
+        kernel = SimulatedKernel()
+        stream = kernel.body_branches("custom_large")
+        assert any(conditional and not taken
+                   for __, __, conditional, taken in stream)
+
+    def test_unknown_syscall_rejected(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            SimulatedKernel().invoke(Machine(RAPTOR_LAKE), "fork_bomb")
+
+    def test_domain_restored_after_syscall(self):
+        machine = Machine(RAPTOR_LAKE)
+        SimulatedKernel().invoke(machine, "getppid")
+        assert machine.thread(0).domain == "user"
+
+
+class TestObservableHistory:
+    def test_capacity_minus_stubs_exceeds_160(self):
+        """The paper: 'we can capture over 160 unique branch histories
+        related to those specific system calls'."""
+        machine = Machine(RAPTOR_LAKE)
+        available = (machine.config.phr_capacity
+                     - ENTRY_TAKEN_BRANCHES - EXIT_TAKEN_BRANCHES)
+        assert available == 164
+        assert available > 160
+
+    def test_observable_doublets_for_small_bodies(self):
+        machine = Machine(RAPTOR_LAKE)
+        kernel = SimulatedKernel()
+        observable = kernel.observable_history_doublets(machine, "getppid")
+        assert observable == 23 + 41

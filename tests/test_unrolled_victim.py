@@ -1,0 +1,89 @@
+"""Tests for the unrolled AES victim and the §9 attack-surface contrast,
+plus the window-mode partial recovery of over-long victims."""
+
+import numpy as np
+
+from repro.aes.modes import ecb_encrypt
+from repro.aes.victim import AesUnrolledVictim, AesVictim
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.cpu.phr import replay_taken_branches
+from repro.isa.interpreter import BranchKind, CpuState
+from repro.isa.memory import Memory
+from repro.pathfinder import ControlFlowGraph, PathSearch
+from repro.utils.rng import DeterministicRng
+
+KEY = bytes(range(16))
+
+
+class TestUnrolledVictim:
+    def run_victim(self, plaintext):
+        victim = AesUnrolledVictim(KEY)
+        machine = Machine(RAPTOR_LAKE)
+        memory = Memory()
+        victim.provision(memory, plaintext)
+        result = machine.run(
+            victim.program, state=CpuState(), memory=memory,
+            entry=victim.program.address_of("aes_encrypt_unrolled"),
+        )
+        return victim, memory, result
+
+    def test_output_matches_reference(self):
+        plaintext = DeterministicRng(1).bytes(16)
+        victim, memory, __ = self.run_victim(plaintext)
+        assert victim.read_ciphertext(memory) == ecb_encrypt(plaintext, KEY)
+
+    def test_no_conditional_branches(self):
+        """The Section 9 distinction: the unrolled flavour exposes no
+        per-iteration poisoning coordinate at all."""
+        victim = AesUnrolledVictim(KEY)
+        assert victim.conditional_branch_count() == 0
+        looped = AesVictim(KEY)
+        from repro.isa.program import conditional_branches
+
+        assert len(conditional_branches(looped.program)) == 1
+
+    def test_no_conditional_branch_events_at_runtime(self):
+        __, __, result = self.run_victim(bytes(16))
+        assert not [r for r in result.trace
+                    if r.kind is BranchKind.CONDITIONAL]
+
+    def test_validation(self):
+        import pytest
+
+        victim = AesUnrolledVictim(KEY)
+        with pytest.raises(ValueError):
+            victim.provision(Memory(), b"short")
+
+
+class TestWindowModeSuffixRecovery:
+    def test_physical_phr_recovers_last_194_of_long_victim(self):
+        """Without Extended Read, the physical PHR still yields the most
+        recent 194 taken branches of an over-long victim -- the partial
+        information the paper's Section 5 primitive then extends."""
+        from repro.jpeg import IdctVictim, JpegCodec
+        from repro.jpeg.images import logo
+
+        codec = JpegCodec()
+        blocks = codec.decode_to_blocks(codec.encode(logo(32)))
+        victim = IdctVictim()
+        machine = Machine(RAPTOR_LAKE)
+        memory = Memory()
+        victim.provision(memory, blocks)
+        result = machine.run(victim.program, state=CpuState(), memory=memory,
+                             entry=victim.program.address_of("idct"),
+                             max_instructions=20_000_000)
+        taken = [(r.pc, r.target) for r in result.trace if r.taken]
+        assert len(taken) > 194
+
+        physical = replay_taken_branches(194, taken).doublets()
+        cfg = ControlFlowGraph(victim.program,
+                               entry=victim.program.address_of("idct"))
+        paths = PathSearch(cfg, mode="window").search(physical)
+        assert paths
+        assert paths[0].taken_branches == taken[-194:]
+        # Which covers only the tail of the image's blocks:
+        suffix_checks = [pc for pc, __ in paths[0].branch_outcomes
+                         if pc in (victim.column_check_pc,
+                                   victim.row_check_pc)]
+        total_checks = 16 * len(blocks)
+        assert 0 < len(suffix_checks) < total_checks

@@ -1,0 +1,79 @@
+"""Tests for VictimHandle: replay equivalence and profiling accessors."""
+
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.primitives import VictimHandle
+
+from conftest import build_branchy_victim, build_counted_loop
+
+
+class TestReplayEquivalence:
+    def test_replay_matches_execute_microarchitecturally(self):
+        program = build_counted_loop(7)
+        execute_machine = Machine(RAPTOR_LAKE)
+        replay_machine = Machine(RAPTOR_LAKE)
+
+        executing = VictimHandle(execute_machine, program, mode="execute")
+        replaying = VictimHandle(replay_machine, program, mode="replay")
+
+        for _ in range(3):
+            executing.invoke()
+            replaying.invoke()
+
+        assert execute_machine.phr(0).value == replay_machine.phr(0).value
+        assert (execute_machine.perf.conditional_mispredictions
+                == replay_machine.perf.conditional_mispredictions)
+        # The predictors saw identical training: same predictions next.
+        phr_e = execute_machine.phr(0)
+        phr_r = replay_machine.phr(0)
+        loop_pc = program.address_of("loop_branch")
+        assert (execute_machine.cbp.predict(loop_pc, phr_e).taken
+                == replay_machine.cbp.predict(loop_pc, phr_r).taken)
+
+    def test_replay_tracks_live_phr(self):
+        """Replay must evolve the *current* PHR, not a cached one."""
+        program = build_counted_loop(3)
+        machine = Machine(RAPTOR_LAKE)
+        handle = VictimHandle(machine, program)
+        machine.clear_phr()
+        handle.invoke()
+        from_zero = machine.phr(0).value
+        machine.phr(0).set_value(0x5A5A)
+        handle.invoke()
+        assert machine.phr(0).value != from_zero
+
+
+class TestProfiling:
+    def test_profile_exposes_branch_records(self):
+        program, expected = build_branchy_victim(seed=0b1011_0110)
+        machine = Machine(RAPTOR_LAKE)
+        handle = VictimHandle(machine, program)
+        records = handle.profile()
+        diamonds = [r for r in records if r.conditional]
+        assert [r.taken for r in diamonds] == expected
+
+    def test_taken_branches_ordered_pairs(self):
+        program = build_counted_loop(4)
+        handle = VictimHandle(Machine(RAPTOR_LAKE), program)
+        taken = handle.taken_branches()
+        assert len(taken) == 3
+        loop_pc = program.address_of("loop_branch")
+        assert all(pc == loop_pc for pc, __ in taken)
+
+    def test_setup_runs_each_execution(self):
+        program = build_counted_loop(2)
+        calls = []
+        handle = VictimHandle(
+            Machine(RAPTOR_LAKE), program,
+            setup=lambda state, memory: calls.append(1),
+            mode="execute",
+        )
+        handle.invoke()
+        handle.invoke()
+        assert len(calls) == 2
+
+    def test_invalid_mode_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            VictimHandle(Machine(RAPTOR_LAKE), build_counted_loop(2),
+                         mode="warp")
