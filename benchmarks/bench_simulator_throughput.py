@@ -6,12 +6,18 @@ cache access, victim interpretation) are visible.  The attack benchmarks'
 wall-clock budgets all derive from these numbers.
 """
 
+import time
+
 from repro.cpu import Machine, RAPTOR_LAKE
+from repro.cpu.footprint import branch_footprint, branch_footprint_reference
+from repro.cpu.pht import TaggedTable
 from repro.cpu.phr import PathHistoryRegister
 from repro.isa import ProgramBuilder
 from repro.utils.rng import DeterministicRng
 
-OPERATIONS = 5_000
+from conftest import operation_count
+
+OPERATIONS = operation_count(5_000, 500)
 
 
 def bench_phr_updates():
@@ -71,3 +77,56 @@ def test_interpreter_branch_throughput(benchmark):
                                iterations=1)
     assert count == OPERATIONS // 2
     benchmark.extra_info["branches"] = count
+
+
+def _best_of(measured, rounds=3):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        measured()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_hot_path_reference_speedup(benchmark):
+    """The shipped fast paths vs. their retained reference twins.
+
+    DESIGN.md decision 5 replaces the per-bit footprint loop with LUTs
+    and the per-lookup chunked history folds with cached binary folds;
+    the definitional loops stay behind as ``*_reference``.  This records
+    the resulting speedups in the bench trajectory (and sanity-asserts
+    they stay comfortably above 1x -- the equivalence tests in
+    tests/test_shortcut_equivalence.py pin the values bit-identical).
+    """
+    def footprint_fast():
+        for i in range(OPERATIONS):
+            branch_footprint(0x41F2C4 + 4 * i, 0x41F300 + 64 * i)
+
+    def footprint_reference():
+        for i in range(OPERATIONS):
+            branch_footprint_reference(0x41F2C4 + 4 * i, 0x41F300 + 64 * i)
+
+    rng = DeterministicRng(7)
+    table = TaggedTable(history_doublets=194)
+    phrs = [PathHistoryRegister(194, rng.value_bits(388))
+            for _ in range(max(OPERATIONS // 10, 50))]
+
+    def hash_fast():
+        for phr in phrs:
+            table.index(0x40AC00, phr)
+            table.tag(0x40AC00, phr)
+
+    def hash_reference():
+        for phr in phrs:
+            table._reference_index(0x40AC00, phr)
+            table._reference_tag(0x40AC00, phr)
+
+    benchmark.pedantic(footprint_fast, rounds=3, iterations=1)
+    footprint_speedup = _best_of(footprint_reference) / max(
+        _best_of(footprint_fast), 1e-9)
+    hash_speedup = _best_of(hash_reference) / max(_best_of(hash_fast), 1e-9)
+    benchmark.extra_info["operations"] = OPERATIONS
+    benchmark.extra_info["footprint_speedup"] = round(footprint_speedup, 1)
+    benchmark.extra_info["hash_speedup"] = round(hash_speedup, 1)
+    assert footprint_speedup > 2
+    assert hash_speedup > 2

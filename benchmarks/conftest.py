@@ -9,7 +9,19 @@ where the plateaus sit -- so a regression fails loudly.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, List
+
+#: Quick mode (``REPRO_BENCH_QUICK=1``) shrinks benchmark workloads so
+#: the throughput benches can ride along in a fast CI loop.  Statistical
+#: assertions about paper-level facts should keep their full populations;
+#: only raw operation counts shrink.
+BENCH_QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def operation_count(full: int, quick: int) -> int:
+    """``full`` normally; ``quick`` when ``REPRO_BENCH_QUICK=1`` is set."""
+    return quick if BENCH_QUICK else full
 
 
 def print_table(title: str, headers: List[str],

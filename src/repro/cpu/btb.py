@@ -13,10 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.utils.bits import bits
+from repro.utils.bits import mask
 
 
-@dataclass
+@dataclass(slots=True)
 class BtbEntry:
     """One BTB way: partial tag plus cached target."""
 
@@ -37,18 +37,17 @@ class BranchTargetBuffer:
         self.index_bits = sets.bit_length() - 1
         self.tag_bits = tag_bits
         self._sets: List[List[BtbEntry]] = [[] for _ in range(sets)]
+        self._index_mask = mask(self.index_bits)
+        self._tag_shift = index_low_bit + self.index_bits
+        self._tag_mask = mask(tag_bits)
         self.hits = 0
         self.misses = 0
 
     def _index(self, pc: int) -> int:
-        if not self.index_bits:
-            return 0
-        high = self.index_low_bit + self.index_bits - 1
-        return bits(pc, high, self.index_low_bit)
+        return (pc >> self.index_low_bit) & self._index_mask
 
     def _tag(self, pc: int) -> int:
-        low = self.index_low_bit + self.index_bits
-        return bits(pc, low + self.tag_bits - 1, low) ^ bits(pc, 4, 0)
+        return ((pc >> self._tag_shift) & self._tag_mask) ^ (pc & 0b11111)
 
     def predict(self, pc: int) -> Optional[int]:
         """Predicted target of the branch at ``pc``, or None on a miss."""
@@ -65,8 +64,9 @@ class BranchTargetBuffer:
 
     def update(self, pc: int, target: int) -> None:
         """Record the resolved target for the branch at ``pc``."""
-        index = self._index(pc)
-        wanted = self._tag(pc)
+        # _index/_tag inlined: update runs on every committed taken branch.
+        index = (pc >> self.index_low_bit) & self._index_mask
+        wanted = ((pc >> self._tag_shift) & self._tag_mask) ^ (pc & 0b11111)
         ways = self._sets[index]
         for position, entry in enumerate(ways):
             if entry.tag == wanted:

@@ -12,14 +12,14 @@ when two distinct PHR values disambiguate a random branch, and stays at
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
 from repro.cpu.pht import BasePredictor, TaggedEntry, TaggedTable
 from repro.cpu.phr import PathHistoryRegister
 
 
-@dataclass
+@dataclass(slots=True)
 class Prediction:
     """The outcome of a CBP lookup.
 
@@ -27,12 +27,21 @@ class Prediction:
     predictor.  ``entry`` is the providing tagged entry when applicable.
     ``alternate`` is the prediction the next-shorter component would have
     made (used for the usefulness heuristic).
+
+    ``keys`` carries each tagged table's ``(index, tag)`` lookup key from
+    the predict-time probe (tag ``None`` when the probe missed on an
+    empty set), stamped with the PHR identity and version they were
+    computed against.  :meth:`ConditionalBranchPredictor.update` reuses
+    them -- a branch is hashed once per commit, not twice.
     """
 
     taken: bool
     provider: int
     entry: Optional[TaggedEntry]
     alternate: bool
+    keys: Tuple[Tuple[int, Optional[int]], ...] = ()
+    phr: Optional[PathHistoryRegister] = field(default=None, repr=False)
+    phr_version: int = -1
 
 
 class ConditionalBranchPredictor:
@@ -69,19 +78,21 @@ class ConditionalBranchPredictor:
 
     def predict(self, pc: int, phr: PathHistoryRegister) -> Prediction:
         """Look up ``(pc, phr)`` and return the provided prediction."""
+        taken = alternate = self.base.predict(pc)
         provider = 0
         entry: Optional[TaggedEntry] = None
-        predictions = [self.base.predict(pc)]
+        keys = []
         for number, table in enumerate(self.tables, start=1):
-            found = table.lookup(pc, phr)
+            found, index, tag = table.probe(pc, phr)
+            keys.append((index, tag))
             if found is not None:
                 provider = number
                 entry = found
-                predictions.append(found.counter.prediction)
-        taken = predictions[-1]
-        alternate = predictions[-2] if len(predictions) > 1 else predictions[-1]
+                alternate = taken
+                taken = found.counter.value >= found.counter.threshold
         return Prediction(taken=taken, provider=provider, entry=entry,
-                          alternate=alternate)
+                          alternate=alternate, keys=tuple(keys), phr=phr,
+                          phr_version=phr.version)
 
     # ----- training ---------------------------------------------------------
 
@@ -90,10 +101,12 @@ class ConditionalBranchPredictor:
         """Train the predictor with a resolved branch outcome.
 
         ``prediction`` should be the object returned by :meth:`predict` for
-        this branch; if omitted it is recomputed (the lookup is
-        deterministic, so this is safe).
+        this branch; if omitted -- or stale, i.e. the PHR mutated since
+        the lookup so its stashed table keys no longer apply -- it is
+        recomputed (the lookup is deterministic, so this is safe).
         """
-        if prediction is None:
+        if (prediction is None or prediction.phr is not phr
+                or prediction.phr_version != phr.version):
             prediction = self.predict(pc, phr)
 
         # Train the provider.
@@ -111,9 +124,13 @@ class ConditionalBranchPredictor:
         if prediction.entry is not None and not prediction.entry.counter.is_saturated:
             self.base.update(pc, taken)
 
-        # Allocate on misprediction in the next-longer table.
+        # Allocate on misprediction in the next-longer table, reusing the
+        # predict-time lookup key instead of rehashing.
         if prediction.taken != taken and prediction.provider < len(self.tables):
-            self.tables[prediction.provider].allocate(pc, phr, taken)
+            position = prediction.provider
+            keys = prediction.keys
+            key = keys[position] if position < len(keys) else None
+            self.tables[position].allocate(pc, phr, taken, key=key)
 
     def observe(self, pc: int, phr: PathHistoryRegister, taken: bool) -> bool:
         """Predict and immediately train; return whether it mispredicted.

@@ -66,11 +66,13 @@ _FOOTPRINT_LAYOUT: Tuple[Tuple[int, int], ...] = (
 )
 
 
-def branch_footprint(branch_address: int, target_address: int) -> int:
-    """Return the 16-bit PHR footprint of a taken branch.
+def branch_footprint_reference(branch_address: int,
+                               target_address: int) -> int:
+    """Bit-at-a-time footprint -- the executable form of the layout table.
 
-    ``branch_address`` is the address of the branch instruction itself and
-    ``target_address`` the address it transfers control to.
+    Retained as the specification that :func:`branch_footprint` (the LUT
+    fast path) is property-tested against; see
+    ``tests/test_shortcut_equivalence.py``.
     """
     footprint = 0
     for position, (b_index, t_index) in enumerate(_FOOTPRINT_LAYOUT):
@@ -79,6 +81,52 @@ def branch_footprint(branch_address: int, target_address: int) -> int:
             value ^= bit(target_address, t_index)
         footprint |= value << (FOOTPRINT_BITS - 1 - position)
     return footprint
+
+
+def _footprint_luts() -> Tuple[List[int], List[int]]:
+    """Build the two footprint lookup tables from ``_FOOTPRINT_LAYOUT``.
+
+    The footprint is GF(2)-linear in the address bits, so it splits into
+    independent contributions of ``branch_address[15:0]`` (a 65536-entry
+    table) and ``target[5:0]`` (a 64-entry table) that XOR together.  Both
+    tables are filled by subset-DP over the per-bit contributions -- one
+    XOR per entry -- keeping the layout tuple the single source of truth.
+    """
+    branch_contribution = [0] * 16
+    target_contribution = [0] * 6
+    for position, (b_index, t_index) in enumerate(_FOOTPRINT_LAYOUT):
+        placed = 1 << (FOOTPRINT_BITS - 1 - position)
+        branch_contribution[b_index] ^= placed
+        if t_index >= 0:
+            target_contribution[t_index] ^= placed
+
+    branch_lut = [0] * (1 << 16)
+    for index, contribution in enumerate(branch_contribution):
+        size = 1 << index
+        for prefix in range(size):
+            branch_lut[size | prefix] = branch_lut[prefix] ^ contribution
+    target_lut = [0] * (1 << 6)
+    for index, contribution in enumerate(target_contribution):
+        size = 1 << index
+        for prefix in range(size):
+            target_lut[size | prefix] = target_lut[prefix] ^ contribution
+    return branch_lut, target_lut
+
+
+#: Footprint contribution of ``branch_address[15:0]`` / ``target[5:0]``.
+_BRANCH_LUT, _TARGET_LUT = _footprint_luts()
+
+
+def branch_footprint(branch_address: int, target_address: int) -> int:
+    """Return the 16-bit PHR footprint of a taken branch.
+
+    ``branch_address`` is the address of the branch instruction itself and
+    ``target_address`` the address it transfers control to.  Computed as
+    two table lookups (see :func:`_footprint_luts`); bit-identical to
+    :func:`branch_footprint_reference`.
+    """
+    return (_BRANCH_LUT[branch_address & 0xFFFF]
+            ^ _TARGET_LUT[target_address & 0x3F])
 
 
 def footprint_doublet(branch_address: int, target_address: int,

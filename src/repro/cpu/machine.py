@@ -230,7 +230,14 @@ class Machine:
         elif kind is BranchKind.RET:
             predicted = context.ras.pop()
             self.perf.returns += 1
-            if predicted != target:
+            if predicted is None:
+                # Empty RAS: the return has no predicted target at all.
+                # That is a misprediction by definition, counted under
+                # both the indirect-misprediction total and a dedicated
+                # underflow counter so it is never silent.
+                self.perf.ras_underflows += 1
+                self.perf.indirect_mispredictions += 1
+            elif predicted != target:
                 self.perf.indirect_mispredictions += 1
         self.record_taken_branch(pc, target, thread=context.thread_id,
                                  kind=(BranchKind.INDIRECT

@@ -22,6 +22,9 @@ class PerfCounters:
     indirect_branches: int = 0
     indirect_mispredictions: int = 0
     returns: int = 0
+    #: Returns predicted with an empty RAS; every one also counts as an
+    #: indirect misprediction.
+    ras_underflows: int = 0
     instructions: int = 0
     transient_instructions: int = 0
     speculation_windows: int = 0
@@ -31,12 +34,18 @@ class PerfCounters:
     def record_conditional(self, pc: int, mispredicted: bool) -> None:
         """Count one resolved conditional branch."""
         self.conditional_branches += 1
-        self.per_pc_executions[pc] = self.per_pc_executions.get(pc, 0) + 1
+        # try/except beats dict.get here: a hot branch PC hits its own
+        # entry on every commit after the first.
+        try:
+            self.per_pc_executions[pc] += 1
+        except KeyError:
+            self.per_pc_executions[pc] = 1
         if mispredicted:
             self.conditional_mispredictions += 1
-            self.per_pc_mispredictions[pc] = (
-                self.per_pc_mispredictions.get(pc, 0) + 1
-            )
+            try:
+                self.per_pc_mispredictions[pc] += 1
+            except KeyError:
+                self.per_pc_mispredictions[pc] = 1
 
     def misprediction_rate(self, pc: int) -> float:
         """Misprediction rate of the conditional branch at ``pc``."""
@@ -54,6 +63,7 @@ class PerfCounters:
             indirect_branches=self.indirect_branches,
             indirect_mispredictions=self.indirect_mispredictions,
             returns=self.returns,
+            ras_underflows=self.ras_underflows,
             instructions=self.instructions,
             transient_instructions=self.transient_instructions,
             speculation_windows=self.speculation_windows,
@@ -83,6 +93,7 @@ class PerfCounters:
             indirect_mispredictions=(self.indirect_mispredictions
                                      - earlier.indirect_mispredictions),
             returns=self.returns - earlier.returns,
+            ras_underflows=self.ras_underflows - earlier.ras_underflows,
             instructions=self.instructions - earlier.instructions,
             transient_instructions=(self.transient_instructions
                                     - earlier.transient_instructions),

@@ -2,10 +2,12 @@
 
 import pytest
 
+from repro.cpu import Machine, RAPTOR_LAKE
 from repro.cpu.btb import BranchTargetBuffer
 from repro.cpu.ibp import IndirectBranchPredictor
 from repro.cpu.phr import PathHistoryRegister
 from repro.cpu.ras import ReturnAddressStack
+from repro.isa import ProgramBuilder
 
 
 class TestBtb:
@@ -75,6 +77,74 @@ class TestRas:
         ras.push(0x1)
         ras.flush()
         assert ras.pop() is None
+
+    def test_underflow_counts_and_leaves_pointer_alone(self):
+        ras = ReturnAddressStack(depth=4)
+        assert ras.pop() is None
+        assert ras.pop() is None
+        assert ras.underflows == 2
+        # The failed pops must not have walked the stack pointer: pushes
+        # after an underflow still pair up LIFO.
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+        assert ras.pop() is None
+        assert ras.underflows == 3
+
+    def test_flush_then_pop_underflows(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(0x1)
+        ras.flush()
+        assert ras.pop() is None
+        assert ras.underflows == 1
+
+    def test_overflow_then_drain_underflows_once(self):
+        """Entries lost to circular overflow stay lost: draining pops
+        only what is live, then underflows."""
+        ras = ReturnAddressStack(depth=2)
+        ras.push(0x1)
+        ras.push(0x2)
+        ras.push(0x3)  # overwrites 0x1
+        assert ras.pop() == 0x3
+        assert ras.pop() == 0x2
+        assert ras.pop() is None
+        assert ras.overflows == 1
+        assert ras.underflows == 1
+
+    def test_machine_counts_ras_underflow_as_mispredicted_return(self):
+        """A call chain one deeper than the RAS overflows it on the way
+        down, so the outermost return finds an empty RAS: that return
+        must surface as ras_underflows == 1 and count against the
+        indirect-misprediction total rather than pass silently."""
+        machine = Machine(RAPTOR_LAKE)
+        depth = machine.thread(0).ras.depth + 1
+        builder = ProgramBuilder("deep-calls", base=0x400000)
+        builder.call("fn0")
+        builder.halt()
+        for level in range(depth):
+            builder.label(f"fn{level}")
+            if level + 1 < depth:
+                builder.call(f"fn{level + 1}")
+            builder.ret()
+        result = machine.run(builder.build())
+        assert result.perf.returns == depth
+        assert result.perf.ras_underflows == 1
+        assert result.perf.indirect_mispredictions == 1
+        assert machine.thread(0).ras.overflows == 1
+
+    def test_machine_balanced_calls_do_not_underflow(self):
+        machine = Machine(RAPTOR_LAKE)
+        builder = ProgramBuilder("balanced", base=0x400000)
+        builder.call("leaf")
+        builder.call("leaf")
+        builder.halt()
+        builder.label("leaf")
+        builder.ret()
+        result = machine.run(builder.build())
+        assert result.perf.returns == 2
+        assert result.perf.ras_underflows == 0
+        assert result.perf.indirect_mispredictions == 0
 
     def test_invalid_depth_rejected(self):
         with pytest.raises(ValueError):

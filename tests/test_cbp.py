@@ -117,3 +117,56 @@ class TestMaintenance:
 
         with pytest.raises(ValueError):
             ConditionalBranchPredictor(history_lengths=(66, 34))
+
+
+class TestPredictionKeys:
+    """The predict-time (index, tag) keys stashed in the Prediction and
+    reused by update/allocate -- each branch hashes once per commit."""
+
+    def test_keys_cover_every_table(self):
+        cbp = make_cbp()
+        phr = phr_of(0x1111)
+        prediction = cbp.predict(0x40, phr)
+        assert len(prediction.keys) == len(cbp.tables)
+        for table, (index, tag) in zip(cbp.tables, prediction.keys):
+            assert index == table.index(0x40, phr)
+            # Cold tables: probes miss on emptiness, no tag computed.
+            assert tag is None
+
+    def test_keys_match_table_hashes_when_occupied(self):
+        cbp = make_cbp()
+        phr = phr_of(0x2222)
+        cbp.tables[0].allocate(0x40, phr, True)
+        prediction = cbp.predict(0x40, phr)
+        index, tag = prediction.keys[0]
+        assert index == cbp.tables[0].index(0x40, phr)
+        assert tag == cbp.tables[0].tag(0x40, phr)
+
+    def test_fresh_prediction_is_version_stamped(self):
+        phr = phr_of(0x3333)
+        prediction = make_cbp().predict(0x40, phr)
+        assert prediction.phr is phr
+        assert prediction.phr_version == phr.version
+
+    def test_stale_prediction_recomputed_on_update(self):
+        """If the PHR mutated between predict and update, the stashed
+        keys no longer describe the current history: update must rehash
+        against the new PHR, so a mispredict allocates at the new
+        coordinates, not the stale ones."""
+        cbp = make_cbp()
+        phr = phr_of(0x1111)
+        prediction = cbp.predict(0x40, phr)
+        phr.set_value(0xFFFF_0000_0000)
+        cbp.update(0x40, phr, taken=True, prediction=prediction)
+        table = cbp.tables[0]
+        assert table.lookup(0x40, phr) is not None
+        stale = phr_of(0x1111)
+        if (table.index(0x40, stale), table.tag(0x40, stale)) != \
+                (table.index(0x40, phr), table.tag(0x40, phr)):
+            assert table.lookup(0x40, stale) is None
+
+    def test_update_without_prediction_still_allocates(self):
+        cbp = make_cbp()
+        phr = phr_of(0x4444)
+        cbp.update(0x40, phr, taken=True)
+        assert cbp.tables[0].lookup(0x40, phr) is not None

@@ -55,6 +55,56 @@ class TestPerfCounters:
         delta = perf.delta(perf.snapshot())
         assert delta.per_pc_executions == {}
 
+    def test_delta_of_own_snapshot_is_all_zero(self):
+        perf = PerfCounters()
+        perf.record_conditional(0x40, True)
+        perf.taken_branches += 3
+        perf.ras_underflows += 1
+        assert perf.delta(perf.snapshot()) == PerfCounters()
+
+    def test_snapshot_and_delta_cover_every_field(self):
+        """Give every scalar field a distinct value and check both
+        snapshot and delta carry it -- so a newly added counter can never
+        silently fall out of the before/after bookkeeping."""
+        perf = PerfCounters()
+        before = perf.snapshot()
+        scalar_fields = [f.name for f in dataclasses.fields(PerfCounters)
+                         if f.type == "int"]
+        assert "ras_underflows" in scalar_fields
+        for offset, name in enumerate(scalar_fields):
+            setattr(perf, name, offset + 1)
+        snap = perf.snapshot()
+        delta = perf.delta(before)
+        for offset, name in enumerate(scalar_fields):
+            assert getattr(snap, name) == offset + 1, name
+            assert getattr(delta, name) == offset + 1, name
+
+    def test_snapshot_dicts_are_copies(self):
+        perf = PerfCounters()
+        perf.record_conditional(0x40, True)
+        snap = perf.snapshot()
+        perf.record_conditional(0x40, True)
+        assert snap.per_pc_executions == {0x40: 1}
+        assert snap.per_pc_mispredictions == {0x40: 1}
+
+    def test_roundtrip_reconstructs_totals(self):
+        """before + delta(before) == now, per-PC dicts included."""
+        perf = PerfCounters()
+        perf.record_conditional(0x40, True)
+        before = perf.snapshot()
+        perf.record_conditional(0x40, False)
+        perf.record_conditional(0x80, True)
+        perf.ras_underflows += 2
+        delta = perf.delta(before)
+        assert (before.conditional_branches + delta.conditional_branches
+                == perf.conditional_branches)
+        assert (before.ras_underflows + delta.ras_underflows
+                == perf.ras_underflows)
+        merged = dict(before.per_pc_executions)
+        for pc, count in delta.per_pc_executions.items():
+            merged[pc] = merged.get(pc, 0) + count
+        assert merged == perf.per_pc_executions
+
 
 class TestMachineConfig:
     def test_presets_are_frozen(self):
