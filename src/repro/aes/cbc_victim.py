@@ -31,12 +31,11 @@ VICTIM_BASE = 0x0043_0EC0
 
 
 def _read16(memory, address: int) -> bytes:
-    return bytes(memory.read(address + i, 1) for i in range(16))
+    return memory.read_bytes(address, 16)
 
 
 def _write16(memory, address: int, block: bytes) -> None:
-    for i, byte in enumerate(block):
-        memory.write(address + i, 1, byte)
+    memory.write_bytes(address, block)
 
 
 def _xor_iv_key0(reads: Dict[str, int], memory) -> Dict[str, int]:

@@ -73,6 +73,47 @@ INV_SHIFT_ROWS_MAP = [0] * 16
 for _out, _in in enumerate(SHIFT_ROWS_MAP):
     INV_SHIFT_ROWS_MAP[_in] = _out
 
+# ----------------------------------------------------------------------
+# GF(2^8) multiplication tables (fast path)
+# ----------------------------------------------------------------------
+# 256-entry tables for the fixed MixColumns coefficients, built once at
+# import from the bit-serial ``_gf_mul``.  The ``*_reference`` twins
+# below keep the definitional loop form; ``tests/test_aes.py`` pins the
+# two bit-identical (same obligation as the predictor shortcut caches,
+# DESIGN.md decision 5).
+
+_MUL2 = tuple(_gf_mul(x, 2) for x in range(256))
+_MUL3 = tuple(_gf_mul(x, 3) for x in range(256))
+_MUL9 = tuple(_gf_mul(x, 9) for x in range(256))
+_MUL11 = tuple(_gf_mul(x, 11) for x in range(256))
+_MUL13 = tuple(_gf_mul(x, 13) for x in range(256))
+_MUL14 = tuple(_gf_mul(x, 14) for x in range(256))
+
+#: SubBytes fused with the MixColumns coefficients
+#: (``_SBOX2[x] == gf_mul(SBOX[x], 2)``).
+_SBOX_T = tuple(SBOX)
+_SBOX2 = tuple(_MUL2[s] for s in SBOX)
+_SBOX3 = tuple(_MUL3[s] for s in SBOX)
+_SHIFT_T = tuple(SHIFT_ROWS_MAP)
+
+#: Classic 32-bit T-tables: ``_T{r}[x]`` is the little-endian column word
+#: contributed by byte ``x`` arriving in row ``r`` of a column after
+#: ShiftRows, i.e. SubBytes and the MDS-matrix column for that row fused
+#: into one lookup.  ``aesenc`` becomes four lookups and three XORs per
+#: column plus a single 128-bit AddRoundKey.
+_T0 = tuple((_MUL2[s]) | (s << 8) | (s << 16) | (_MUL3[s] << 24)
+            for s in SBOX)
+_T1 = tuple((_MUL3[s]) | (_MUL2[s] << 8) | (s << 16) | (s << 24)
+            for s in SBOX)
+_T2 = tuple(s | (_MUL3[s] << 8) | (_MUL2[s] << 16) | (s << 24)
+            for s in SBOX)
+_T3 = tuple(s | (s << 8) | (_MUL3[s] << 16) | (_MUL2[s] << 24)
+            for s in SBOX)
+
+# The flat ShiftRows source indices per output column, as aesenc below
+# hardcodes them.
+assert _SHIFT_T == (0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11)
+
 
 def sub_bytes(state: bytes) -> bytes:
     """SubBytes: byte-wise S-box substitution."""
@@ -96,6 +137,24 @@ def inv_shift_rows(state: bytes) -> bytes:
 
 def mix_columns(state: bytes) -> bytes:
     """MixColumns: multiply each column by the fixed MDS matrix."""
+    mul2 = _MUL2
+    mul3 = _MUL3
+    out = bytearray(16)
+    for c in (0, 4, 8, 12):
+        a0 = state[c]
+        a1 = state[c + 1]
+        a2 = state[c + 2]
+        a3 = state[c + 3]
+        out[c] = mul2[a0] ^ mul3[a1] ^ a2 ^ a3
+        out[c + 1] = a0 ^ mul2[a1] ^ mul3[a2] ^ a3
+        out[c + 2] = a0 ^ a1 ^ mul2[a2] ^ mul3[a3]
+        out[c + 3] = mul3[a0] ^ a1 ^ a2 ^ mul2[a3]
+    return bytes(out)
+
+
+def mix_columns_reference(state: bytes) -> bytes:
+    """Definitional MixColumns via bit-serial ``_gf_mul`` (the twin that
+    pins the table-based :func:`mix_columns`)."""
     out = bytearray(16)
     for column in range(4):
         a = state[4 * column:4 * column + 4]
@@ -112,6 +171,25 @@ def mix_columns(state: bytes) -> bytes:
 
 def inv_mix_columns(state: bytes) -> bytes:
     """Inverse MixColumns."""
+    mul9 = _MUL9
+    mul11 = _MUL11
+    mul13 = _MUL13
+    mul14 = _MUL14
+    out = bytearray(16)
+    for c in (0, 4, 8, 12):
+        a0 = state[c]
+        a1 = state[c + 1]
+        a2 = state[c + 2]
+        a3 = state[c + 3]
+        out[c] = mul14[a0] ^ mul11[a1] ^ mul13[a2] ^ mul9[a3]
+        out[c + 1] = mul9[a0] ^ mul14[a1] ^ mul11[a2] ^ mul13[a3]
+        out[c + 2] = mul13[a0] ^ mul9[a1] ^ mul14[a2] ^ mul11[a3]
+        out[c + 3] = mul11[a0] ^ mul13[a1] ^ mul9[a2] ^ mul14[a3]
+    return bytes(out)
+
+
+def inv_mix_columns_reference(state: bytes) -> bytes:
+    """Definitional inverse MixColumns (twin of :func:`inv_mix_columns`)."""
     out = bytearray(16)
     for column in range(4):
         a = state[4 * column:4 * column + 4]
@@ -137,12 +215,40 @@ def add_round_key(state: bytes, round_key: bytes) -> bytes:
 
 def aesenc(state: bytes, round_key: bytes) -> bytes:
     """One full AES round, exactly as the ``aesenc`` instruction:
-    ``AddRoundKey(MixColumns(ShiftRows(SubBytes(state))), key)``."""
-    return add_round_key(mix_columns(shift_rows(sub_bytes(state))), round_key)
+    ``AddRoundKey(MixColumns(ShiftRows(SubBytes(state))), key)``.
+
+    SubBytes, ShiftRows and MixColumns are fused into the ``_T0``..``_T3``
+    word tables; :func:`aesenc_reference` keeps the four-stage composition
+    and the property tests pin the two bit-identical.
+    """
+    t0 = _T0
+    t1 = _T1
+    t2 = _T2
+    t3 = _T3
+    w0 = t0[state[0]] ^ t1[state[5]] ^ t2[state[10]] ^ t3[state[15]]
+    w1 = t0[state[4]] ^ t1[state[9]] ^ t2[state[14]] ^ t3[state[3]]
+    w2 = t0[state[8]] ^ t1[state[13]] ^ t2[state[2]] ^ t3[state[7]]
+    w3 = t0[state[12]] ^ t1[state[1]] ^ t2[state[6]] ^ t3[state[11]]
+    return ((w0 | (w1 << 32) | (w2 << 64) | (w3 << 96))
+            ^ int.from_bytes(round_key, "little")).to_bytes(16, "little")
+
+
+def aesenc_reference(state: bytes, round_key: bytes) -> bytes:
+    """Stage-by-stage ``aesenc`` (twin of the fused :func:`aesenc`)."""
+    return add_round_key(
+        mix_columns_reference(shift_rows(sub_bytes(state))), round_key)
 
 
 def aesenclast(state: bytes, round_key: bytes) -> bytes:
     """The final AES round (no MixColumns), as ``aesenclast``."""
+    sbox = _SBOX_T
+    shift = _SHIFT_T
+    return bytes(
+        sbox[state[shift[i]]] ^ round_key[i] for i in range(16))
+
+
+def aesenclast_reference(state: bytes, round_key: bytes) -> bytes:
+    """Stage-by-stage ``aesenclast`` (twin of :func:`aesenclast`)."""
     return add_round_key(shift_rows(sub_bytes(state)), round_key)
 
 

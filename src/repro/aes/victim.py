@@ -22,7 +22,12 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.aes.core import aesenc, aesenclast
+from repro.aes.core import (
+    aesenc,
+    aesenc_reference,
+    aesenclast,
+    aesenclast_reference,
+)
 from repro.aes.keyschedule import expand_key, rounds_for_key
 from repro.isa.builder import ProgramBuilder
 from repro.isa.memory import Memory
@@ -40,61 +45,117 @@ VICTIM_BASE = 0x0041_0EC0
 
 
 def _read_block(memory, address: int) -> bytes:
-    return bytes(memory.read(address + i, 1) for i in range(16))
+    return memory.read_bytes(address, 16)
 
 
 def _write_block(memory, address: int, block: bytes) -> None:
+    memory.write_bytes(address, block)
+
+
+def _read_block_reference(memory, address: int) -> bytes:
+    return bytes(memory.read(address + i, 1) for i in range(16))
+
+
+def _write_block_reference(memory, address: int, block: bytes) -> None:
     for i, byte in enumerate(block):
         memory.write(address + i, 1, byte)
 
 
 def _xor_key0(reads: Dict[str, int], memory) -> Dict[str, int]:
     """state = plaintext ^ round_key[0] (the pre-whitening xor)."""
-    plaintext = _read_block(memory, PLAINTEXT_ADDRESS)
-    round_key = _read_block(memory, KEY_BASE)
-    _write_block(memory, STATE_ADDRESS,
-                 bytes(p ^ k for p, k in zip(plaintext, round_key)))
+    plaintext = memory.read_bytes(PLAINTEXT_ADDRESS, 16)
+    round_key = memory.read_bytes(KEY_BASE, 16)
+    memory.write_bytes(STATE_ADDRESS,
+                       bytes(p ^ k for p, k in zip(plaintext, round_key)))
     return {}
 
 
 def _aesenc_op(reads: Dict[str, int], memory) -> Dict[str, int]:
     """state = aesenc(state, [key cursor])."""
-    state = _read_block(memory, STATE_ADDRESS)
-    round_key = _read_block(memory, reads["rbx"])
-    _write_block(memory, STATE_ADDRESS, aesenc(state, round_key))
+    state = memory.read_bytes(STATE_ADDRESS, 16)
+    round_key = memory.read_bytes(reads["rbx"], 16)
+    memory.write_bytes(STATE_ADDRESS, aesenc(state, round_key))
     return {}
 
 
 def _aesenclast_op(reads: Dict[str, int], memory) -> Dict[str, int]:
     """state = aesenclast(state, [key cursor]); store to ciphertext."""
-    state = _read_block(memory, STATE_ADDRESS)
-    round_key = _read_block(memory, reads["rbx"])
-    _write_block(memory, CIPHERTEXT_ADDRESS, aesenclast(state, round_key))
+    state = memory.read_bytes(STATE_ADDRESS, 16)
+    round_key = memory.read_bytes(reads["rbx"], 16)
+    memory.write_bytes(CIPHERTEXT_ADDRESS, aesenclast(state, round_key))
     return {}
 
 
-class AesVictim:
-    """Builds and provisions the looped AES victim."""
+def _xor_key0_reference(reads: Dict[str, int], memory) -> Dict[str, int]:
+    """Byte-at-a-time twin of :func:`_xor_key0`."""
+    plaintext = _read_block_reference(memory, PLAINTEXT_ADDRESS)
+    round_key = _read_block_reference(memory, KEY_BASE)
+    _write_block_reference(memory, STATE_ADDRESS,
+                           bytes(p ^ k for p, k in zip(plaintext, round_key)))
+    return {}
 
-    def __init__(self, key: bytes):
+
+def _aesenc_op_reference(reads: Dict[str, int], memory) -> Dict[str, int]:
+    """Twin of :func:`_aesenc_op` on the definitional AES round."""
+    state = _read_block_reference(memory, STATE_ADDRESS)
+    round_key = _read_block_reference(memory, reads["rbx"])
+    _write_block_reference(memory, STATE_ADDRESS,
+                           aesenc_reference(state, round_key))
+    return {}
+
+
+def _aesenclast_op_reference(reads: Dict[str, int], memory) -> Dict[str, int]:
+    """Twin of :func:`_aesenclast_op` on the definitional last round."""
+    state = _read_block_reference(memory, STATE_ADDRESS)
+    round_key = _read_block_reference(memory, reads["rbx"])
+    _write_block_reference(memory, CIPHERTEXT_ADDRESS,
+                           aesenclast_reference(state, round_key))
+    return {}
+
+
+#: The two interchangeable PyOp data paths.  ``'fast'`` uses the fused
+#: table-based AES rounds and block-wide memory I/O; ``'reference'``
+#: keeps the stage-by-stage rounds over byte-at-a-time I/O (the seed
+#: behaviour, and the baseline for the throughput benchmarks).  Property
+#: tests pin the two to identical ciphertexts and branch traces.
+DATA_PATHS = {
+    "fast": (_xor_key0, _aesenc_op, _aesenclast_op),
+    "reference": (_xor_key0_reference, _aesenc_op_reference,
+                  _aesenclast_op_reference),
+}
+
+
+class AesVictim:
+    """Builds and provisions the looped AES victim.
+
+    ``data_path`` selects the PyOp implementations (see
+    :data:`DATA_PATHS`); the control-flow skeleton -- the part the
+    Pathfinder attack consumes -- is identical either way.
+    """
+
+    def __init__(self, key: bytes, data_path: str = "fast"):
+        if data_path not in DATA_PATHS:
+            raise ValueError(f"unknown data path {data_path!r}")
         self.key = key
+        self.data_path = data_path
         self.rounds = rounds_for_key(key)
         self.round_keys: List[bytes] = expand_key(key)
         self.program = self._build_program()
 
     def _build_program(self) -> Program:
+        xor_key0, aesenc_op, aesenclast_op = DATA_PATHS[self.data_path]
         b = ProgramBuilder("aes_looped", base=VICTIM_BASE)
         b.label("aes_encrypt")
         b.mov_imm("rdx", KEY_BASE)
         # The round-count load: flushing KEY_BASE + 0xF0 makes this miss,
         # delaying the loop branch's resolution (Section 9's window widener).
         b.load("rcx", "rdx", offset=ROUNDS_OFFSET, width=8)
-        b.pyop("xor_key0", _xor_key0, touches_memory=True)
+        b.pyop("xor_key0", xor_key0, touches_memory=True)
         b.mov("rbx", "rdx")
         b.add("rbx", imm=0x10)          # rd_key cursor -> round key 1
         b.mov_imm("rax", 1)
         b.label("loop")
-        b.pyop("aesenc", _aesenc_op, reads=("rbx",), touches_memory=True)
+        b.pyop("aesenc", aesenc_op, reads=("rbx",), touches_memory=True)
         b.add("rbx", imm=0x10)
         b.add("rax", imm=1)
         b.cmp("rax", "rcx")
@@ -102,7 +163,7 @@ class AesVictim:
         b.jne("loop")
         b.nop()                          # the rdi fix-up block (BB 4)
         b.label("final")
-        b.pyop("aesenclast", _aesenclast_op, reads=("rbx",),
+        b.pyop("aesenclast", aesenclast_op, reads=("rbx",),
                touches_memory=True)
         b.ret()
         return b.build()

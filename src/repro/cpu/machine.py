@@ -84,6 +84,9 @@ class _MachineHooks(CpuHooks):
         self.interpreter: Optional[Interpreter] = None
         self.state: Optional[CpuState] = None
         self.memory: Optional[Memory] = None
+        #: The wrong-path runner matching the selected engine
+        #: (Interpreter.run_transient or run_transient_reference).
+        self.run_transient = None
 
     def conditional_branch(self, pc: int, target: int, fallthrough: int,
                            taken: bool, resolve_latency: int) -> None:
@@ -96,8 +99,9 @@ class _MachineHooks(CpuHooks):
         del mispredicted  # counters already updated
 
     def unconditional_branch(self, pc: int, target: int,
-                             kind: BranchKind) -> None:
-        self.machine._resolve_unconditional(self.thread, pc, target, kind)
+                             kind: BranchKind, next_pc: int) -> None:
+        self.machine._resolve_unconditional(self.thread, pc, target, kind,
+                                            next_pc)
 
     def load(self, address: int, width: int) -> int:
         return self.machine.cache.access(address)
@@ -207,11 +211,11 @@ class Machine:
         mispredicted = prediction.taken != taken
         self.perf.record_conditional(pc, mispredicted)
 
-        if mispredicted and hooks is not None and hooks.interpreter is not None:
+        if mispredicted and hooks is not None and hooks.run_transient is not None:
             budget = self._speculation_budget(resolve_latency)
             wrong_path_pc = target if prediction.taken else fallthrough
             self.perf.speculation_windows += 1
-            executed = hooks.interpreter.run_transient(
+            executed = hooks.run_transient(
                 wrong_path_pc, hooks.state, hooks.memory, budget
             )
             self.perf.transient_instructions += executed
@@ -224,9 +228,14 @@ class Machine:
         return mispredicted
 
     def _resolve_unconditional(self, context: ThreadContext, pc: int,
-                               target: int, kind: BranchKind) -> None:
+                               target: int, kind: BranchKind,
+                               next_pc: Optional[int] = None) -> None:
         if kind is BranchKind.CALL:
-            context.ras.push(pc + 4)
+            # The RAS holds the *real* return address, pc + instruction
+            # size, threaded through the unconditional-branch hook --
+            # a hardcoded pc + 4 would mispredict every return from a
+            # variable-size Call encoding.
+            context.ras.push(pc + 4 if next_pc is None else next_pc)
         elif kind is BranchKind.RET:
             predicted = context.ras.pop()
             self.perf.returns += 1
@@ -262,12 +271,24 @@ class Machine:
         entry: Optional[int] = None,
         max_instructions: int = 2_000_000,
         speculate: bool = True,
+        trace: str = "full",
+        engine: str = "fast",
     ) -> MachineRunResult:
         """Run ``program`` on logical thread ``thread``.
 
         Returns the architectural result plus the perf-counter delta for
-        this run and the thread's final PHR value.
+        this run and the thread's final PHR value.  ``trace`` selects how
+        much of the branch trace is materialised
+        (``'full'``/``'branches'``/``'none'``, see
+        :meth:`repro.isa.interpreter.Interpreter.run`).  ``engine`` picks
+        the predecoded fast path (``'fast'``, the default) or the retained
+        dispatch-loop twin (``'reference'``); the two are pinned
+        bit-identical by tests, so ``'reference'`` exists for equivalence
+        checks and as the speedup baseline of
+        ``benchmarks/bench_simulator_throughput.py``.
         """
+        if engine not in ("fast", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
         context = self.threads[thread]
         hooks = _MachineHooks(self, context, speculate)
         interpreter = Interpreter(program, hooks)
@@ -278,10 +299,19 @@ class Machine:
         hooks.interpreter = interpreter
         hooks.state = state
         hooks.memory = memory
+        hooks.run_transient = (interpreter.run_transient if engine == "fast"
+                               else interpreter.run_transient_reference)
 
         before = self.perf.snapshot()
-        execution = interpreter.run(state=state, memory=memory, entry=entry,
-                                    max_instructions=max_instructions)
+        if engine == "fast":
+            execution = interpreter.run(state=state, memory=memory,
+                                        entry=entry,
+                                        max_instructions=max_instructions,
+                                        trace=trace)
+        else:
+            execution = interpreter.run_reference(
+                state=state, memory=memory, entry=entry,
+                max_instructions=max_instructions)
         return MachineRunResult(
             execution=execution,
             perf=self.perf.delta(before),

@@ -32,6 +32,7 @@ from repro.isa.instructions import (
 from repro.isa.program import Program, ProgramError
 from repro.isa.builder import ProgramBuilder
 from repro.isa.interpreter import (
+    TRACE_MODES,
     BranchKind,
     BranchRecord,
     ExecutionLimitExceeded,
@@ -66,4 +67,5 @@ __all__ = [
     "PyOp",
     "Ret",
     "Store",
+    "TRACE_MODES",
 ]

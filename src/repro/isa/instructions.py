@@ -22,6 +22,10 @@ from typing import Callable, Dict, Optional, Tuple
 #: Default byte size of an encoded instruction.
 DEFAULT_SIZE = 4
 
+#: Machine word width used for all register arithmetic.
+WORD_BITS = 64
+WORD_MASK = (1 << WORD_BITS) - 1
+
 
 class Condition(enum.Enum):
     """Branch conditions, evaluated against the flags register."""
@@ -70,6 +74,36 @@ class Flags:
         if condition is Condition.A:
             return not self.carry and not self.zero
         raise ValueError(f"unknown condition {condition!r}")
+
+
+#: Per-condition flag evaluators, the predecoded twin of
+#: :meth:`Flags.satisfies`: the interpreter's predecode pass resolves each
+#: conditional branch's condition to one of these callables once, so the
+#: hot loop never walks the enum if-chain.  ``satisfies`` stays as the
+#: definitional reference; an exhaustive test pins the two identical over
+#: every (condition, flags) combination.
+CONDITION_EVALUATORS: Dict[Condition, Callable[["Flags"], bool]] = {
+    Condition.EQ: lambda flags: flags.zero,
+    Condition.NE: lambda flags: not flags.zero,
+    Condition.LT: lambda flags: flags.sign,
+    Condition.LE: lambda flags: flags.sign or flags.zero,
+    Condition.GT: lambda flags: not flags.sign and not flags.zero,
+    Condition.GE: lambda flags: not flags.sign,
+    Condition.BE: lambda flags: flags.carry or flags.zero,
+    Condition.A: lambda flags: not flags.carry and not flags.zero,
+}
+
+
+def compute_flags(lhs: int, rhs: int) -> Flags:
+    """Flags of ``lhs - rhs`` over 64-bit unsigned operands."""
+    lhs &= WORD_MASK
+    rhs &= WORD_MASK
+    result = (lhs - rhs) & WORD_MASK
+    return Flags(
+        zero=result == 0,
+        sign=bool(result >> (WORD_BITS - 1)),
+        carry=lhs < rhs,
+    )
 
 
 class Instruction:

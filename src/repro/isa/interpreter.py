@@ -7,6 +7,22 @@ lives in :mod:`repro.cpu.machine`, which implements those hooks; running a
 program with the default hooks gives a purely architectural execution,
 which is what the Pathfinder CFG tool and the codec ground truths use.
 
+Execution runs through *predecoded threaded code*: the first run of a
+program compiles every static instruction into a bound handler closure
+(:mod:`repro.isa.predecode`), so the hot loop is one dict index plus one
+call per dynamic instruction -- no ``isinstance`` chain, no per-branch
+label resolution.  Per DESIGN.md decision 5 the original dispatch loops
+survive as :meth:`Interpreter.run_reference` and
+:meth:`Interpreter.run_transient_reference`, and property tests pin the
+two paths bit-identical (registers, flags, memory, trace, perf-counter
+deltas, transient-executed counts).
+
+Committed runs accept ``trace='full'|'branches'|'none'``: ``full``
+records every dynamic branch (the default, and the reference twin's only
+behaviour), ``branches`` records conditional branches only, and ``none``
+skips :class:`BranchRecord` allocation entirely for pure-throughput runs.
+Hooks fire identically in every mode.
+
 Transient (wrong-path) execution is supported through
 :meth:`Interpreter.run_transient`: the machine invokes it after a
 misprediction with a sandboxed copy of the register state and a
@@ -17,11 +33,13 @@ the AES attack depends on.
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Optional
 
 from repro.isa.instructions import (
+    WORD_BITS,
+    WORD_MASK,
     BinaryOp,
     Call,
     CondBranch,
@@ -36,44 +54,28 @@ from repro.isa.instructions import (
     PyOp,
     Ret,
     Store,
+    compute_flags as _compute_flags,
 )
 from repro.isa.memory import Memory, TransientMemory
+from repro.isa.predecode import TRACE_MODES, BranchKind, BranchRecord
 from repro.isa.program import Program, ProgramError
 
-#: Value masking for register arithmetic (64-bit machine words).
-WORD_BITS = 64
-WORD_MASK = (1 << WORD_BITS) - 1
+__all__ = [
+    "BranchKind",
+    "BranchRecord",
+    "CpuHooks",
+    "CpuState",
+    "ExecutionLimitExceeded",
+    "ExecutionResult",
+    "Interpreter",
+    "TRACE_MODES",
+    "WORD_BITS",
+    "WORD_MASK",
+]
 
 
 class ExecutionLimitExceeded(Exception):
     """Raised when a program exceeds its dynamic instruction budget."""
-
-
-class BranchKind(enum.Enum):
-    """Taxonomy of control transfers, mirroring the paper's Figure 1."""
-
-    CONDITIONAL = "conditional"
-    JUMP = "jump"
-    INDIRECT = "indirect"
-    CALL = "call"
-    RET = "ret"
-
-
-@dataclass(frozen=True)
-class BranchRecord:
-    """One dynamic branch outcome.
-
-    ``target`` is the taken destination (for conditional branches, the
-    destination the branch would go to when taken, even if this instance
-    fell through); ``next_pc`` is where execution actually continued.
-    """
-
-    pc: int
-    kind: BranchKind
-    taken: bool
-    target: int
-    fallthrough: int
-    next_pc: int
 
 
 class CpuHooks:
@@ -89,8 +91,14 @@ class CpuHooks:
     ) -> None:
         """Called after each conditional branch resolves architecturally."""
 
-    def unconditional_branch(self, pc: int, target: int, kind: BranchKind) -> None:
-        """Called for each taken jump/call/ret/indirect branch."""
+    def unconditional_branch(self, pc: int, target: int, kind: BranchKind,
+                             next_pc: int) -> None:
+        """Called for each taken jump/call/ret/indirect branch.
+
+        ``next_pc`` is the sequential successor (``pc + size``) -- the
+        return address a call pushes onto the RAS, which matters for
+        variable-size ``Call`` encodings.
+        """
 
     def load(self, address: int, width: int) -> int:
         """Called for each committed load; returns its latency in cycles."""
@@ -151,28 +159,19 @@ class ExecutionResult:
     state: CpuState
     halted: bool
 
-    @property
+    @cached_property
     def taken_branches(self) -> List[BranchRecord]:
-        """The dynamic taken branches, in order (what the PHR records)."""
+        """The dynamic taken branches, in order (what the PHR records).
+
+        Computed once and cached: results are immutable after the run, so
+        repeated access must not re-scan the trace.
+        """
         return [record for record in self.trace if record.taken]
 
-    @property
+    @cached_property
     def conditional_records(self) -> List[BranchRecord]:
-        """The dynamic conditional branches, in order."""
+        """The dynamic conditional branches, in order (cached)."""
         return [r for r in self.trace if r.kind is BranchKind.CONDITIONAL]
-
-
-def _compute_flags(lhs: int, rhs: int) -> Flags:
-    """Flags of ``lhs - rhs`` over 64-bit unsigned operands."""
-    lhs &= WORD_MASK
-    rhs &= WORD_MASK
-    raw = lhs - rhs
-    result = raw & WORD_MASK
-    return Flags(
-        zero=result == 0,
-        sign=bool(result >> (WORD_BITS - 1)),
-        carry=lhs < rhs,
-    )
 
 
 class Interpreter:
@@ -183,7 +182,7 @@ class Interpreter:
         self.hooks = hooks if hooks is not None else CpuHooks()
 
     # ------------------------------------------------------------------
-    # committed execution
+    # committed execution (predecoded fast path)
     # ------------------------------------------------------------------
 
     def run(
@@ -192,12 +191,56 @@ class Interpreter:
         memory: Optional[Memory] = None,
         entry: Optional[int] = None,
         max_instructions: int = 2_000_000,
+        trace: str = "full",
     ) -> ExecutionResult:
         """Run from ``entry`` (default: program entry) until Halt.
 
         A ``Ret`` with an empty call stack also terminates the run, which
-        lets victim *functions* be executed directly.
+        lets victim *functions* be executed directly.  ``trace`` selects
+        how much of the dynamic branch trace is materialised (see the
+        module docstring); it never changes hook behaviour.
         """
+        if state is None:
+            state = CpuState()
+        if memory is None:
+            memory = Memory()
+        handlers = self.program.committed_handlers(trace)
+        hooks = self.hooks
+        pc = self.program.entry if entry is None else entry
+        records: List[BranchRecord] = []
+        executed = 0
+
+        while True:
+            if executed >= max_instructions:
+                raise ExecutionLimitExceeded(
+                    f"{self.program.name} exceeded {max_instructions} instructions"
+                )
+            try:
+                handler = handlers[pc]
+            except KeyError:
+                raise ProgramError(f"no instruction at {pc:#x}") from None
+            executed += 1
+            pc = handler(state, memory, hooks, records)
+            if pc is None:  # Halt, or Ret from the outermost frame
+                break
+
+        return ExecutionResult(trace=records, instructions=executed,
+                               state=state, halted=True)
+
+    # ------------------------------------------------------------------
+    # committed execution (reference dispatch-loop twin)
+    # ------------------------------------------------------------------
+
+    def run_reference(
+        self,
+        state: Optional[CpuState] = None,
+        memory: Optional[Memory] = None,
+        entry: Optional[int] = None,
+        max_instructions: int = 2_000_000,
+    ) -> ExecutionResult:
+        """The original isinstance-dispatch loop, kept as the reference
+        twin of :meth:`run` (DESIGN.md decision 5).  Always records the
+        full trace."""
         if state is None:
             state = CpuState()
         if memory is None:
@@ -296,14 +339,14 @@ class Interpreter:
             return actual_next
         elif isinstance(instruction, Jump):
             target = self.program.address_of(instruction.target)
-            hooks.unconditional_branch(pc, target, BranchKind.JUMP)
+            hooks.unconditional_branch(pc, target, BranchKind.JUMP, next_pc)
             trace.append(BranchRecord(pc, BranchKind.JUMP, True,
                                       target, next_pc, target))
             hooks.instruction_retired(pc)
             return target
         elif isinstance(instruction, JumpIndirect):
             target = state.read(instruction.reg)
-            hooks.unconditional_branch(pc, target, BranchKind.INDIRECT)
+            hooks.unconditional_branch(pc, target, BranchKind.INDIRECT, next_pc)
             trace.append(BranchRecord(pc, BranchKind.INDIRECT, True,
                                       target, next_pc, target))
             hooks.instruction_retired(pc)
@@ -311,7 +354,7 @@ class Interpreter:
         elif isinstance(instruction, Call):
             target = self.program.address_of(instruction.target)
             state.call_stack.append(next_pc)
-            hooks.unconditional_branch(pc, target, BranchKind.CALL)
+            hooks.unconditional_branch(pc, target, BranchKind.CALL, next_pc)
             trace.append(BranchRecord(pc, BranchKind.CALL, True,
                                       target, next_pc, target))
             hooks.instruction_retired(pc)
@@ -321,7 +364,7 @@ class Interpreter:
                 hooks.instruction_retired(pc)
                 return None
             target = state.call_stack.pop()
-            hooks.unconditional_branch(pc, target, BranchKind.RET)
+            hooks.unconditional_branch(pc, target, BranchKind.RET, next_pc)
             trace.append(BranchRecord(pc, BranchKind.RET, True,
                                       target, next_pc, target))
             hooks.instruction_retired(pc)
@@ -351,6 +394,34 @@ class Interpreter:
         is how they perturb the simulated cache.  Returns the number of
         instructions that executed transiently.
         """
+        transient_state = state.copy()
+        transient_memory = TransientMemory(memory)
+        handlers = self.program.transient_handlers()
+        handler_at = handlers.get
+        hooks = self.hooks
+        pc = start_pc
+        executed = 0
+
+        while executed < budget:
+            handler = handler_at(pc)
+            if handler is None:  # wrong path ran off the mapped code
+                break
+            executed += 1
+            pc = handler(transient_state, transient_memory, hooks)
+            if pc is None:  # halt / empty-stack ret / uninterpretable
+                break
+
+        return executed
+
+    def run_transient_reference(
+        self,
+        start_pc: int,
+        state: CpuState,
+        memory: Memory,
+        budget: int,
+    ) -> int:
+        """The original wrong-path dispatch loop, kept as the reference
+        twin of :meth:`run_transient` (DESIGN.md decision 5)."""
         transient_state = state.copy()
         transient_memory = TransientMemory(memory)
         pc = start_pc

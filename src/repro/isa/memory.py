@@ -35,10 +35,15 @@ class Memory:
 
     def read_bytes(self, address: int, count: int) -> bytes:
         """Read ``count`` raw bytes."""
-        return bytes(self._bytes.get(address + i, 0) for i in range(count))
+        data = self._bytes
+        return bytes([data.get(a, 0) for a in range(address, address + count)])
 
     def write_bytes(self, address: int, data: Iterable[int]) -> None:
         """Write raw bytes starting at ``address``."""
+        if isinstance(data, (bytes, bytearray)):
+            # Already byte-ranged; one C-level bulk update.
+            self._bytes.update(zip(range(address, address + len(data)), data))
+            return
         for i, byte_value in enumerate(data):
             self._bytes[address + i] = byte_value & 0xFF
 
@@ -75,8 +80,16 @@ class TransientMemory:
             self._overlay[address + i] = (value >> (8 * i)) & 0xFF
 
     def read_bytes(self, address: int, count: int) -> bytes:
-        return bytes(self.read(address + i, 1) for i in range(count))
+        overlay = self._overlay
+        backing = self._underlying._bytes
+        return bytes([
+            overlay[a] if a in overlay else backing.get(a, 0)
+            for a in range(address, address + count)
+        ])
 
     def write_bytes(self, address: int, data: Iterable[int]) -> None:
+        if isinstance(data, (bytes, bytearray)):
+            self._overlay.update(zip(range(address, address + len(data)), data))
+            return
         for i, byte_value in enumerate(data):
             self._overlay[address + i] = byte_value & 0xFF

@@ -44,6 +44,11 @@ class Program:
         self._labels = dict(labels)
         self._entry = entry
         self.name = name
+        #: Lazily compiled threaded-code handler tables (predecode pass).
+        #: Programs are immutable after assembly, so the tables never need
+        #: invalidation; keys are ``("committed", trace_mode)`` and
+        #: ``"transient"``.
+        self._predecoded: Dict[object, Dict[int, object]] = {}
         self._validate()
 
     def _validate(self) -> None:
@@ -93,6 +98,32 @@ class Program:
         """Address of the instruction physically following ``address``."""
         instruction = self.instruction_at(address)
         return address + instruction.size
+
+    def committed_handlers(self, trace_mode: str = "full"):
+        """The predecoded committed-path handler table for ``trace_mode``.
+
+        Compiled on first use (one closure per static instruction, label
+        targets and fallthroughs resolved to absolute addresses) and
+        cached for the program's lifetime; see :mod:`repro.isa.predecode`.
+        """
+        key = ("committed", trace_mode)
+        table = self._predecoded.get(key)
+        if table is None:
+            from repro.isa.predecode import compile_committed
+
+            table = compile_committed(self, trace_mode)
+            self._predecoded[key] = table
+        return table
+
+    def transient_handlers(self):
+        """The predecoded wrong-path handler table (compiled on first use)."""
+        table = self._predecoded.get("transient")
+        if table is None:
+            from repro.isa.predecode import compile_transient
+
+            table = compile_transient(self)
+            self._predecoded["transient"] = table
+        return table
 
     def items(self) -> Iterator[Tuple[int, Instruction]]:
         """Iterate ``(address, instruction)`` in ascending address order."""

@@ -10,13 +10,17 @@ from repro.aes.core import (
     SHIFT_ROWS_MAP,
     add_round_key,
     aesenc,
+    aesenc_reference,
     aesenclast,
+    aesenclast_reference,
     decrypt_block,
     encrypt_block,
     inv_mix_columns,
+    inv_mix_columns_reference,
     inv_shift_rows,
     inv_sub_bytes,
     mix_columns,
+    mix_columns_reference,
     reduced_round_ciphertext,
     shift_rows,
     sub_bytes,
@@ -134,6 +138,44 @@ class TestAesniModel:
             state = aesenc(state, round_key)
         state = aesenclast(state, round_keys[10])
         assert state == encrypt_block(plaintext, round_keys)
+
+
+class TestFastReferenceTwins:
+    """The table-based fast round primitives vs. their definitional
+    ``*_reference`` twins (DESIGN.md decision 5): bit-identical over
+    random blocks and keys."""
+
+    @given(block_strategy, key_strategy)
+    @settings(max_examples=200)
+    def test_aesenc_twin(self, state, key):
+        assert aesenc(state, key) == aesenc_reference(state, key)
+
+    @given(block_strategy, key_strategy)
+    @settings(max_examples=200)
+    def test_aesenclast_twin(self, state, key):
+        assert aesenclast(state, key) == aesenclast_reference(state, key)
+
+    @given(block_strategy)
+    @settings(max_examples=200)
+    def test_mix_columns_twin(self, state):
+        assert mix_columns(state) == mix_columns_reference(state)
+
+    @given(block_strategy)
+    @settings(max_examples=200)
+    def test_inv_mix_columns_twin(self, state):
+        assert inv_mix_columns(state) == inv_mix_columns_reference(state)
+
+    def test_single_byte_exhaustive(self):
+        """Every byte value through every table position, via blocks that
+        isolate one byte at a time."""
+        for value in range(256):
+            for position in range(16):
+                block = bytearray(16)
+                block[position] = value
+                block = bytes(block)
+                assert mix_columns(block) == mix_columns_reference(block)
+                assert aesenc(block, bytes(16)) == \
+                    aesenc_reference(block, bytes(16))
 
 
 class TestRoundtrip:
