@@ -9,8 +9,9 @@ and the fix-up into the epilogue chain; the structural claim under test
 is the loop body iterating nine times on the unique matching path.)
 """
 
-from repro import ControlFlowGraph, Machine, PathSearch, RAPTOR_LAKE
+from repro import Machine, RAPTOR_LAKE
 from repro.aes.victim import AesVictim
+from repro.pathfinder import cached_cfg, cached_path_search
 from repro.cpu.phr import replay_taken_branches
 from repro.isa.interpreter import CpuState
 from repro.isa.memory import Memory
@@ -32,9 +33,9 @@ def run_pathfinder():
     taken = [(r.pc, r.target) for r in result.trace if r.taken]
     history = replay_taken_branches(len(taken), taken).doublets()
 
-    cfg = ControlFlowGraph(victim.program,
-                           entry=victim.program.address_of("aes_encrypt"))
-    search = PathSearch(cfg, mode="exact")
+    cfg = cached_cfg(victim.program,
+                     entry=victim.program.address_of("aes_encrypt"))
+    search = cached_path_search(cfg, mode="exact")
     paths = search.search(history)
     return victim, cfg, paths, search.explored
 

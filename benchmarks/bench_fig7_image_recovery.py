@@ -15,6 +15,7 @@ regime.  Each recovery must reproduce the per-block complexity map
 import numpy as np
 
 from repro.cpu import Machine, RAPTOR_LAKE
+from repro.harness import run_trials
 from repro.jpeg import ImageRecoveryAttack, JpegCodec
 from repro.jpeg.images import evaluation_images, photo_like
 
@@ -23,21 +24,29 @@ from conftest import print_table
 SWEEP_SIZE = 48
 
 
-def run_sweep():
+def _image_trial(context, index, rng):
+    """Recover one evaluation image (fresh machine per image, as before)."""
+    del context, rng
+    images = evaluation_images(SWEEP_SIZE)
+    name = sorted(images)[index]
+    image = images[name]
     codec = JpegCodec(quality=75)
-    results = {}
-    for name, image in evaluation_images(SWEEP_SIZE).items():
-        attack = ImageRecoveryAttack(Machine(RAPTOR_LAKE), codec)
-        encoded = codec.encode(image)
-        recovered = attack.recover(encoded)
-        truth = attack.ground_truth_map(image)
-        results[name] = {
-            "branches": recovered.recovered_branches,
-            "probes": recovered.probes,
-            "exact": attack.exact_match_rate(recovered.complexity_map, truth),
-            "similarity": attack.similarity(recovered.complexity_map, truth),
-        }
-    return results
+    attack = ImageRecoveryAttack(Machine(RAPTOR_LAKE), codec)
+    encoded = codec.encode(image)
+    recovered = attack.recover(encoded)
+    truth = attack.ground_truth_map(image)
+    return name, {
+        "branches": recovered.recovered_branches,
+        "probes": recovered.probes,
+        "exact": attack.exact_match_rate(recovered.complexity_map, truth),
+        "similarity": attack.similarity(recovered.complexity_map, truth),
+    }
+
+
+def run_sweep(workers=None):
+    count = len(evaluation_images(SWEEP_SIZE))
+    report = run_trials(_image_trial, count, workers=workers)
+    return dict(report.values)
 
 
 def run_high_resolution():

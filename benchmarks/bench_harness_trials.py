@@ -1,0 +1,130 @@
+"""Trial-harness speedups: re-provision vs snapshot restore vs workers.
+
+The Section 9 evaluation repeats the leak per plaintext over *independent*
+trials.  Before the harness, independence meant re-provisioning: a fresh
+machine plus a profiling run per trial (the seed benches' recipe, and the
+regime ISSUE 3 targets).  The harness gets the same independence two
+cheaper ways:
+
+* **snapshot serial** -- one provisioned attack, `Machine.restore()` of a
+  poisoned + channel-flushed checkpoint per trial (O(changed-state));
+* **snapshot + 4 workers** -- the same trials fanned over a fork-based
+  process pool.
+
+All three arms must produce bit-identical per-trial results -- restoring
+the checkpoint reproduces the freshly provisioned machine exactly, which
+is the determinism contract that makes the parallel fan-out legal.  The
+measured speedups land in ``benchmarks/results/harness_trials.json`` (a
+trajectory: one record per run, appended).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.aes import AesAttackSpec, setup_attack
+from repro.aes.trials import success_trial
+from repro.harness import run_trials, trial_rng
+from repro.utils.rng import DeterministicRng
+
+from conftest import BENCH_QUICK, operation_count, print_table
+
+TRIALS = operation_count(200, 40)
+PARALLEL_WORKERS = 4
+SEED = 9
+RESULTS_PATH = Path(__file__).parent / "results" / "harness_trials.json"
+
+
+def run_arms():
+    key = DeterministicRng(0xAE5).bytes(16)
+    spec = AesAttackSpec(key=key)
+
+    # Arm 1: the seed recipe -- re-provision and re-profile per trial.
+    start = time.perf_counter()
+    serial_values = []
+    for index in range(TRIALS):
+        attack = setup_attack(spec)
+        serial_values.append(
+            success_trial(attack, index, trial_rng(SEED, index)))
+    serial_elapsed = time.perf_counter() - start
+
+    # Arm 2: one provisioned attack, snapshot restore per trial.
+    start = time.perf_counter()
+    snapshot_report = run_trials(success_trial, TRIALS, setup=setup_attack,
+                                 spec=spec, seed=SEED, workers=1)
+    snapshot_elapsed = time.perf_counter() - start
+
+    # Arm 3: the same trials over a process pool.
+    start = time.perf_counter()
+    parallel_report = run_trials(success_trial, TRIALS, setup=setup_attack,
+                                 spec=spec, seed=SEED,
+                                 workers=PARALLEL_WORKERS)
+    parallel_elapsed = time.perf_counter() - start
+
+    return {
+        "serial_values": serial_values,
+        "snapshot_values": snapshot_report.values,
+        "parallel_values": parallel_report.values,
+        "parallel_ran_pool": parallel_report.parallel,
+        "serial_s": serial_elapsed,
+        "snapshot_s": snapshot_elapsed,
+        "parallel_s": parallel_elapsed,
+    }
+
+
+def _append_trajectory(record: dict) -> None:
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    trajectory = []
+    if RESULTS_PATH.exists():
+        trajectory = json.loads(RESULTS_PATH.read_text())
+    trajectory.append(record)
+    RESULTS_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+def test_harness_trial_speedups(benchmark):
+    results = benchmark.pedantic(run_arms, rounds=1, iterations=1)
+    snapshot_speedup = results["serial_s"] / results["snapshot_s"]
+    parallel_speedup = results["serial_s"] / results["parallel_s"]
+
+    print_table(
+        f"Trial harness -- {TRIALS} independent AES leak trials "
+        f"({'quick' if BENCH_QUICK else 'full'} mode)",
+        ["arm", "time", "speedup vs re-provision"],
+        [
+            ["re-provision per trial (seed recipe)",
+             f"{results['serial_s']:.3f}s", "1.00x"],
+            ["snapshot restore, serial",
+             f"{results['snapshot_s']:.3f}s", f"{snapshot_speedup:.2f}x"],
+            [f"snapshot restore, {PARALLEL_WORKERS} workers",
+             f"{results['parallel_s']:.3f}s", f"{parallel_speedup:.2f}x"],
+        ],
+    )
+
+    # Determinism contract: all three execution strategies bit-identical.
+    assert results["snapshot_values"] == results["serial_values"]
+    assert results["parallel_values"] == results["snapshot_values"]
+
+    # The speedup gate is asserted in quick mode (the CI configuration);
+    # the full-mode number is informational -- more trials only amortize
+    # pool overhead further, but full runs ride on loaded machines.
+    if BENCH_QUICK:
+        assert parallel_speedup >= 2.0, (
+            f"snapshot + {PARALLEL_WORKERS} workers only "
+            f"{parallel_speedup:.2f}x over the serial seed path"
+        )
+        assert snapshot_speedup >= 2.0
+
+    _append_trajectory({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "quick": BENCH_QUICK,
+        "trials": TRIALS,
+        "workers": PARALLEL_WORKERS,
+        "pool_ran": results["parallel_ran_pool"],
+        "serial_s": round(results["serial_s"], 4),
+        "snapshot_s": round(results["snapshot_s"], 4),
+        "parallel_s": round(results["parallel_s"], 4),
+        "snapshot_speedup": round(snapshot_speedup, 2),
+        "parallel_speedup": round(parallel_speedup, 2),
+    })
+    benchmark.extra_info["snapshot_speedup"] = snapshot_speedup
+    benchmark.extra_info["parallel_speedup"] = parallel_speedup

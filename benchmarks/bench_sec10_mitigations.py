@@ -12,6 +12,7 @@ Reproduced claims:
 """
 
 from repro.cpu import Machine, RAPTOR_LAKE
+from repro.harness import run_trials
 from repro.mitigations import (
     HalfAndHalfPartition,
     PhrFlushMitigation,
@@ -35,39 +36,62 @@ def build_victim():
     return builder.build()
 
 
-def run_experiments():
-    results = {}
-
-    # PHR flush.
+def _flush_arm():
     machine = Machine(RAPTOR_LAKE)
     victim = VictimHandle(machine, build_victim())
     victim.invoke()
     pht_before = machine.cbp.populated_entries()
     flush = PhrFlushMitigation(machine)
     cost = flush.on_domain_switch()
-    results["flush_branches"] = cost.branches
-    results["flush_leaks"] = flush.read_phr_leaks()
-    results["flush_pht_residue"] = machine.cbp.populated_entries() - pht_before
+    return {
+        "flush_branches": cost.branches,
+        "flush_leaks": flush.read_phr_leaks(),
+        "flush_pht_residue": machine.cbp.populated_entries() - pht_before,
+    }
 
-    # PHR randomization.
+
+def _randomize_arm():
     machine = Machine(RAPTOR_LAKE)
     victim = VictimHandle(machine, build_victim())
     randomize = PhrRandomizeMitigation(machine, rng=DeterministicRng(5))
-    results["randomize_agree"] = randomize.repeated_reads_agree(
-        lambda: victim.invoke(), reads=4
-    )
+    return {
+        "randomize_agree": randomize.repeated_reads_agree(
+            lambda: victim.invoke(), reads=4
+        )
+    }
 
-    # PHT flush cost.
+
+def _pht_flush_cost_arm():
     cost = software_flush_cost(RAPTOR_LAKE)
-    results["pht_flush_instructions"] = cost.total_instructions
+    return {"pht_flush_instructions": cost.total_instructions}
 
-    # Half&Half partitioning.
+
+def _partition_arm():
     machine = Machine(RAPTOR_LAKE)
     partition = HalfAndHalfPartition(machine)
     phr_value = DeterministicRng(6).value_bits(388)
-    results["partition_pht_isolated"] = partition.pht_isolated(0x40AC00,
-                                                               phr_value)
-    results["partition_phr_isolated"] = partition.phr_isolated()
+    return {
+        "partition_pht_isolated": partition.pht_isolated(0x40AC00,
+                                                         phr_value),
+        "partition_phr_isolated": partition.phr_isolated(),
+    }
+
+
+#: Independent experiment arms the harness fans out (``REPRO_WORKERS``).
+ARMS = (_flush_arm, _randomize_arm, _pht_flush_cost_arm, _partition_arm)
+
+
+def _arm_trial(context, index, rng):
+    del context, rng
+    return ARMS[index]()
+
+
+def run_experiments(workers=None):
+    report = run_trials(_arm_trial, len(ARMS), workers=workers,
+                        chunk_size=1)
+    results = {}
+    for arm_results in report.values:
+        results.update(arm_results)
     return results
 
 

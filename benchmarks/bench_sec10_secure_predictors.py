@@ -12,6 +12,7 @@ Each claim is run as an experiment against the STBPU-style tokenized CBP
 and the per-domain PHR bank.
 """
 
+from repro.harness import run_trials
 from repro.mitigations.secure_predictors import (
     per_domain_phr_blocks_read,
     per_domain_phr_preserves_victim_state,
@@ -22,15 +23,26 @@ from repro.mitigations.secure_predictors import (
 
 from conftest import print_table
 
+#: Independent experiment arms the harness fans out (``REPRO_WORKERS``).
+ARMS = (
+    ("pht_blocked", stbpu_blocks_pht_aliasing),
+    ("read_phr_survives", stbpu_leaves_read_phr_intact),
+    ("extended_read_blocked", stbpu_blocks_extended_read),
+    ("per_domain_blocks_read", per_domain_phr_blocks_read),
+    ("per_domain_functional", per_domain_phr_preserves_victim_state),
+)
 
-def run_experiments():
-    return {
-        "pht_blocked": stbpu_blocks_pht_aliasing(),
-        "read_phr_survives": stbpu_leaves_read_phr_intact(),
-        "extended_read_blocked": stbpu_blocks_extended_read(),
-        "per_domain_blocks_read": per_domain_phr_blocks_read(),
-        "per_domain_functional": per_domain_phr_preserves_victim_state(),
-    }
+
+def _arm_trial(context, index, rng):
+    del context, rng
+    name, arm = ARMS[index]
+    return name, arm()
+
+
+def run_experiments(workers=None):
+    report = run_trials(_arm_trial, len(ARMS), workers=workers,
+                        chunk_size=1)
+    return dict(report.values)
 
 
 def test_sec10_secure_predictors(benchmark):

@@ -18,7 +18,9 @@ Layer map (see DESIGN.md for the full inventory):
   (Section 7);
 * :mod:`repro.jpeg` -- the image-recovery case study (Section 8);
 * :mod:`repro.aes` -- the AES key-recovery case study (Section 9);
-* :mod:`repro.mitigations` -- Section 10's countermeasures.
+* :mod:`repro.mitigations` -- Section 10's countermeasures;
+* :mod:`repro.harness` -- deterministic trial fan-out (process pool +
+  machine snapshot/restore) for the repeated-trial evaluations.
 """
 
 from repro.cpu import (
@@ -39,6 +41,7 @@ from repro.primitives import (
     VictimHandle,
 )
 from repro.pathfinder import ControlFlowGraph, PathSearch
+from repro.harness import TrialReport, TrialRunner, run_trials, trial_rng
 
 __version__ = "1.0.0"
 
@@ -57,6 +60,10 @@ __all__ = [
     "RAPTOR_LAKE",
     "SKYLAKE",
     "TARGET_MACHINES",
+    "TrialReport",
+    "TrialRunner",
     "VictimHandle",
     "__version__",
+    "run_trials",
+    "trial_rng",
 ]

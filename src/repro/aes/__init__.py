@@ -36,11 +36,27 @@ from repro.aes.cbc_victim import AesCbcVictim
 from repro.aes.oracle import EncryptionOracle
 from repro.aes.equality_oracle import EqualityLeakAttack, EqualityOracle
 from repro.aes.keyrecovery import recover_key_from_two_round_oracle
-from repro.aes.attack import AesSpectreAttack
+from repro.aes.attack import (
+    AesSpectreAttack,
+    AmbiguousChannelError,
+    LeakResult,
+)
+from repro.aes.trials import (
+    AesAttackSpec,
+    build_attack,
+    recover_key_parallel,
+    setup_attack,
+)
 
 __all__ = [
+    "AesAttackSpec",
     "AesCbcVictim",
     "AesSpectreAttack",
+    "AmbiguousChannelError",
+    "LeakResult",
+    "build_attack",
+    "recover_key_parallel",
+    "setup_attack",
     "AesUnrolledVictim",
     "AesVictim",
     "EncryptionOracle",

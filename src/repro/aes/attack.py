@@ -26,8 +26,8 @@ from typing import Dict, List, Optional
 
 from repro.aes.core import reduced_round_ciphertext
 from repro.aes.oracle import EncryptionOracle
-from repro.cpu.machine import Machine
-from repro.pathfinder import ControlFlowGraph, PathSearch
+from repro.cpu.machine import Machine, MachineSnapshot
+from repro.pathfinder import cached_cfg, cached_path_search
 from repro.pathfinder.report import build_report
 from repro.primitives import PhrReader, PhtWriter, VictimHandle
 from repro.utils.rng import DeterministicRng
@@ -45,8 +45,8 @@ def profile_loop_phrs(machine: Machine, result_trace, program,
 
     taken = [(r.pc, r.target) for r in result_trace if r.taken]
     observed = replay_taken_branches(len(taken), taken).doublets()
-    cfg = ControlFlowGraph(program, entry=entry)
-    paths = PathSearch(cfg, mode="exact").search(observed)
+    cfg = cached_cfg(program, entry=entry)
+    paths = cached_path_search(cfg, mode="exact").search(observed)
     if not paths:
         raise RuntimeError("Pathfinder found no path for the oracle run")
     report = build_report(cfg, paths[0],
@@ -71,6 +71,30 @@ class LeakResult:
     ciphertext: bytes
     #: Fraction of the 16 byte positions recovered unambiguously.
     coverage: float
+    #: Probe slots the Flush+Reload pass observed hot.
+    hot_slots: int = 0
+    #: Oracle invocations this result cost (retry loops update it; a
+    #: single :meth:`AesSpectreAttack.leak_reduced_round` call is 1).
+    attempts: int = 1
+
+
+class AmbiguousChannelError(RuntimeError):
+    """The side channel stayed ambiguous through the whole retry budget.
+
+    Carries the accounting the bare ``RuntimeError`` used to discard:
+    how many attempts ran and the last (best-effort) :class:`LeakResult`.
+    """
+
+    def __init__(self, plaintext: bytes, attempts: int,
+                 last: Optional[LeakResult]):
+        self.plaintext = plaintext
+        self.attempts = attempts
+        self.last = last
+        coverage = f"{last.coverage:.0%}" if last is not None else "n/a"
+        super().__init__(
+            f"side channel stayed ambiguous after {attempts} attempt(s) "
+            f"(last coverage {coverage})"
+        )
 
 
 class AesSpectreAttack:
@@ -82,6 +106,9 @@ class AesSpectreAttack:
         key: bytes,
         use_read_phr_primitive: bool = False,
         rng: Optional[DeterministicRng] = None,
+        retry_budget: int = 8,
+        use_checkpoints: bool = False,
+        spec: Optional[object] = None,
     ):
         self.machine = machine
         self.oracle = EncryptionOracle(machine, key)
@@ -91,8 +118,23 @@ class AesSpectreAttack:
         #: profiling run (equivalent -- Read_PHR's own evaluation shows
         #: 100% fidelity -- and what the high-trial benchmarks use).
         self.use_read_phr_primitive = use_read_phr_primitive
+        if retry_budget < 1:
+            raise ValueError(f"retry budget must be >= 1, got {retry_budget}")
+        #: Oracle invocations :meth:`two_round_leak` may spend per
+        #: plaintext before giving up with :class:`AmbiguousChannelError`.
+        self.retry_budget = retry_budget
+        #: When True, leaks restore a per-exit-iteration
+        #: :class:`~repro.cpu.machine.MachineSnapshot` (poisoned +
+        #: channel-flushed) instead of re-running the poison sequence --
+        #: the trial-harness fast path, and what makes repeated leaks
+        #: order-independent.
+        self.use_checkpoints = use_checkpoints
+        #: The picklable :class:`repro.aes.trials.AesAttackSpec` this
+        #: attack was built from, if any (enables ``recover_key`` fan-out).
+        self.spec = spec
         self._iteration_phr: Optional[Dict[int, int]] = None
         self._last_poisoned_phr: Optional[int] = None
+        self._leak_checkpoints: Dict[int, MachineSnapshot] = {}
 
     # ------------------------------------------------------------------
     # step 1: locate the loop branch's per-iteration PHR values
@@ -117,9 +159,9 @@ class AesSpectreAttack:
 
         if self.use_read_phr_primitive:
             observed = self._read_history_via_primitive(len(taken))
-            cfg = ControlFlowGraph(oracle.program,
-                                   entry=oracle.program.address_of("oracle"))
-            paths = PathSearch(cfg, mode="exact").search(observed)
+            cfg = cached_cfg(oracle.program,
+                             entry=oracle.program.address_of("oracle"))
+            paths = cached_path_search(cfg, mode="exact").search(observed)
             if not paths:
                 raise RuntimeError(
                     "Pathfinder found no path for the oracle run"
@@ -162,9 +204,8 @@ class AesSpectreAttack:
     # steps 2+3: poison, run, leak
     # ------------------------------------------------------------------
 
-    def leak_reduced_round(self, plaintext: bytes,
-                           exit_iteration: int) -> LeakResult:
-        """Induce an early exit at ``exit_iteration`` and leak the RRC."""
+    def _prepare_leak(self, exit_iteration: int) -> None:
+        """Poison, extend the speculation window, and clear the channel."""
         machine = self.machine
         oracle = self.oracle
         iteration_phr = self.profile()
@@ -194,6 +235,44 @@ class AesSpectreAttack:
 
         # The victim must see the same PHR trajectory as during profiling.
         machine.clear_phr()
+
+    def leak_checkpoint(self, exit_iteration: int) -> MachineSnapshot:
+        """The machine checkpoint poised to leak at ``exit_iteration``.
+
+        Built once per exit point: the poison is planted, the speculation
+        window extended, and the channel flushed, then the whole machine
+        state is captured.  :meth:`leak_reduced_round` restores it per
+        trial in O(changed-state), so every trial sees the identical
+        predictor/cache trajectory regardless of ordering.
+        """
+        snap = self._leak_checkpoints.get(exit_iteration)
+        if snap is None:
+            self._prepare_leak(exit_iteration)
+            snap = self.machine.snapshot()
+            self._leak_checkpoints[exit_iteration] = snap
+        return snap
+
+    def discard_checkpoints(self) -> None:
+        """Drop cached leak checkpoints (after retraining the machine)."""
+        self._leak_checkpoints.clear()
+
+    def leak_reduced_round(self, plaintext: bytes, exit_iteration: int,
+                           from_checkpoint: Optional[bool] = None,
+                           ) -> LeakResult:
+        """Induce an early exit at ``exit_iteration`` and leak the RRC.
+
+        ``from_checkpoint`` (default: the attack's ``use_checkpoints``
+        setting) restores the cached :meth:`leak_checkpoint` instead of
+        re-running the poison sequence.
+        """
+        machine = self.machine
+        oracle = self.oracle
+        if from_checkpoint is None:
+            from_checkpoint = self.use_checkpoints
+        if from_checkpoint:
+            machine.restore(self.leak_checkpoint(exit_iteration))
+        else:
+            self._prepare_leak(exit_iteration)
         ciphertext, __ = oracle.run_and_read(plaintext)
 
         # Flush+Reload: one hot slot per position is the architectural
@@ -214,7 +293,7 @@ class AesSpectreAttack:
                 recovered.append(-1)
         coverage = sum(1 for byte in recovered if byte >= 0) / 16
         return LeakResult(recovered=recovered, ciphertext=ciphertext,
-                          coverage=coverage)
+                          coverage=coverage, hot_slots=len(hot))
 
     # ------------------------------------------------------------------
     # evaluation helper (paper Section 9, "Evaluation")
@@ -239,21 +318,60 @@ class AesSpectreAttack:
     # step 4: key extraction
     # ------------------------------------------------------------------
 
-    def two_round_oracle(self, plaintext: bytes) -> bytes:
-        """RRC-at-iteration-1 oracle for the differential key recovery.
+    def two_round_leak(self, plaintext: bytes,
+                       retry_budget: Optional[int] = None) -> LeakResult:
+        """Unambiguous RRC-at-iteration-1 leak, with retry accounting.
 
         Retries on channel ambiguity with the same plaintext (the paper's
-        evaluation repeats measurements the same way).
+        evaluation repeats measurements the same way), up to
+        ``retry_budget`` attempts (default: the attack's budget).  Under
+        ``use_checkpoints`` a checkpoint restore is deterministic, so only
+        the first attempt uses it -- retries fall back to the live poison
+        sequence, whose evolved PHT/cache state is exactly what
+        disambiguates the channel.  Raises :class:`AmbiguousChannelError`
+        when the budget runs out.
         """
-        for _ in range(8):
-            leak = self.leak_reduced_round(plaintext, exit_iteration=1)
+        budget = self.retry_budget if retry_budget is None else retry_budget
+        if budget < 1:
+            raise ValueError(f"retry budget must be >= 1, got {budget}")
+        last: Optional[LeakResult] = None
+        for attempt in range(1, budget + 1):
+            from_checkpoint = self.use_checkpoints and attempt == 1
+            leak = self.leak_reduced_round(plaintext, exit_iteration=1,
+                                           from_checkpoint=from_checkpoint)
+            leak.attempts = attempt
             if all(byte >= 0 for byte in leak.recovered):
-                return bytes(leak.recovered)
-        raise RuntimeError("side channel stayed ambiguous after retries")
+                return leak
+            last = leak
+        raise AmbiguousChannelError(plaintext, attempts=budget, last=last)
 
-    def recover_key(self) -> bytes:
-        """Run the full pipeline and return the recovered AES key."""
+    def two_round_oracle(self, plaintext: bytes) -> bytes:
+        """RRC-at-iteration-1 oracle for the differential key recovery."""
+        return bytes(self.two_round_leak(plaintext).recovered)
+
+    def recover_key(self, workers: Optional[int] = None,
+                    chunk_size: Optional[int] = None) -> bytes:
+        """Run the full pipeline and return the recovered AES key.
+
+        ``workers`` (default: the ``REPRO_WORKERS`` environment knob) fans
+        the 16 key-byte recoveries over the trial harness; that path
+        requires the attack to have been built from a picklable spec
+        (:func:`repro.aes.trials.build_attack`), since each worker process
+        reconstructs its own machine + oracle.
+        """
         from repro.aes.keyrecovery import recover_key_from_two_round_oracle
+        from repro.harness import resolve_workers
 
+        workers = resolve_workers(workers)
+        if workers > 1:
+            if self.spec is None:
+                raise ValueError(
+                    "parallel recover_key needs an attack built from an "
+                    "AesAttackSpec (repro.aes.trials.build_attack)"
+                )
+            from repro.aes.trials import recover_key_parallel
+
+            return recover_key_parallel(self.spec, workers=workers,
+                                        chunk_size=chunk_size)
         return recover_key_from_two_round_oracle(self.two_round_oracle,
                                                  rng=self.rng.fork(2))

@@ -1,0 +1,124 @@
+"""Picklable setup/trial functions for harness fan-out of the AES attack.
+
+The trial harness (:mod:`repro.harness`) runs ``trial(context, index,
+rng)`` callables in worker processes, which must resolve ``setup`` and
+``trial`` by qualified module name.  The attack objects themselves are
+not picklable (the machine holds compiled closures), so workers rebuild
+the whole context -- machine, oracle, profiled attack, leak checkpoint --
+from the tiny frozen :class:`AesAttackSpec` below.  Because every piece
+of that construction is deterministic, every worker's context is
+equivalent and the harness determinism contract holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.aes.attack import AesSpectreAttack
+from repro.cpu.config import MachineConfig, RAPTOR_LAKE
+from repro.cpu.machine import Machine
+from repro.harness import DEFAULT_SEED, run_trials
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class AesAttackSpec:
+    """Everything needed to rebuild an attack in a worker process."""
+
+    key: bytes
+    config: MachineConfig = RAPTOR_LAKE
+    rng_seed: int = 0xAE5
+    retry_budget: int = 8
+    use_checkpoints: bool = True
+    #: Exit iteration the setup checkpoint is poised at.
+    exit_iteration: int = 1
+
+
+def build_attack(spec: AesAttackSpec) -> AesSpectreAttack:
+    """A fresh attack instance for ``spec`` (no profiling run yet)."""
+    return AesSpectreAttack(
+        Machine(spec.config),
+        spec.key,
+        rng=DeterministicRng(spec.rng_seed),
+        retry_budget=spec.retry_budget,
+        use_checkpoints=spec.use_checkpoints,
+        spec=spec,
+    )
+
+
+def setup_attack(spec: AesAttackSpec) -> AesSpectreAttack:
+    """Harness ``setup``: build, profile, and checkpoint the attack."""
+    attack = build_attack(spec)
+    attack.profile()
+    if spec.use_checkpoints:
+        attack.leak_checkpoint(spec.exit_iteration)
+    return attack
+
+
+def _trial_plaintext(attack: AesSpectreAttack, index: int,
+                     rng: DeterministicRng) -> bytes:
+    del attack, index
+    return rng.bytes(16)
+
+
+def leak_trial(attack: AesSpectreAttack, index: int,
+               rng: DeterministicRng) -> Tuple[Tuple[int, ...], str, float]:
+    """One attacked invocation on a random plaintext.
+
+    Returns ``(recovered bytes, architectural ciphertext hex, coverage)``
+    -- plain picklable values, per the harness contract.
+    """
+    spec: AesAttackSpec = attack.spec
+    leak = attack.leak_reduced_round(
+        _trial_plaintext(attack, index, rng), spec.exit_iteration)
+    return tuple(leak.recovered), leak.ciphertext.hex(), leak.coverage
+
+
+def success_trial(attack: AesSpectreAttack, index: int,
+                  rng: DeterministicRng) -> float:
+    """One attacked invocation scored against the ground-truth RRC."""
+    spec: AesAttackSpec = attack.spec
+    plaintext = _trial_plaintext(attack, index, rng)
+    leak = attack.leak_reduced_round(plaintext, spec.exit_iteration)
+    truth = attack.ground_truth_rrc(plaintext, spec.exit_iteration)
+    return sum(1 for got, want in zip(leak.recovered, truth)
+               if got == want) / 16
+
+
+def key_byte_trial(attack: AesSpectreAttack, index: int,
+                   rng: DeterministicRng) -> int:
+    """Recover key byte ``index`` through the two-round oracle.
+
+    The base plaintext comes from the attack RNG's fork(2) stream -- the
+    same derivation :meth:`AesSpectreAttack.recover_key` uses serially --
+    so every worker agrees on it without coordination.  The base RRC is
+    re-measured per trial; under checkpoints the measurement is
+    deterministic, so all trials observe the identical value.
+    """
+    del rng  # the differential filter is deterministic given the oracle
+    from repro.aes.keyrecovery import recover_key_byte
+
+    base_plaintext = attack.rng.fork(2).bytes(16)
+    base_rrc = attack.two_round_oracle(base_plaintext)
+    return recover_key_byte(attack.two_round_oracle, base_plaintext,
+                            index, base_rrc=base_rrc)
+
+
+def recover_key_parallel(
+    spec: AesAttackSpec,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+) -> bytes:
+    """Recover the full key, fanning the 16 byte positions over workers.
+
+    With ``workers=1`` this runs the identical trials inline, so the
+    result is bit-identical across worker counts.
+    """
+    report = run_trials(
+        key_byte_trial, 16,
+        setup=setup_attack, spec=spec,
+        seed=seed, workers=workers, chunk_size=chunk_size,
+    )
+    return bytes(report.values)

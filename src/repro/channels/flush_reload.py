@@ -33,6 +33,12 @@ class FlushReloadChannel:
         self.base_address = base_address
         self.stride = stride
         self.entries = entries
+        #: The probe geometry never changes, so the per-slot cache lines
+        #: and set indices are resolved once; every flush/reload sweep
+        #: then runs through the cache's batch primitives.
+        self._resolved = machine.cache.resolve_lines(
+            base_address + index * stride for index in range(entries)
+        )
 
     def slot_address(self, index: int) -> int:
         """Address of probe slot ``index``."""
@@ -42,8 +48,7 @@ class FlushReloadChannel:
 
     def flush(self) -> None:
         """Flush every probe slot (the attacker's ``clflush`` loop)."""
-        for index in range(self.entries):
-            self.machine.cache.flush(self.slot_address(index))
+        self.machine.cache.flush_resolved(self._resolved)
 
     def reload_times(self) -> List[int]:
         """Reload each slot, returning the measured latencies.
@@ -51,18 +56,23 @@ class FlushReloadChannel:
         Note the reload itself re-fills the lines, as on real hardware;
         callers must flush again before the next round.
         """
-        return [
-            self.machine.cache.access(self.slot_address(index))
-            for index in range(self.entries)
-        ]
+        cache = self.machine.cache
+        hit = cache.hit_latency
+        miss = cache.miss_latency
+        return [hit if was_hit else miss
+                for was_hit in cache.access_resolved(self._resolved)]
 
     def hot_slots(self) -> List[int]:
         """Indices whose reload latency classifies as a cache hit."""
+        cache = self.machine.cache
         threshold = self.machine.config.reload_threshold
+        hot_on_hit = cache.hit_latency < threshold
+        hot_on_miss = cache.miss_latency < threshold
         return [
             index
-            for index, latency in enumerate(self.reload_times())
-            if latency < threshold
+            for index, was_hit in enumerate(
+                cache.access_resolved(self._resolved))
+            if (hot_on_hit if was_hit else hot_on_miss)
         ]
 
     def receive_byte(self) -> int:

@@ -21,7 +21,7 @@ from repro.cpu.saturating import SaturatingCounter
 from repro.cpu.cbp import ConditionalBranchPredictor, Prediction
 from repro.cpu.cache import DataCache
 from repro.cpu.perf import PerfCounters
-from repro.cpu.machine import Machine, MachineRunResult
+from repro.cpu.machine import Machine, MachineRunResult, MachineSnapshot
 
 __all__ = [
     "ALDER_LAKE",
@@ -30,6 +30,7 @@ __all__ = [
     "Machine",
     "MachineConfig",
     "MachineRunResult",
+    "MachineSnapshot",
     "PathHistoryRegister",
     "PerfCounters",
     "Prediction",

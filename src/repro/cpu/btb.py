@@ -84,3 +84,30 @@ class BranchTargetBuffer:
     def populated_entries(self) -> int:
         """Total live entries."""
         return sum(len(ways) for ways in self._sets)
+
+    # ----- checkpointing ------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Sparse checkpoint: non-empty sets (LRU order) plus counters."""
+        entries = {
+            index: tuple((entry.tag, entry.target) for entry in ways)
+            for index, ways in enumerate(self._sets) if ways
+        }
+        return entries, self.hits, self.misses
+
+    def restore(self, snap: tuple) -> None:
+        """Restore a :meth:`snapshot`; only diverged sets are rebuilt."""
+        entries, self.hits, self.misses = snap
+        for index, ways in enumerate(self._sets):
+            wanted = entries.get(index)
+            if wanted is None:
+                if ways:
+                    self._sets[index] = []
+                continue
+            if len(ways) == len(wanted) and all(
+                entry.tag == tag and entry.target == target
+                for entry, (tag, target) in zip(ways, wanted)
+            ):
+                continue
+            self._sets[index] = [BtbEntry(tag=tag, target=target)
+                                 for tag, target in wanted]

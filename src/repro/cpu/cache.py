@@ -46,19 +46,32 @@ class DataCache:
         self._sets: List[List[int]] = [[] for _ in range(sets)]
         self.hits = 0
         self.misses = 0
+        #: line -> set index memo.  The fold is pure, and workloads hammer
+        #: a bounded working set of lines (probe arrays, tables), so the
+        #: memo converges quickly and turns the per-access fold into one
+        #: dict lookup.
+        self._index_memo: dict = {}
 
     def _line(self, address: int) -> int:
         return address >> self._offset_bits
 
     def _index(self, line: int) -> int:
-        if not self._index_bits:
-            return 0
-        return fold_xor(line, 48, self._index_bits)
+        index = self._index_memo.get(line)
+        if index is None:
+            if not self._index_bits:
+                index = 0
+            else:
+                index = fold_xor(line, 48, self._index_bits)
+            self._index_memo[line] = index
+        return index
 
     def access(self, address: int) -> int:
         """Access ``address``: returns the latency and fills the line."""
-        line = self._line(address)
-        ways = self._sets[self._index(line)]
+        line = address >> self._offset_bits
+        index = self._index_memo.get(line)
+        if index is None:
+            index = self._index(line)
+        ways = self._sets[index]
         if line in ways:
             ways.remove(line)
             ways.insert(0, line)
@@ -69,6 +82,58 @@ class DataCache:
             ways.pop()
         self.misses += 1
         return self.miss_latency
+
+    # ----- batched probe-array operations -------------------------------------
+    #
+    # Flush+Reload sweeps thousands of fixed slots per measurement; the
+    # per-call overhead of ``access``/``flush`` dominates those sweeps.
+    # Callers resolve their (line, set-index) pairs once and replay them
+    # through these batch methods, which keep hit/miss accounting and LRU
+    # movement identical to the one-at-a-time primitives.
+
+    def resolve_lines(self, addresses) -> List[tuple]:
+        """Pre-resolve ``(line, set index)`` pairs for a fixed address list."""
+        resolved = []
+        for address in addresses:
+            line = address >> self._offset_bits
+            resolved.append((line, self._index(line)))
+        return resolved
+
+    def access_resolved(self, resolved) -> List[bool]:
+        """Access each pre-resolved line; True where it hit.
+
+        Equivalent to calling :meth:`access` per address (same fills,
+        evictions, and counters), minus the per-call dispatch.
+        """
+        sets = self._sets
+        limit = self.ways
+        hit_count = 0
+        results = []
+        append = results.append
+        for line, index in resolved:
+            ways = sets[index]
+            if line in ways:
+                if ways[0] != line:
+                    ways.remove(line)
+                    ways.insert(0, line)
+                hit_count += 1
+                append(True)
+            else:
+                ways.insert(0, line)
+                if len(ways) > limit:
+                    ways.pop()
+                append(False)
+        self.hits += hit_count
+        self.misses += len(results) - hit_count
+        return results
+
+    def flush_resolved(self, resolved) -> None:
+        """Evict each pre-resolved line (batched ``clflush`` loop)."""
+        sets = self._sets
+        for line, index in resolved:
+            ways = sets[index]
+            if line in ways:
+                ways.remove(line)
 
     def contains(self, address: int) -> bool:
         """Whether the line holding ``address`` is cached (no LRU effect)."""
@@ -89,3 +154,24 @@ class DataCache:
     def populated_lines(self) -> int:
         """Total cached lines."""
         return sum(len(ways) for ways in self._sets)
+
+    # ----- checkpointing ------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Sparse checkpoint: non-empty sets (LRU order) plus counters."""
+        lines = {
+            index: tuple(ways)
+            for index, ways in enumerate(self._sets) if ways
+        }
+        return lines, self.hits, self.misses
+
+    def restore(self, snap: tuple) -> None:
+        """Restore a :meth:`snapshot`; only diverged sets are rewritten."""
+        lines, self.hits, self.misses = snap
+        for index, ways in enumerate(self._sets):
+            wanted = lines.get(index)
+            if wanted is None:
+                if ways:
+                    self._sets[index] = []
+            elif len(ways) != len(wanted) or tuple(ways) != wanted:
+                self._sets[index] = list(wanted)

@@ -150,6 +150,18 @@ class ConditionalBranchPredictor:
         for table in self.tables:
             table.flush()
 
+    def snapshot(self) -> tuple:
+        """Sparse checkpoint of the base predictor and every tagged table."""
+        return (self.base.snapshot(),
+                tuple(table.snapshot() for table in self.tables))
+
+    def restore(self, snap: tuple) -> None:
+        """Restore a :meth:`snapshot` (diff-based, see the components)."""
+        base_snap, table_snaps = snap
+        self.base.restore(base_snap)
+        for table, table_snap in zip(self.tables, table_snaps):
+            table.restore(table_snap)
+
     def populated_entries(self) -> int:
         """Total live entries across base and tagged tables."""
         return self.base.populated_entries() + sum(

@@ -56,3 +56,16 @@ class IndirectBranchPredictor:
     def populated_entries(self) -> int:
         """Number of live entries."""
         return len(self._entries)
+
+    # ----- checkpointing ------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Checkpoint: target map (insertion order matters for eviction)."""
+        return tuple(self._entries.items()), self.restricted
+
+    def restore(self, snap: tuple) -> None:
+        """Restore a :meth:`snapshot`."""
+        entries, self.restricted = snap
+        if len(self._entries) != len(entries) or (
+                tuple(self._entries.items()) != entries):
+            self._entries = dict(entries)

@@ -53,6 +53,29 @@ class ThreadContext:
     domain: str = "user"
 
 
+@dataclass(frozen=True)
+class MachineSnapshot:
+    """A value checkpoint of every stateful machine component.
+
+    Produced by :meth:`Machine.snapshot` and consumed by
+    :meth:`Machine.restore`.  Snapshots are sparse (only live predictor /
+    cache state is copied) and immutable, so one checkpoint can seed any
+    number of restores -- the trial-harness pattern of training a machine
+    once and resetting it before every independent trial.
+    """
+
+    cbp: tuple
+    btb: tuple
+    ibp: tuple
+    cache: tuple
+    perf: PerfCounters
+    #: Per logical thread: (phr value, ras snapshot, domain label).
+    threads: Tuple[Tuple[int, tuple, str], ...]
+    ibrs_enabled: bool
+    #: PHR capacity (doublets) of the source machine, for restore checks.
+    phr_capacity: int = 0
+
+
 @dataclass
 class MachineRunResult:
     """Outcome of one :meth:`Machine.run` invocation."""
@@ -161,6 +184,68 @@ class Machine:
     def thread(self, thread: int = 0) -> ThreadContext:
         """The context of logical thread ``thread``."""
         return self.threads[thread]
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> MachineSnapshot:
+        """Checkpoint all microarchitectural state as an immutable value.
+
+        Covers the CBP (base predictor + tagged PHTs), BTB, IBP, data
+        cache, perf counters, and every thread's PHR/RAS/domain -- the
+        complete machine state an attack can observe or perturb.  Copies
+        are sparse (only populated entries), so a snapshot of a trained
+        machine costs its live state, not its configured capacity.
+        Architectural state (:class:`CpuState`, :class:`Memory`) is
+        per-run and deliberately out of scope.
+        """
+        return MachineSnapshot(
+            cbp=self.cbp.snapshot(),
+            btb=self.btb.snapshot(),
+            ibp=self.ibp.snapshot(),
+            cache=self.cache.snapshot(),
+            perf=self.perf.snapshot(),
+            threads=tuple(
+                (context.phr.snapshot(), context.ras.snapshot(),
+                 context.domain)
+                for context in self.threads
+            ),
+            ibrs_enabled=self.ibrs_enabled,
+            phr_capacity=self.config.phr_capacity,
+        )
+
+    def restore(self, snap: MachineSnapshot) -> None:
+        """Restore a :meth:`snapshot` taken on this machine.
+
+        Restores are diff-based: component state that still matches the
+        checkpoint is left untouched, so resetting after a light
+        perturbation (one poisoned PHT entry, a handful of cache lines)
+        costs roughly the perturbation.  The same snapshot may be
+        restored any number of times; repeated trials against a trained
+        machine reset through here instead of re-provisioning and
+        re-profiling from scratch.
+        """
+        if len(snap.threads) != len(self.threads):
+            raise ValueError(
+                "snapshot is for a machine with a different thread count"
+            )
+        if snap.phr_capacity and snap.phr_capacity != self.config.phr_capacity:
+            raise ValueError(
+                f"snapshot is for a {snap.phr_capacity}-doublet PHR, "
+                f"this machine has {self.config.phr_capacity}"
+            )
+        self.cbp.restore(snap.cbp)
+        self.btb.restore(snap.btb)
+        self.ibp.restore(snap.ibp)
+        self.cache.restore(snap.cache)
+        self.perf.restore(snap.perf)
+        for context, (phr_value, ras_snap, domain) in zip(self.threads,
+                                                          snap.threads):
+            context.phr.restore(phr_value)
+            context.ras.restore(ras_snap)
+            context.domain = domain
+        self.ibrs_enabled = snap.ibrs_enabled
 
     # ------------------------------------------------------------------
     # functional branch entry points (fast path for the primitives)

@@ -71,6 +71,26 @@ class PerfCounters:
             per_pc_mispredictions=dict(self.per_pc_mispredictions),
         )
 
+    def restore(self, snap: "PerfCounters") -> None:
+        """Reset in place to a prior :meth:`snapshot`.
+
+        In-place (rather than swapping the object) so that machine hooks
+        and benchmarks holding a reference keep observing the live
+        counters across a :meth:`repro.cpu.machine.Machine.restore`.
+        """
+        self.conditional_branches = snap.conditional_branches
+        self.conditional_mispredictions = snap.conditional_mispredictions
+        self.taken_branches = snap.taken_branches
+        self.indirect_branches = snap.indirect_branches
+        self.indirect_mispredictions = snap.indirect_mispredictions
+        self.returns = snap.returns
+        self.ras_underflows = snap.ras_underflows
+        self.instructions = snap.instructions
+        self.transient_instructions = snap.transient_instructions
+        self.speculation_windows = snap.speculation_windows
+        self.per_pc_executions = dict(snap.per_pc_executions)
+        self.per_pc_mispredictions = dict(snap.per_pc_mispredictions)
+
     def delta(self, earlier: "PerfCounters") -> "PerfCounters":
         """Counts accumulated since ``earlier`` (a prior snapshot)."""
         per_pc_executions = {

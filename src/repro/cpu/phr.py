@@ -158,6 +158,24 @@ class PathHistoryRegister:
         """An independent copy."""
         return PathHistoryRegister(self.capacity, self._value)
 
+    # ----- checkpointing ------------------------------------------------------
+
+    def snapshot(self) -> int:
+        """Checkpoint: the raw register value (the PHR's only state)."""
+        return self._value
+
+    def restore(self, snap: int) -> None:
+        """Restore a :meth:`snapshot`.
+
+        Equivalent to :meth:`set_value`: the version bumps and the step
+        journal drops even when the value is unchanged, so folded-history
+        consumers resync rather than trusting a cache that may span the
+        restore boundary.
+        """
+        self._value = snap & self._mask
+        self._steps.clear()
+        self.version += 1
+
     # ----- analysis helpers ---------------------------------------------------
 
     def reverse_update(self, branch_address: int,

@@ -62,6 +62,11 @@ class BasePredictor:
         self._counters: List[Optional[SaturatingCounter]] = (
             [None] * (1 << index_bits)
         )
+        #: Indices holding a live counter.  Maintained so that
+        #: :meth:`snapshot`/:meth:`restore` touch only populated state
+        #: instead of scanning all 2^index_bits slots; entries are added
+        #: once per index (on lazy creation), never on the hot update path.
+        self._populated: set = set()
 
     def index(self, pc: int) -> int:
         """Set index for ``pc`` -- simply PC[index_bits-1:0]."""
@@ -74,6 +79,7 @@ class BasePredictor:
         if counter is None:
             counter = SaturatingCounter(self.counter_bits)
             self._counters[idx] = counter
+            self._populated.add(idx)
         return counter
 
     def predict(self, pc: int) -> bool:
@@ -94,15 +100,43 @@ class BasePredictor:
         counter = self._counters[idx]
         if counter is None:
             counter = self._counters[idx] = SaturatingCounter(self.counter_bits)
+            self._populated.add(idx)
         counter.update(taken)
 
     def flush(self) -> None:
         """Drop all state (mitigation experiments)."""
         self._counters = [None] * (1 << self.index_bits)
+        self._populated.clear()
 
     def populated_entries(self) -> int:
         """Number of counters that have been trained."""
         return sum(1 for counter in self._counters if counter is not None)
+
+    # ----- checkpointing ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Sparse value checkpoint ``{index: counter value}``."""
+        counters = self._counters
+        return {idx: counters[idx].value for idx in self._populated}
+
+    def restore(self, snap: dict) -> None:
+        """Restore a :meth:`snapshot` in O(live + changed) work.
+
+        Counters absent from the snapshot are dropped; surviving counters
+        are rewritten in place (keeping object identity), and missing ones
+        are recreated.
+        """
+        counters = self._counters
+        for idx in self._populated - snap.keys():
+            counters[idx] = None
+        populated = set(snap)
+        for idx, value in snap.items():
+            counter = counters[idx]
+            if counter is None:
+                counters[idx] = SaturatingCounter(self.counter_bits, value)
+            elif counter.value != value:
+                counter.value = value
+        self._populated = populated
 
 
 class TaggedTable:
@@ -127,6 +161,9 @@ class TaggedTable:
         self.tag_bits = tag_bits
         self.pc_index_bit = pc_index_bit
         self._sets: List[List[TaggedEntry]] = [[] for _ in range(sets)]
+        #: Indices of non-empty sets (for sparse snapshot/restore); grown
+        #: in :meth:`allocate`, cleared by :meth:`flush`/:meth:`restore`.
+        self._populated: set = set()
 
         # ----- folded-history machinery ----------------------------------
         window = self.history_bits
@@ -362,6 +399,7 @@ class TaggedTable:
             tag=tag,
             counter=SaturatingCounter.weak(self.counter_bits, taken),
         )
+        self._populated.add(index)
         if len(ways) < self.ways:
             ways.append(entry)
             return entry
@@ -381,10 +419,54 @@ class TaggedTable:
     def flush(self) -> None:
         """Drop all entries (mitigation experiments)."""
         self._sets = [[] for _ in range(self.sets)]
+        self._populated.clear()
 
     def populated_entries(self) -> int:
         """Total live entries across all sets."""
         return sum(len(ways) for ways in self._sets)
+
+    # ----- checkpointing ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Sparse checkpoint ``{set index: ((tag, counter, useful), ...)}``.
+
+        Only non-empty sets are copied; the derived fold caches are not
+        state (they re-key lazily off the PHR version).
+        """
+        sets = self._sets
+        return {
+            index: tuple((entry.tag, entry.counter.value, entry.useful)
+                         for entry in sets[index])
+            for index in self._populated
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Restore a :meth:`snapshot` in O(live + changed) work.
+
+        Sets that already match the checkpoint are left untouched
+        (preserving entry object identity); only diverged sets are
+        rebuilt, so a restore after light perturbation costs roughly the
+        perturbation, not the full table.
+        """
+        sets = self._sets
+        for index in self._populated - snap.keys():
+            sets[index] = []
+        counter_bits = self.counter_bits
+        for index, wanted in snap.items():
+            ways = sets[index]
+            if len(ways) == len(wanted) and all(
+                entry.tag == tag and entry.counter.value == value
+                and entry.useful == useful
+                for entry, (tag, value, useful) in zip(ways, wanted)
+            ):
+                continue
+            sets[index] = [
+                TaggedEntry(tag=tag,
+                            counter=SaturatingCounter(counter_bits, value),
+                            useful=useful)
+                for tag, value, useful in wanted
+            ]
+        self._populated = set(snap)
 
     def set_occupancy(self, index: int) -> int:
         """Live ways in set ``index``."""

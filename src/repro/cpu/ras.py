@@ -55,3 +55,15 @@ class ReturnAddressStack:
         self._entries = [None] * self.depth
         self._top = 0
         self._live = 0
+
+    # ----- checkpointing ------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Checkpoint: entries, stack pointer, live count, event counters."""
+        return (tuple(self._entries), self._top, self._live,
+                self.overflows, self.underflows)
+
+    def restore(self, snap: tuple) -> None:
+        """Restore a :meth:`snapshot`."""
+        entries, self._top, self._live, self.overflows, self.underflows = snap
+        self._entries = list(entries)

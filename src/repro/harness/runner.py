@@ -1,0 +1,282 @@
+"""The deterministic trial runner.
+
+Execution model
+---------------
+
+A *trial* is a pure-ish function ``trial(context, index, rng)`` whose
+result depends only on its three arguments:
+
+* ``context`` -- built once per worker process by ``setup(spec)`` from a
+  picklable ``spec`` (a machine + attack provisioned and trained, say).
+  ``setup`` must be deterministic: every worker builds an equivalent
+  context.
+* ``index`` -- the trial's global 0-based index.
+* ``rng`` -- a :class:`DeterministicRng` forked from the harness seed by
+  ``index`` (see :func:`trial_rng`), so a trial draws the same stream no
+  matter which worker runs it, in which order, in which chunk.
+
+Trials that mutate their context's machine must reset it (the
+:meth:`Machine.restore <repro.cpu.machine.Machine.restore>` checkpoint
+pattern) so results stay order-independent; that is the whole
+determinism contract, and ``tests/test_harness.py`` pins ``workers=N``
+bit-identical to ``workers=1``.
+
+Parallelism uses a ``fork``-context ``ProcessPoolExecutor`` so that
+``setup``/``trial`` resolve in the children by module import without a
+spawn-safe ``__main__`` dance; where ``fork`` is unavailable the runner
+degrades to the serial path (``TrialReport.parallel`` says which ran).
+Scheduling is chunked: ``chunk_size`` trials ship per task to amortize
+pool round-trips, and failures are captured per trial -- a raising trial
+records a :class:`TrialFailure` instead of poisoning its whole chunk.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.utils.rng import DeterministicRng
+
+#: Default base seed for per-trial RNG forks.
+DEFAULT_SEED = 0x7A1A15
+
+#: Environment knob: default worker count for every harness call site
+#: (benchmarks, examples) that does not pass one explicitly.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(explicit: Optional[int] = None) -> int:
+    """The effective worker count: explicit argument, else ``REPRO_WORKERS``,
+    else 1 (serial)."""
+    if explicit is not None:
+        workers = int(explicit)
+    else:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        workers = int(raw) if raw else 1
+    if workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {workers}")
+    return workers
+
+
+def trial_rng(seed: int, index: int) -> DeterministicRng:
+    """The RNG stream of trial ``index`` under harness ``seed``.
+
+    Forked from a fresh base generator each time, so the stream depends
+    only on ``(seed, index)`` -- never on chunking or scheduling order.
+    """
+    return DeterministicRng(seed).fork(index)
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """One failed trial, captured without aborting its chunk."""
+
+    index: int
+    error: str
+    traceback: str
+
+
+class TrialError(RuntimeError):
+    """Raised (under ``on_error='raise'``) after any trial failed."""
+
+    def __init__(self, failures: Sequence[TrialFailure]):
+        self.failures = list(failures)
+        first = self.failures[0]
+        super().__init__(
+            f"{len(self.failures)} trial(s) failed; first: trial "
+            f"{first.index}: {first.error}"
+        )
+
+
+@dataclass
+class TrialReport:
+    """Outcome of one :func:`run_trials` fan-out."""
+
+    #: Per-trial results ordered by trial index (``None`` for failures).
+    values: List[Any]
+    failures: List[TrialFailure] = field(default_factory=list)
+    workers: int = 1
+    chunks: int = 0
+    #: Whether a process pool actually ran (False for ``workers=1`` and
+    #: for the no-``fork``-platform serial fallback).
+    parallel: bool = False
+    elapsed: float = 0.0
+
+    @property
+    def count(self) -> int:
+        """Total trials scheduled."""
+        return len(self.values)
+
+    @property
+    def completed(self) -> int:
+        """Trials that returned a value."""
+        return len(self.values) - len(self.failures)
+
+
+def _chunk_indices(count: int, chunk_size: Optional[int],
+                   workers: int) -> List[range]:
+    """Split ``range(count)`` into contiguous scheduling chunks.
+
+    The default aims at ~4 chunks per worker so a slow chunk cannot
+    serialize the tail, while keeping pool round-trips amortized.
+    """
+    if chunk_size is None:
+        chunk_size = max(1, -(-count // (4 * workers)))
+    if chunk_size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {chunk_size}")
+    return [range(low, min(low + chunk_size, count))
+            for low in range(0, count, chunk_size)]
+
+
+def _run_chunk(context: Any, trial: Callable, indices: range,
+               seed: int) -> List[tuple]:
+    """Run one chunk inline; returns ``(index, ok, payload)`` triples."""
+    results = []
+    for index in indices:
+        try:
+            value = trial(context, index, trial_rng(seed, index))
+            results.append((index, True, value))
+        except Exception as exc:  # noqa: BLE001 -- per-trial accounting
+            results.append((
+                index, False,
+                (f"{type(exc).__name__}: {exc}", traceback.format_exc()),
+            ))
+    return results
+
+
+#: Worker-process context, built once by the pool initializer.
+_WORKER_CONTEXT: Any = None
+
+
+def _worker_initialize(setup: Optional[Callable], spec: Any) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = setup(spec) if setup is not None else None
+
+
+def _worker_run_chunk(trial: Callable, indices: range,
+                      seed: int) -> List[tuple]:
+    return _run_chunk(_WORKER_CONTEXT, trial, indices, seed)
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The ``fork`` multiprocessing context, or None where unsupported."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    return multiprocessing.get_context("fork")
+
+
+def run_trials(
+    trial: Callable[[Any, int, DeterministicRng], Any],
+    count: int,
+    *,
+    setup: Optional[Callable[[Any], Any]] = None,
+    spec: Any = None,
+    seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    on_error: str = "raise",
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> TrialReport:
+    """Run ``count`` independent trials, optionally across processes.
+
+    ``trial``/``setup`` must be module-level callables (picklable by
+    qualified name) when ``workers > 1``; ``spec`` and every trial result
+    must be picklable.  ``progress(done, total)`` fires in the parent as
+    chunks complete.  ``on_error`` is ``'raise'`` (default; raise
+    :class:`TrialError` after all trials ran) or ``'collect'`` (return
+    the report with failures recorded and ``values[i] is None``).
+    """
+    if count < 0:
+        raise ValueError(f"trial count must be >= 0, got {count}")
+    if on_error not in ("raise", "collect"):
+        raise ValueError(f"unknown on_error mode {on_error!r}")
+    workers = resolve_workers(workers)
+    start = time.perf_counter()
+    values: List[Any] = [None] * count
+    failures: List[TrialFailure] = []
+    if count == 0:
+        return TrialReport(values=values, workers=workers, parallel=False)
+
+    chunks = _chunk_indices(count, chunk_size, workers)
+    mp_context = _fork_context() if workers > 1 else None
+    parallel = workers > 1 and mp_context is not None
+
+    def absorb(chunk_results: List[tuple]) -> None:
+        for index, ok, payload in chunk_results:
+            if ok:
+                values[index] = payload
+            else:
+                error, trace = payload
+                failures.append(TrialFailure(index=index, error=error,
+                                             traceback=trace))
+
+    if not parallel:
+        context = setup(spec) if setup is not None else None
+        done = 0
+        for chunk in chunks:
+            absorb(_run_chunk(context, trial, chunk, seed))
+            done += len(chunk)
+            if progress is not None:
+                progress(done, count)
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(chunks)),
+            mp_context=mp_context,
+            initializer=_worker_initialize,
+            initargs=(setup, spec),
+        ) as pool:
+            futures = {
+                pool.submit(_worker_run_chunk, trial, chunk, seed): chunk
+                for chunk in chunks
+            }
+            done = 0
+            for future in as_completed(futures):
+                absorb(future.result())
+                done += len(futures[future])
+                if progress is not None:
+                    progress(done, count)
+
+    failures.sort(key=lambda failure: failure.index)
+    report = TrialReport(
+        values=values,
+        failures=failures,
+        workers=workers,
+        chunks=len(chunks),
+        parallel=parallel,
+        elapsed=time.perf_counter() - start,
+    )
+    if failures and on_error == "raise":
+        raise TrialError(failures)
+    return report
+
+
+@dataclass
+class TrialRunner:
+    """A reusable :func:`run_trials` configuration.
+
+    Benchmarks that fan out several sweeps against the same provisioned
+    context keep one runner and call :meth:`run` per sweep.
+    """
+
+    setup: Optional[Callable[[Any], Any]] = None
+    spec: Any = None
+    seed: int = DEFAULT_SEED
+    workers: Optional[int] = None
+    chunk_size: Optional[int] = None
+    on_error: str = "raise"
+
+    def run(self, trial: Callable, count: int,
+            progress: Optional[Callable[[int, int], None]] = None,
+            ) -> TrialReport:
+        """Fan ``trial`` out under this runner's configuration."""
+        return run_trials(
+            trial, count,
+            setup=self.setup, spec=self.spec, seed=self.seed,
+            workers=self.workers, chunk_size=self.chunk_size,
+            on_error=self.on_error, progress=progress,
+        )

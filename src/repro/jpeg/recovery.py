@@ -27,7 +27,7 @@ from repro.isa.memory import Memory
 from repro.jpeg.codec import EncodedImage, JpegCodec
 from repro.jpeg.idct_victim import IdctVictim
 from repro.jpeg.images import block_complexity_image
-from repro.pathfinder import ControlFlowGraph, PathSearch
+from repro.pathfinder import cached_cfg, cached_path_search
 from repro.primitives.extended_read import ExtendedPhrReader, TakenBranch
 
 
@@ -60,27 +60,30 @@ class RecoveredImage:
         edges) that the scalar complexity map collapses.
         """
         blocks_v, blocks_h = self.complexity_map.shape
-        image = np.zeros((8 * blocks_v, 8 * blocks_h))
-        for index in range(self.column_constancy.shape[0]):
-            block_row = index // blocks_h
-            block_col = index % blocks_h
-            row_activity = (~self.row_constancy[index]).astype(float)
-            col_activity = (~self.column_constancy[index]).astype(float)
-            tile = 127.5 * (row_activity[:, None] + col_activity[None, :])
-            image[8 * block_row:8 * block_row + 8,
-                  8 * block_col:8 * block_col + 8] = tile
-        return image
+        row_activity = (~self.row_constancy).astype(float)      # (blocks, 8)
+        col_activity = (~self.column_constancy).astype(float)   # (blocks, 8)
+        # One broadcast builds every 8x8 tile; the transpose interleaves
+        # the per-block tiles back into raster order.
+        tiles = 127.5 * (row_activity[:, :, None] + col_activity[:, None, :])
+        return (tiles.reshape(blocks_v, blocks_h, 8, 8)
+                     .transpose(0, 2, 1, 3)
+                     .reshape(8 * blocks_v, 8 * blocks_h))
 
 
 class ImageRecoveryAttack:
     """Drives the attack against the IDCT victim on a shared machine."""
 
     def __init__(self, machine: Machine, codec: Optional[JpegCodec] = None,
-                 extended_rounds: int = 6, idct_variant: str = "islow"):
+                 extended_rounds: int = 6, idct_variant: str = "islow",
+                 reset_probes: bool = False):
         self.machine = machine
         self.codec = codec if codec is not None else JpegCodec()
         self.victim = IdctVictim(variant=idct_variant)
         self.extended_rounds = extended_rounds
+        #: Forwarded to :class:`ExtendedPhrReader`: restore a machine
+        #: checkpoint before every candidate probe, making the extended
+        #: read's measurements order-independent.
+        self.reset_probes = reset_probes
 
     # ------------------------------------------------------------------
 
@@ -112,7 +115,8 @@ class ImageRecoveryAttack:
             TakenBranch(r.pc, r.target, r.kind is BranchKind.CONDITIONAL)
             for r in trace if r.taken
         ]
-        reader = ExtendedPhrReader(self.machine, rounds=self.extended_rounds)
+        reader = ExtendedPhrReader(self.machine, rounds=self.extended_rounds,
+                                   reset_between_probes=self.reset_probes)
         history = reader.read(taken)
         if not history.complete:
             raise RuntimeError("extended read failed to recover the history")
@@ -122,9 +126,9 @@ class ImageRecoveryAttack:
         # paper: ambiguous results are "exceedingly rare", and the
         # candidates "typically differ in just one CFG node"); the PHT
         # state the victim's own run left behind disambiguates them.
-        cfg = ControlFlowGraph(self.victim.program,
-                               entry=self.victim.program.address_of("idct"))
-        search = PathSearch(cfg, mode="exact", max_paths=4)
+        cfg = cached_cfg(self.victim.program,
+                         entry=self.victim.program.address_of("idct"))
+        search = cached_path_search(cfg, mode="exact", max_paths=4)
         paths = search.search(history.doublets)
         if not paths:
             raise RuntimeError("Pathfinder found no matching path")

@@ -15,8 +15,18 @@ history back into the victim's runtime control flow:
   values.
 """
 
-from repro.pathfinder.cfg import BasicBlock, ControlFlowGraph, Edge, EdgeKind
-from repro.pathfinder.search import PathSearch, RecoveredPath
+from repro.pathfinder.cfg import (
+    BasicBlock,
+    ControlFlowGraph,
+    Edge,
+    EdgeKind,
+    cached_cfg,
+)
+from repro.pathfinder.search import (
+    PathSearch,
+    RecoveredPath,
+    cached_path_search,
+)
 from repro.pathfinder.report import PathReport, render_cfg
 from repro.pathfinder.export import to_dot
 
@@ -28,6 +38,8 @@ __all__ = [
     "PathReport",
     "PathSearch",
     "RecoveredPath",
+    "cached_cfg",
+    "cached_path_search",
     "render_cfg",
     "to_dot",
 ]

@@ -10,6 +10,7 @@ to reverse PHR updates.
 from __future__ import annotations
 
 import enum
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -244,3 +245,30 @@ class ControlFlowGraph:
 def summarize_edge(edge: Edge) -> Tuple[str, int, int]:
     """Compact (kind, source, destination) tuple for logging/tests."""
     return (edge.kind.value, edge.source, edge.destination)
+
+
+#: Program -> {entry: ControlFlowGraph}.  Programs are immutable after
+#: assembly, so a CFG never goes stale; keying the outer map weakly lets
+#: throwaway programs (tests build thousands) be collected with their CFGs.
+_CFG_CACHE: "weakref.WeakKeyDictionary[Program, Dict[int, ControlFlowGraph]]" \
+    = weakref.WeakKeyDictionary()
+
+
+def cached_cfg(program: Program, entry: Optional[int] = None
+               ) -> ControlFlowGraph:
+    """The memoized :class:`ControlFlowGraph` of ``(program, entry)``.
+
+    Attack drivers that rebuild the same victim's CFG per trial (image
+    recovery runs one per block pattern, the AES attack one per leak)
+    share a single instance instead.  Callers must treat the returned CFG
+    as read-only.
+    """
+    resolved_entry = program.entry if entry is None else entry
+    per_program = _CFG_CACHE.get(program)
+    if per_program is None:
+        per_program = _CFG_CACHE[program] = {}
+    cfg = per_program.get(resolved_entry)
+    if cfg is None:
+        cfg = per_program[resolved_entry] = ControlFlowGraph(
+            program, entry=resolved_entry)
+    return cfg

@@ -19,6 +19,8 @@ Two matching modes:
 
 from __future__ import annotations
 
+import weakref
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -60,10 +62,7 @@ class RecoveredPath:
 
     def block_visit_counts(self) -> Dict[int, int]:
         """How many times each block executed (loop trip counts)."""
-        counts: Dict[int, int] = {}
-        for block in self.blocks:
-            counts[block] = counts.get(block, 0) + 1
-        return counts
+        return Counter(self.blocks)
 
 
 @dataclass
@@ -243,3 +242,33 @@ class PathSearch:
         reaches_entry = blocks[0] == self.cfg.entry
         return RecoveredPath(edges=edges, blocks=blocks,
                              reaches_entry=reaches_entry)
+
+
+#: ControlFlowGraph -> {(mode, max_states, max_paths): PathSearch}.  A
+#: search object is stateless across runs apart from the ``explored``
+#: diagnostic, so attack drivers can share one per configuration instead
+#: of rebuilding it (with its CFG) for every trial.
+_SEARCH_CACHE: "weakref.WeakKeyDictionary[ControlFlowGraph, Dict[tuple, PathSearch]]" \
+    = weakref.WeakKeyDictionary()
+
+
+def cached_path_search(
+    cfg: ControlFlowGraph,
+    mode: str = "exact",
+    max_states: int = 2_000_000,
+    max_paths: int = 16,
+) -> PathSearch:
+    """The memoized :class:`PathSearch` for ``cfg`` and the given knobs.
+
+    Pair with :func:`repro.pathfinder.cfg.cached_cfg` so repeated trials
+    against one victim reuse both the graph and the search object.
+    """
+    per_cfg = _SEARCH_CACHE.get(cfg)
+    if per_cfg is None:
+        per_cfg = _SEARCH_CACHE[cfg] = {}
+    key = (mode, max_states, max_paths)
+    search = per_cfg.get(key)
+    if search is None:
+        search = per_cfg[key] = PathSearch(
+            cfg, mode=mode, max_states=max_states, max_paths=max_paths)
+    return search

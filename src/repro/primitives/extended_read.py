@@ -84,6 +84,7 @@ class ExtendedPhrReader:
         pc_alias_offset: int = 0x1000_0000,
         victim_context=None,
         attacker_context=None,
+        reset_between_probes: bool = False,
     ):
         self.machine = machine
         self.thread = thread
@@ -92,6 +93,14 @@ class ExtendedPhrReader:
         self.max_gap = max_gap
         self.pc_alias_offset = pc_alias_offset
         self.probes = 0
+        #: When True, every candidate probe restores the machine to a
+        #: checkpoint taken at the first probe
+        #: (:meth:`repro.cpu.machine.Machine.snapshot`).  Long reads churn
+        #: the PHTs across tens of thousands of probes; the reset pins
+        #: each measurement to the identical machine state, making probes
+        #: order-independent (the trial-harness determinism contract).
+        self.reset_between_probes = reset_between_probes
+        self._probe_baseline = None
         #: Optional zero-argument hooks invoked before victim refreshes /
         #: attacker probes -- they model the domain switch surrounding
         #: each victim invocation (used by the secure-predictor
@@ -143,6 +152,11 @@ class ExtendedPhrReader:
            silent.
         """
         machine = self.machine
+        if self.reset_between_probes:
+            if self._probe_baseline is None:
+                self._probe_baseline = machine.snapshot()
+            else:
+                machine.restore(self._probe_baseline)
         phr = machine.phr(self.thread)
         attacker_pc = victim_pc + self.pc_alias_offset
         attacker_target = attacker_pc + 0x40
