@@ -12,6 +12,14 @@ from __future__ import annotations
 import os
 from typing import Iterable, List
 
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    """Everything under ``benchmarks/`` carries the ``bench`` marker."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
 #: Quick mode (``REPRO_BENCH_QUICK=1``) shrinks benchmark workloads so
 #: the throughput benches can ride along in a fast CI loop.  Statistical
 #: assertions about paper-level facts should keep their full populations;

@@ -73,6 +73,13 @@ class ConditionalBranchPredictor:
             )
             for length in history_lengths
         ]
+        #: Test-only fault-injection point: when set, :meth:`update` trains
+        #: toward ``train_fault(pc, taken)`` instead of the architectural
+        #: outcome (prediction and misprediction accounting still use the
+        #: real direction).  The differential fuzzer's mutation-smoke test
+        #: installs a deliberate perturbation here and asserts the fuzzer
+        #: finds it; production code must never set this.
+        self.train_fault: Optional[object] = None
 
     # ----- prediction -----------------------------------------------------
 
@@ -108,6 +115,8 @@ class ConditionalBranchPredictor:
         if (prediction is None or prediction.phr is not phr
                 or prediction.phr_version != phr.version):
             prediction = self.predict(pc, phr)
+        if self.train_fault is not None:
+            taken = bool(self.train_fault(pc, taken))
 
         # Train the provider.
         if prediction.entry is not None:

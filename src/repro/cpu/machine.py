@@ -21,7 +21,7 @@ the equivalent instructions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.cpu.btb import BranchTargetBuffer
 from repro.cpu.cache import DataCache
@@ -172,6 +172,16 @@ class Machine:
             for tid in range(config.smt_threads)
         ]
         self.ibrs_enabled = False
+        #: Optional per-commit observation point ``(pc, kind, taken)``,
+        #: fired after every committed branch has fully updated the
+        #: predictors (conditional branches report their architectural
+        #: direction; non-conditional taken branches report their true
+        #: :class:`BranchKind`, including CALL/RET).  ``None`` -- the
+        #: default -- costs one
+        #: attribute check per branch; the differential fuzzer hangs its
+        #: invariant oracle and commit-stream capture here.
+        self.branch_observer: Optional[
+            Callable[[int, BranchKind, bool], None]] = None
 
     # ------------------------------------------------------------------
     # state access
@@ -269,6 +279,9 @@ class Machine:
             self.ibp.update(pc, context.phr, target)
         context.phr.update(pc, target)
         self.perf.taken_branches += 1
+        observer = self.branch_observer
+        if observer is not None:
+            observer(pc, kind, True)
 
     def observe_conditional(self, pc: int, target: int, taken: bool,
                             thread: int = 0) -> bool:
@@ -310,6 +323,9 @@ class Machine:
             self.btb.update(pc, target)
             context.phr.update(pc, target)
             self.perf.taken_branches += 1
+        observer = self.branch_observer
+        if observer is not None:
+            observer(pc, BranchKind.CONDITIONAL, taken)
         return mispredicted
 
     def _resolve_unconditional(self, context: ThreadContext, pc: int,
@@ -333,10 +349,11 @@ class Machine:
                 self.perf.indirect_mispredictions += 1
             elif predicted != target:
                 self.perf.indirect_mispredictions += 1
+        # The true kind flows through for the observer's benefit; the
+        # predictors themselves only distinguish INDIRECT (IBP traffic)
+        # from everything else, so CALL/RET train exactly like JUMP.
         self.record_taken_branch(pc, target, thread=context.thread_id,
-                                 kind=(BranchKind.INDIRECT
-                                       if kind is BranchKind.INDIRECT
-                                       else BranchKind.JUMP))
+                                 kind=kind)
 
     def _speculation_budget(self, resolve_latency: int) -> int:
         config = self.config

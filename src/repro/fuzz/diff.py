@@ -1,0 +1,343 @@
+"""The differential harness: run one program through every twin pair.
+
+Arms per program (all on fresh machines of the program's preset):
+
+``reference``
+    ``engine='reference'`` -- the isinstance-dispatch interpreter twin,
+    full trace.  This is the baseline digest.
+``fast``
+    ``engine='fast'``, ``trace='full'`` -- the predecoded threaded-code
+    twin.  Compared bit-for-bit against ``reference``: registers, flags,
+    call stack, memory, dynamic branch trace, perf counters, PHR value,
+    every predictor structure, and the per-commit branch-resolution
+    stream captured through :attr:`Machine.branch_observer`.
+``fast/branches`` and ``fast/none``
+    The reduced trace modes.  Everything except the materialised trace
+    must match the ``fast`` arm exactly; ``branches`` must additionally
+    equal the conditional subsequence of the full trace, ``none`` must
+    be empty.
+``snapshot``
+    Train a machine with one run, checkpoint, run again (digest A),
+    restore, run again (digest B).  A and B must be bit-identical --
+    the snapshot/restore/replay contract the trial harness rests on.
+
+The invariant oracle (:mod:`repro.fuzz.oracle`) rides along inside every
+arm, raising independently of any twin comparison.
+
+A ``machine_mutator`` -- applied to every machine of the *fast* arms but
+never to the reference arm -- exists for the mutation-smoke self-test:
+installing a deliberate predictor perturbation there must make the
+harness report a divergence, proving the fuzzer is not vacuously green.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.aes.victim import AesVictim
+from repro.cpu.config import RAPTOR_LAKE
+from repro.cpu.machine import Machine
+from repro.fuzz.generator import FuzzProgram
+from repro.fuzz.oracle import InvariantOracle, InvariantViolation
+from repro.isa.interpreter import CpuState
+from repro.isa.memory import Memory
+from repro.utils.rng import DeterministicRng
+
+#: Default stride (in commits) of the periodic structural-invariant walk.
+DEFAULT_ORACLE_STRIDE = 32
+
+#: A mutator receives the freshly built fast-arm machine before the run.
+MachineMutator = Callable[[Machine], None]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One mismatch between two arms (or an oracle violation)."""
+
+    arm: str
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.arm}] {self.kind}: {self.detail}"
+
+
+@dataclass
+class ArmDigest:
+    """Everything observable from one arm's run."""
+
+    regs: dict
+    flags: tuple
+    call_stack: Tuple[int, ...]
+    memory: dict
+    trace: tuple
+    instructions: int
+    halted: bool
+    perf: object
+    phr_value: int
+    fingerprint: tuple
+    commits: Tuple[tuple, ...]
+    oracle_violation: Optional[str] = None
+
+
+def machine_fingerprint(machine: Machine) -> tuple:
+    """A deep structural digest of all snapshot-covered machine state."""
+    cbp = machine.cbp
+    perf = machine.perf.snapshot()
+    perf_digest = tuple(
+        sorted((name, tuple(sorted(value.items()))
+                if isinstance(value, dict) else value)
+               for name, value in vars(perf).items())
+    )
+    return (
+        cbp.base.snapshot(),
+        tuple(table.snapshot() for table in cbp.tables),
+        machine.btb.snapshot(),
+        machine.ibp.snapshot(),
+        machine.cache.snapshot(),
+        perf_digest,
+        tuple((context.phr.value, context.ras.snapshot(), context.domain)
+              for context in machine.threads),
+        machine.ibrs_enabled,
+    )
+
+
+def _provision_memory(fuzz_program: FuzzProgram) -> Memory:
+    memory = Memory()
+    for address, value in fuzz_program.initial_memory:
+        memory.write(address, 1, value)
+    return memory
+
+
+def run_arm(
+    fuzz_program: FuzzProgram,
+    engine: str,
+    trace: str = "full",
+    machine_mutator: Optional[MachineMutator] = None,
+    oracle_stride: int = DEFAULT_ORACLE_STRIDE,
+    machine: Optional[Machine] = None,
+) -> ArmDigest:
+    """Run one arm on a fresh (or supplied) machine and digest everything."""
+    if machine is None:
+        machine = Machine(fuzz_program.machine_config)
+        if machine_mutator is not None:
+            machine_mutator(machine)
+    oracle = InvariantOracle(machine, stride=oracle_stride)
+    commits: List[tuple] = []
+    thread = machine.threads[0]
+    perf = machine.perf
+
+    def observer(pc: int, kind, taken: bool) -> None:
+        commits.append((pc, kind.value, taken, thread.phr.value,
+                        perf.conditional_mispredictions))
+        oracle.after_commit(pc)
+
+    machine.branch_observer = observer
+    state = CpuState()
+    memory = _provision_memory(fuzz_program)
+    violation: Optional[str] = None
+    try:
+        result = machine.run(
+            fuzz_program.program,
+            state=state,
+            memory=memory,
+            max_instructions=fuzz_program.max_instructions,
+            engine=engine,
+            trace=trace,
+        )
+        oracle.final_check()
+    except InvariantViolation as exc:
+        violation = str(exc)
+        result = None
+    finally:
+        machine.branch_observer = None
+
+    if result is None:
+        return ArmDigest(
+            regs={}, flags=(), call_stack=(), memory={}, trace=(),
+            instructions=0, halted=False, perf=machine.perf.snapshot(),
+            phr_value=thread.phr.value,
+            fingerprint=machine_fingerprint(machine),
+            commits=tuple(commits), oracle_violation=violation,
+        )
+    flags = result.state.flags
+    return ArmDigest(
+        regs={reg: value for reg, value in result.state.regs.items()},
+        flags=(flags.zero, flags.sign, flags.carry),
+        call_stack=tuple(result.state.call_stack),
+        memory=memory.snapshot(),
+        trace=tuple(result.execution.trace),
+        instructions=result.execution.instructions,
+        halted=result.execution.halted,
+        perf=result.perf,
+        phr_value=result.phr_value,
+        fingerprint=machine_fingerprint(machine),
+        commits=tuple(commits),
+    )
+
+
+def _first_difference(label: str, a: tuple, b: tuple) -> str:
+    """Locate the first differing element of two sequences."""
+    for position, (left, right) in enumerate(zip(a, b)):
+        if left != right:
+            return (f"{label}[{position}]: {left!r} != {right!r} "
+                    f"(lengths {len(a)}/{len(b)})")
+    return f"{label} lengths differ: {len(a)} != {len(b)}"
+
+
+def _compare(arm: str, baseline: ArmDigest, candidate: ArmDigest,
+             compare_trace: bool = True) -> List[Divergence]:
+    """Field-by-field digest comparison with first-mismatch reporting."""
+    out: List[Divergence] = []
+
+    def check(kind: str, left, right, sequence: bool = False) -> None:
+        if left != right:
+            if sequence:
+                out.append(Divergence(arm, kind,
+                                      _first_difference(kind, left, right)))
+            else:
+                out.append(Divergence(arm, kind, f"{left!r} != {right!r}"))
+
+    for digest in (baseline, candidate):
+        if digest.oracle_violation:
+            out.append(Divergence(arm, "invariant", digest.oracle_violation))
+    if out:
+        return out
+
+    check("registers", baseline.regs, candidate.regs)
+    check("flags", baseline.flags, candidate.flags)
+    check("call-stack", baseline.call_stack, candidate.call_stack)
+    check("memory", baseline.memory, candidate.memory)
+    check("instructions", baseline.instructions, candidate.instructions)
+    check("halted", baseline.halted, candidate.halted)
+    check("perf", baseline.perf, candidate.perf)
+    check("phr", baseline.phr_value, candidate.phr_value)
+    check("commit-stream", baseline.commits, candidate.commits,
+          sequence=True)
+    if compare_trace:
+        check("trace", baseline.trace, candidate.trace, sequence=True)
+    if baseline.fingerprint != candidate.fingerprint:
+        names = ("cbp.base", "cbp.tables", "btb", "ibp", "cache", "perf",
+                 "threads", "ibrs")
+        for name, left, right in zip(names, baseline.fingerprint,
+                                     candidate.fingerprint):
+            if left != right:
+                out.append(Divergence(arm, f"machine.{name}",
+                                      f"{left!r} != {right!r}"))
+    return out
+
+
+def check_program(
+    fuzz_program: FuzzProgram,
+    machine_mutator: Optional[MachineMutator] = None,
+    oracle_stride: int = DEFAULT_ORACLE_STRIDE,
+) -> List[Divergence]:
+    """Run every arm for one program; return all divergences found."""
+    reference = run_arm(fuzz_program, engine="reference",
+                        oracle_stride=oracle_stride)
+    fast = run_arm(fuzz_program, engine="fast", trace="full",
+                   machine_mutator=machine_mutator,
+                   oracle_stride=oracle_stride)
+    divergences = _compare("fast-vs-reference", reference, fast)
+
+    for mode in ("branches", "none"):
+        arm = run_arm(fuzz_program, engine="fast", trace=mode,
+                      machine_mutator=machine_mutator,
+                      oracle_stride=oracle_stride)
+        name = f"trace-{mode}"
+        divergences += _compare(name, fast, arm, compare_trace=False)
+        if arm.oracle_violation is None:
+            if mode == "branches":
+                conditionals = tuple(r for r in fast.trace
+                                     if r.kind.value == "conditional")
+                if arm.trace != conditionals:
+                    divergences.append(Divergence(
+                        name, "trace",
+                        _first_difference("trace", conditionals, arm.trace)))
+            elif arm.trace:
+                divergences.append(Divergence(
+                    name, "trace",
+                    f"trace='none' materialised {len(arm.trace)} records"))
+
+    divergences += _check_snapshot_replay(fuzz_program, machine_mutator,
+                                          oracle_stride)
+    return divergences
+
+
+def _check_snapshot_replay(
+    fuzz_program: FuzzProgram,
+    machine_mutator: Optional[MachineMutator],
+    oracle_stride: int,
+) -> List[Divergence]:
+    """Train, checkpoint, replay twice around a restore; arms must match."""
+    machine = Machine(fuzz_program.machine_config)
+    if machine_mutator is not None:
+        machine_mutator(machine)
+    machine.run(fuzz_program.program,
+                memory=_provision_memory(fuzz_program),
+                max_instructions=fuzz_program.max_instructions,
+                trace="none")
+    snap = machine.snapshot()
+    first = run_arm(fuzz_program, engine="fast", trace="none",
+                    oracle_stride=oracle_stride, machine=machine)
+    machine.restore(snap)
+    second = run_arm(fuzz_program, engine="fast", trace="none",
+                     oracle_stride=oracle_stride, machine=machine)
+    return _compare("snapshot-replay", first, second, compare_trace=False)
+
+
+# ----------------------------------------------------------------------
+# the AES data-path twins
+# ----------------------------------------------------------------------
+
+def check_aes_data_paths(rng: DeterministicRng) -> List[Divergence]:
+    """One random AES block through the fast and reference data paths.
+
+    The control-flow skeleton is identical by construction; the arms must
+    agree on the ciphertext *and* on every microarchitectural observable
+    (trace, perf counters, predictor state) since the data paths also
+    share the memory-traffic contract (PyOp block I/O bypasses the cache
+    in both).
+    """
+    key = rng.bytes(rng.choice((16, 24, 32)))
+    plaintext = rng.bytes(16)
+    digests = {}
+    ciphertexts = {}
+    for data_path in ("fast", "reference"):
+        victim = AesVictim(key, data_path=data_path)
+        machine = Machine(RAPTOR_LAKE)
+        oracle = InvariantOracle(machine, stride=DEFAULT_ORACLE_STRIDE)
+        machine.branch_observer = oracle
+        memory = Memory()
+        victim.provision(memory, plaintext)
+        try:
+            result = machine.run(victim.program, memory=memory)
+            oracle.final_check()
+        except InvariantViolation as exc:
+            return [Divergence(f"aes-{data_path}", "invariant", str(exc))]
+        finally:
+            machine.branch_observer = None
+        ciphertexts[data_path] = victim.read_ciphertext(memory)
+        flags = result.state.flags
+        digests[data_path] = ArmDigest(
+            regs=dict(result.state.regs),
+            flags=(flags.zero, flags.sign, flags.carry),
+            call_stack=tuple(result.state.call_stack),
+            memory=memory.snapshot(),
+            trace=tuple(result.execution.trace),
+            instructions=result.execution.instructions,
+            halted=result.execution.halted,
+            perf=result.perf,
+            phr_value=result.phr_value,
+            fingerprint=machine_fingerprint(machine),
+            commits=(),
+        )
+    divergences = _compare("aes-data-path", digests["reference"],
+                           digests["fast"])
+    if ciphertexts["fast"] != ciphertexts["reference"]:
+        divergences.append(Divergence(
+            "aes-data-path", "ciphertext",
+            f"{ciphertexts['fast'].hex()} != "
+            f"{ciphertexts['reference'].hex()}"))
+    return divergences

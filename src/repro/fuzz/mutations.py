@@ -1,0 +1,51 @@
+"""Named machine mutators for fuzzer self-tests and corpus reproducers.
+
+A mutator deliberately perturbs one predictor update rule on the *fast*
+arms of the differential harness (the reference arm always runs clean).
+They exist to prove the fuzzer is not vacuously green: with a mutator
+installed the harness must report a divergence within a few programs,
+and the shrinker must reduce the trigger to a handful of instructions.
+
+Mutators are addressed by name so that persisted reproducers and the
+``--mutate`` CLI self-test mode stay picklable across worker processes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.cpu.machine import Machine
+
+
+def _pht_train_invert(machine: Machine) -> None:
+    """Invert the trained direction for branches whose PC bit 6 is set.
+
+    Prediction and misprediction accounting still observe the real
+    outcome; only the counter/allocation training is wrong -- the kind
+    of subtle update-rule divergence the fuzzer exists to surface.
+    """
+    machine.cbp.train_fault = lambda pc, taken: (not taken
+                                                if pc & 0x40 else taken)
+
+
+def _pht_train_stuck_taken(machine: Machine) -> None:
+    """Train every conditional branch as taken regardless of outcome."""
+    machine.cbp.train_fault = lambda pc, taken: True
+
+
+MUTATORS: Dict[str, Callable[[Machine], None]] = {
+    "pht-train-invert": _pht_train_invert,
+    "pht-train-stuck-taken": _pht_train_stuck_taken,
+}
+
+
+def get_mutator(name: Optional[str]) -> Optional[Callable[[Machine], None]]:
+    """Resolve a mutator name (``None``/``"none"`` -> no mutation)."""
+    if name is None or name == "none":
+        return None
+    try:
+        return MUTATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutator {name!r}; known: {sorted(MUTATORS)}"
+        ) from None

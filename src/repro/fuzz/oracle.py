@@ -1,0 +1,219 @@
+"""Structural predictor invariants, checked independently of twin diffs.
+
+The differential harness catches *divergence* between twins; it cannot
+catch a bug both twins share.  This oracle therefore asserts properties
+the hardware model must satisfy by construction, from the paper's
+reverse-engineered structure alone:
+
+* the PHR never exceeds its ``2 * capacity``-bit width (Section 2.2.1);
+* every base-predictor and tagged-table counter stays inside its n-bit
+  saturating range (Observation 2: n = 3), with bookkeeping (`_populated`)
+  matching the live entries;
+* tagged sets respect associativity, hold no duplicate tags, and keep
+  useful bits inside the 2-bit TAGE range;
+* the RAS live count matches its occupied slots and never leaves
+  ``[0, depth]``;
+* perf counters stay mutually consistent (mispredictions never exceed
+  executions, per-PC tallies sum to the globals, RAS underflows are a
+  subset of both returns and indirect mispredictions).
+
+Cost discipline: :func:`check_fast_invariants` is O(threads) and runs
+after **every** committed branch; :func:`check_structural_invariants`
+walks the populated predictor state and runs every ``stride`` commits
+plus once at the end of each program (``deep=True`` additionally scans
+the full base-predictor array for bookkeeping strays).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cpu.machine import Machine
+
+
+class InvariantViolation(AssertionError):
+    """A structural predictor invariant failed."""
+
+
+def check_fast_invariants(machine: Machine) -> List[str]:
+    """O(1)-per-component invariants, cheap enough for every commit."""
+    violations: List[str] = []
+    for context in machine.threads:
+        phr = context.phr
+        if phr.value >> (2 * phr.capacity):
+            violations.append(
+                f"thread {context.thread_id}: PHR value {phr.value:#x} "
+                f"exceeds {phr.capacity} doublets"
+            )
+        ras = context.ras
+        live_slots = sum(1 for entry in ras._entries if entry is not None)
+        if ras._live != live_slots:
+            violations.append(
+                f"thread {context.thread_id}: RAS live count {ras._live} "
+                f"!= occupied slots {live_slots}"
+            )
+        if not 0 <= ras._live <= ras.depth:
+            violations.append(
+                f"thread {context.thread_id}: RAS live count {ras._live} "
+                f"outside [0, {ras.depth}]"
+            )
+        if not 0 <= ras._top < ras.depth:
+            violations.append(
+                f"thread {context.thread_id}: RAS top {ras._top} "
+                f"outside [0, {ras.depth})"
+            )
+    perf = machine.perf
+    if perf.conditional_mispredictions > perf.conditional_branches:
+        violations.append(
+            f"mispredictions {perf.conditional_mispredictions} exceed "
+            f"conditional branches {perf.conditional_branches}"
+        )
+    if perf.ras_underflows > perf.returns:
+        violations.append(
+            f"RAS underflows {perf.ras_underflows} exceed returns "
+            f"{perf.returns}"
+        )
+    if perf.ras_underflows > perf.indirect_mispredictions:
+        violations.append(
+            f"RAS underflows {perf.ras_underflows} exceed indirect "
+            f"mispredictions {perf.indirect_mispredictions}"
+        )
+    for name in ("conditional_branches", "taken_branches", "returns",
+                 "indirect_branches", "instructions",
+                 "transient_instructions", "speculation_windows"):
+        if getattr(perf, name) < 0:
+            violations.append(f"perf counter {name} went negative")
+    return violations
+
+
+def check_structural_invariants(machine: Machine,
+                                deep: bool = False) -> List[str]:
+    """Walk populated predictor state; ``deep`` adds full-array scans."""
+    violations = check_fast_invariants(machine)
+    cbp = machine.cbp
+
+    base = cbp.base
+    maximum = (1 << base.counter_bits) - 1
+    for idx in base._populated:
+        counter = base._counters[idx]
+        if counter is None:
+            violations.append(f"base index {idx} in _populated but empty")
+        elif not 0 <= counter.value <= maximum:
+            violations.append(
+                f"base counter {idx} value {counter.value} outside "
+                f"[0, {maximum}]"
+            )
+    if deep:
+        live = {idx for idx, counter in enumerate(base._counters)
+                if counter is not None}
+        if live != base._populated:
+            violations.append(
+                f"base _populated bookkeeping drifted: "
+                f"{len(live ^ base._populated)} stray indices"
+            )
+
+    for number, table in enumerate(cbp.tables, start=1):
+        counter_max = (1 << table.counter_bits) - 1
+        tag_limit = 1 << table.tag_bits
+        nonempty = set()
+        for index, ways in enumerate(table._sets):
+            if not ways:
+                continue
+            nonempty.add(index)
+            if len(ways) > table.ways:
+                violations.append(
+                    f"table {number} set {index} holds {len(ways)} ways "
+                    f"(associativity {table.ways})"
+                )
+            tags = [entry.tag for entry in ways]
+            if len(tags) != len(set(tags)):
+                violations.append(
+                    f"table {number} set {index} holds duplicate tags"
+                )
+            for entry in ways:
+                if not 0 <= entry.tag < tag_limit:
+                    violations.append(
+                        f"table {number} set {index} tag {entry.tag:#x} "
+                        f"wider than {table.tag_bits} bits"
+                    )
+                if not 0 <= entry.counter.value <= counter_max:
+                    violations.append(
+                        f"table {number} set {index} counter "
+                        f"{entry.counter.value} outside [0, {counter_max}]"
+                    )
+                if not 0 <= entry.useful <= 3:
+                    violations.append(
+                        f"table {number} set {index} useful bit "
+                        f"{entry.useful} outside [0, 3]"
+                    )
+        if nonempty != table._populated:
+            violations.append(
+                f"table {number} _populated bookkeeping drifted: "
+                f"{len(nonempty ^ table._populated)} stray sets"
+            )
+
+    perf = machine.perf
+    executed = sum(perf.per_pc_executions.values())
+    if executed != perf.conditional_branches:
+        violations.append(
+            f"per-PC executions sum {executed} != conditional branches "
+            f"{perf.conditional_branches}"
+        )
+    mispredicted = sum(perf.per_pc_mispredictions.values())
+    if mispredicted != perf.conditional_mispredictions:
+        violations.append(
+            f"per-PC mispredictions sum {mispredicted} != total "
+            f"{perf.conditional_mispredictions}"
+        )
+    for pc, count in perf.per_pc_mispredictions.items():
+        if count > perf.per_pc_executions.get(pc, 0):
+            violations.append(
+                f"pc {pc:#x} mispredicted {count} times but executed "
+                f"{perf.per_pc_executions.get(pc, 0)}"
+            )
+    underflows = sum(context.ras.underflows for context in machine.threads)
+    if perf.ras_underflows > underflows:
+        violations.append(
+            f"perf counts {perf.ras_underflows} RAS underflows but the "
+            f"stacks only saw {underflows}"
+        )
+    return violations
+
+
+class InvariantOracle:
+    """A per-commit hook enforcing the invariants during a run.
+
+    Install via :attr:`Machine.branch_observer` (or compose into an
+    existing observer).  Fast invariants run on every commit; the
+    structural walk every ``stride`` commits (0 disables the periodic
+    walk).  Call :meth:`final_check` after the run for the deep scan.
+    """
+
+    def __init__(self, machine: Machine, stride: int = 32):
+        if stride < 0:
+            raise ValueError(f"stride must be >= 0, got {stride}")
+        self.machine = machine
+        self.stride = stride
+        self.commits = 0
+
+    def after_commit(self, pc: int) -> None:
+        self.commits += 1
+        violations = check_fast_invariants(self.machine)
+        if not violations and self.stride and self.commits % self.stride == 0:
+            violations = check_structural_invariants(self.machine)
+        if violations:
+            raise InvariantViolation(
+                f"after commit #{self.commits} (pc {pc:#x}): "
+                + "; ".join(violations)
+            )
+
+    def __call__(self, pc: int, kind, taken: bool) -> None:
+        self.after_commit(pc)
+
+    def final_check(self) -> None:
+        violations = check_structural_invariants(self.machine, deep=True)
+        if violations:
+            raise InvariantViolation(
+                f"after run ({self.commits} commits): "
+                + "; ".join(violations)
+            )

@@ -1,0 +1,115 @@
+"""Delta-debugging shrinker for failing fuzz programs.
+
+Shrinking happens at the *shape* level, never the raw instruction list:
+shapes are self-contained fragments, so any subset of them still
+assembles into a well-formed, terminating program, which keeps the
+classic ddmin algorithm sound without any repair logic.  A final pass
+then minimises *within* the surviving shapes (fewer loop iterations,
+shallower call chains, shorter jump runs) by attempting reduced copies
+while the failure persists.
+
+The predicate re-runs the full differential harness, so a shrunk
+reproducer fails for the same observable reason the original did --
+whatever twin pair or invariant first diverged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Sequence, Tuple
+
+from repro.fuzz.generator import (
+    CallChainShape,
+    FuzzProgram,
+    JumpChainShape,
+    LoopShape,
+    Shape,
+    with_shapes,
+)
+
+#: Predicate: does this candidate program still fail?
+FailsPredicate = Callable[[FuzzProgram], bool]
+
+
+def ddmin_positions(
+    positions: Sequence[int],
+    fails: Callable[[Tuple[int, ...]], bool],
+) -> Tuple[int, ...]:
+    """Classic ddmin over a position list.
+
+    ``fails(subset)`` must be deterministic; ``positions`` itself must
+    fail.  Returns a (locally) 1-minimal failing subset: removing any
+    single remaining element makes the failure disappear.
+    """
+    current = tuple(positions)
+    granularity = 2
+    while len(current) >= 2:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk:]
+            if candidate and fails(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                start = 0
+                continue
+            start += chunk
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current
+
+
+def _reduced_variants(shape: Shape) -> List[Shape]:
+    """Strictly smaller copies of ``shape``, most aggressive first."""
+    variants: List[Shape] = []
+    if isinstance(shape, LoopShape) and shape.iterations > 1:
+        variants.append(replace(shape, iterations=1))
+        if shape.iterations > 2:
+            variants.append(replace(shape, iterations=shape.iterations // 2))
+    if isinstance(shape, CallChainShape) and shape.depth > 1:
+        variants.append(replace(shape, depth=1))
+        if shape.depth > 2:
+            variants.append(replace(shape, depth=shape.depth // 2))
+    if isinstance(shape, JumpChainShape) and shape.count > 1:
+        variants.append(replace(shape, count=1))
+    return variants
+
+
+def shrink(fuzz_program: FuzzProgram,
+           fails: FailsPredicate) -> FuzzProgram:
+    """Shrink a failing program to a (locally) minimal reproducer.
+
+    ``fails(candidate)`` re-runs the harness; ``fuzz_program`` itself
+    must satisfy it.  The result carries its surviving shape positions
+    in :attr:`FuzzProgram.kept` so it can be rebuilt from
+    ``(seed, index, kept, profile)`` alone -- within-shape reductions
+    excepted, which the corpus writer embeds explicitly.
+    """
+    positions = (tuple(fuzz_program.kept)
+                 if fuzz_program.kept is not None
+                 else tuple(range(len(fuzz_program.shapes))))
+    by_position = dict(zip(positions, fuzz_program.shapes))
+
+    def fails_subset(subset: Tuple[int, ...]) -> bool:
+        candidate = with_shapes(
+            fuzz_program, [by_position[p] for p in subset], subset)
+        return fails(candidate)
+
+    minimal = ddmin_positions(positions, fails_subset)
+    shapes = [by_position[p] for p in minimal]
+
+    # Within-shape minimisation: accept any reduced copy that still fails.
+    for slot, shape in enumerate(shapes):
+        for variant in _reduced_variants(shape):
+            candidate_shapes = list(shapes)
+            candidate_shapes[slot] = variant
+            candidate = with_shapes(fuzz_program, candidate_shapes, minimal)
+            if fails(candidate):
+                shapes = candidate_shapes
+                break
+
+    return with_shapes(fuzz_program, shapes, minimal)

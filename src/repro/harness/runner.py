@@ -50,17 +50,48 @@ DEFAULT_SEED = 0x7A1A15
 WORKERS_ENV = "REPRO_WORKERS"
 
 
+def _parse_workers(value, source: str) -> int:
+    """Strictly validate a worker count: a positive integer, nothing else.
+
+    Rejects bools, floats (even integral ones -- ``2.0`` workers is a
+    caller bug, not a count), and unparsable strings, naming the value
+    and where it came from so CLI/env typos surface immediately.
+    """
+    if isinstance(value, bool):
+        raise ValueError(
+            f"worker count from {source} must be a positive integer, "
+            f"got {value!r}"
+        )
+    if isinstance(value, str):
+        try:
+            value = int(value.strip())
+        except ValueError:
+            raise ValueError(
+                f"worker count from {source} must be a positive integer, "
+                f"got {value!r}"
+            ) from None
+    elif not isinstance(value, int):
+        raise ValueError(
+            f"worker count from {source} must be a positive integer, "
+            f"got {value!r} ({type(value).__name__})"
+        )
+    if value < 1:
+        raise ValueError(
+            f"worker count from {source} must be >= 1, got {value}"
+        )
+    return value
+
+
 def resolve_workers(explicit: Optional[int] = None) -> int:
     """The effective worker count: explicit argument, else ``REPRO_WORKERS``,
-    else 1 (serial)."""
+    else 1 (serial).  Non-positive or non-integer values raise
+    :class:`ValueError` naming the offending source."""
     if explicit is not None:
-        workers = int(explicit)
-    else:
-        raw = os.environ.get(WORKERS_ENV, "").strip()
-        workers = int(raw) if raw else 1
-    if workers < 1:
-        raise ValueError(f"worker count must be >= 1, got {workers}")
-    return workers
+        return _parse_workers(explicit, "argument")
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    return _parse_workers(raw, WORKERS_ENV)
 
 
 def trial_rng(seed: int, index: int) -> DeterministicRng:

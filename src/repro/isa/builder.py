@@ -4,6 +4,17 @@ The builder is the ergonomic face of the ISA: victim and attacker code in
 the case studies is written against it.  Emit methods append instructions;
 ``at``/``align`` control placement; ``build`` assembles to a
 :class:`~repro.isa.program.Program`.
+
+Layout contract: an instruction's encoded size never depends on its
+operand *values* -- only on its type.  Multi-pass assemblers (the fuzz
+generator patches label addresses into ``MovImm`` operands on a second
+pass) rely on this to reproduce pass one's layout exactly; changing it
+means revisiting :func:`repro.fuzz.generator.build_program`.
+
+Two placement caveats ``align``/``at`` users must respect: alignment
+gaps contain no instructions, so control flow must *jump* over them
+(falling through raises ``ProgramError`` at the first gap address), and
+``align`` applies to the next emitted instruction only.
 """
 
 from __future__ import annotations

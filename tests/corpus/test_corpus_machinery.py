@@ -1,0 +1,63 @@
+"""Sentinel for the corpus pipeline (hand-written, not an emitted file).
+
+Keeps ``tests/corpus/`` collectable before the first real reproducer
+lands and pins the emit -> regenerate -> replay loop: a reproducer
+written for a *clean* program must parse, rebuild the identical program
+from its embedded identity, and pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import diff, generator
+from repro.fuzz.corpus import FailureCase, reproducer_source, write_reproducer
+
+pytestmark = [pytest.mark.fuzz]
+
+
+def test_emitted_reproducer_roundtrips(tmp_path):
+    fp = generator.generate_program(0, 0, profile="smoke")
+    case = FailureCase(fuzz_program=fp, divergences=(), mutator=None)
+    path = write_reproducer(case, directory=tmp_path)
+
+    source = path.read_text()
+    assert f"seed={fp.seed}" in source
+    assert "pytest.mark.fuzz" in source
+
+    # The file must be valid Python and self-describing: executing its
+    # test body is equivalent to re-checking the regenerated program.
+    namespace = {"__name__": f"corpus_sentinel_{id(tmp_path)}",
+                 "__file__": str(path)}
+    exec(compile(source, str(path), "exec"), namespace)
+    test_functions = [value for name, value in namespace.items()
+                      if name.startswith("test_")]
+    assert len(test_functions) == 1
+    test_functions[0]()  # clean program: must not raise
+
+    rebuilt = namespace["generator"].with_shapes(
+        generator.generate_program(0, 0, profile="smoke"),
+        namespace["SHAPES"], namespace["KEPT"])
+    assert rebuilt.shapes == fp.shapes
+
+
+def test_fingerprint_stable_and_distinct():
+    fp = generator.generate_program(0, 0, profile="smoke")
+    other = generator.generate_program(0, 1, profile="smoke")
+    a = FailureCase(fuzz_program=fp, divergences=())
+    b = FailureCase(fuzz_program=fp, divergences=())
+    c = FailureCase(fuzz_program=other, divergences=())
+    assert a.fingerprint == b.fingerprint
+    assert a.fingerprint != c.fingerprint
+    assert a.fingerprint != FailureCase(
+        fuzz_program=fp, divergences=(), mutator="pht-train-invert"
+    ).fingerprint
+
+
+def test_source_embeds_divergence_summary():
+    fp = generator.generate_program(0, 2, profile="smoke")
+    divergence = diff.Divergence("fast-vs-reference", "perf", "1 != 2")
+    case = FailureCase(fuzz_program=fp, divergences=(divergence,))
+    source = reproducer_source(case)
+    assert "[fast-vs-reference] perf: 1 != 2" in source
+    assert "0x00400000" in source  # the disassembly listing

@@ -1,0 +1,169 @@
+"""The fuzz program generator: determinism, termination, rebuildability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu import Machine
+from repro.fuzz import generator
+from repro.fuzz.generator import (
+    CallChainShape,
+    DiamondShape,
+    IndirectShape,
+    LoopShape,
+    PROFILES,
+    generate_program,
+    program_rng,
+    rebuild,
+    with_shapes,
+)
+from repro.isa.memory import Memory
+
+
+class TestDeterminism:
+    def test_same_identity_same_program(self):
+        first = generate_program(3, 7)
+        second = generate_program(3, 7)
+        assert first.shapes == second.shapes
+        assert first.machine_name == second.machine_name
+        assert first.initial_memory == second.initial_memory
+        assert [(a, str(i)) for a, i in first.program.items()] == \
+               [(a, str(i)) for a, i in second.program.items()]
+
+    def test_programs_decorrelated_by_index(self):
+        shapes = {generate_program(0, index).shapes for index in range(8)}
+        assert len(shapes) == 8
+
+    def test_index_streams_independent_of_draw_order(self):
+        # Drawing program 3 must not perturb program 4 (fork semantics).
+        isolated = generate_program(0, 4).shapes
+        _ = generate_program(0, 3)
+        assert generate_program(0, 4).shapes == isolated
+
+    def test_rng_stream_is_forked(self):
+        a = program_rng(5, 0).bytes(8)
+        b = program_rng(5, 1).bytes(8)
+        assert a != b
+
+
+class TestTermination:
+    """Shaped programs halt on their own, well under the dynamic budget."""
+
+    @pytest.mark.parametrize("index", range(12))
+    def test_programs_halt(self, index):
+        fp = generate_program(1, index, profile="smoke")
+        machine = Machine(fp.machine_config)
+        memory = Memory()
+        for address, value in fp.initial_memory:
+            memory.write(address, 1, value)
+        result = machine.run(fp.program, memory=memory,
+                             max_instructions=fp.max_instructions,
+                             trace="none")
+        assert result.execution.halted
+        assert result.execution.instructions < fp.max_instructions
+
+
+class TestCoverage:
+    """The stream exercises every branch kind the predictors model."""
+
+    def test_shape_kinds_all_appear(self):
+        seen = set()
+        for index in range(40):
+            fp = generate_program(2, index)
+            seen |= {type(shape).__name__ for shape in fp.shapes}
+        assert seen == {
+            "AluShape", "DiamondShape", "LoopShape", "MemShape",
+            "SpecShape", "CallChainShape", "IndirectShape",
+            "JumpChainShape",
+        }
+
+    def test_branch_kinds_all_committed(self):
+        kinds = set()
+        for index in range(20):
+            fp = generate_program(2, index)
+            machine = Machine(fp.machine_config)
+            machine.branch_observer = \
+                lambda pc, kind, taken: kinds.add(kind.value)
+            memory = Memory()
+            for address, value in fp.initial_memory:
+                memory.write(address, 1, value)
+            try:
+                machine.run(fp.program, memory=memory,
+                            max_instructions=fp.max_instructions,
+                            trace="none")
+            finally:
+                machine.branch_observer = None
+        assert {"conditional", "jump", "indirect", "call", "ret"} <= kinds
+
+    def test_call_chains_can_exceed_ras_depth(self):
+        deep = [s for index in range(60)
+                for s in generate_program(4, index).shapes
+                if isinstance(s, CallChainShape) and s.depth > 16]
+        assert deep, "no call chain ever exceeded the 16-entry RAS"
+
+
+class TestRebuild:
+    def test_rebuild_full_matches_generate(self):
+        original = generate_program(6, 2)
+        again = rebuild(6, 2)
+        assert again.shapes == original.shapes
+        assert again.kept is None
+
+    def test_rebuild_subset_keeps_layout_namespaces(self):
+        full = generate_program(6, 3)
+        keep = tuple(range(0, len(full.shapes), 2))
+        subset = rebuild(6, 3, keep=keep)
+        assert subset.kept == keep
+        assert subset.shapes == tuple(full.shapes[p] for p in keep)
+        # Labels keep their original position namespaces.
+        for position in keep:
+            prefix = f"s{position}_"
+            has_labels = any(name.startswith(prefix)
+                             for name in full.program.labels)
+            if has_labels:
+                assert any(name.startswith(prefix)
+                           for name in subset.program.labels)
+
+    @pytest.mark.parametrize("index", range(6))
+    def test_any_subset_still_runs(self, index):
+        full = generate_program(7, index, profile="smoke")
+        keep = tuple(range(1, len(full.shapes)))  # drop the first shape
+        subset = rebuild(7, index, keep=keep, profile="smoke")
+        machine = Machine(subset.machine_config)
+        result = machine.run(subset.program, trace="none",
+                             max_instructions=subset.max_instructions)
+        assert result.execution.halted
+
+    def test_with_shapes_accepts_reduced_copies(self):
+        full = generate_program(8, 5, profile="smoke")
+        loops = [(pos, s) for pos, s in enumerate(full.shapes)
+                 if isinstance(s, LoopShape)]
+        assert loops, "seed pinned to a program containing a loop"
+        position, loop = loops[0]
+        from dataclasses import replace
+        reduced = with_shapes(full, [replace(loop, iterations=1)],
+                              [position])
+        machine = Machine(reduced.machine_config)
+        result = machine.run(reduced.program, trace="none",
+                             max_instructions=reduced.max_instructions)
+        assert result.execution.halted
+
+
+class TestProfiles:
+    def test_smoke_profile_is_smaller(self):
+        smoke = PROFILES["smoke"]
+        default = PROFILES["default"]
+        assert smoke.max_shapes < default.max_shapes
+        assert smoke.max_loop_iterations <= default.max_loop_iterations
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            generate_program(0, 0, profile="nope")
+
+    def test_indirect_selector_in_range(self):
+        for index in range(40):
+            for shape in generate_program(9, index).shapes:
+                if isinstance(shape, IndirectShape):
+                    assert 0 <= shape.selector < shape.nways
+                if isinstance(shape, DiamondShape):
+                    assert shape.align in (4, 16, 64, 256)

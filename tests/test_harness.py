@@ -96,6 +96,35 @@ class TestResolveWorkers:
         with pytest.raises(ValueError):
             resolve_workers(0)
 
+    @pytest.mark.parametrize("bad", [0, -1, -8])
+    def test_rejects_nonpositive_values(self, bad):
+        with pytest.raises(ValueError, match="must be >= 1"):
+            resolve_workers(bad)
+
+    @pytest.mark.parametrize("bad", [2.0, 1.5, True, False, [4]])
+    def test_rejects_non_integers(self, bad):
+        with pytest.raises(ValueError, match="positive integer"):
+            resolve_workers(bad)
+
+    @pytest.mark.parametrize("raw", ["zero", "4.0", "2x", ""])
+    def test_rejects_unparsable_strings(self, raw):
+        # An empty explicit string is not "unset" -- only the env var
+        # treats empty as absent.
+        with pytest.raises(ValueError, match="positive integer"):
+            resolve_workers(raw)
+
+    def test_accepts_numeric_strings(self):
+        assert resolve_workers("6") == 6
+        assert resolve_workers(" 2 ") == 2
+
+    def test_env_errors_name_the_variable(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ValueError, match=WORKERS_ENV):
+            resolve_workers()
+        monkeypatch.setenv(WORKERS_ENV, "0")
+        with pytest.raises(ValueError, match=WORKERS_ENV):
+            resolve_workers()
+
 
 class TestSerialPath:
     def test_values_ordered_by_index(self):

@@ -4,6 +4,8 @@ These use a direct (non-simulated) reduced-round oracle so they exercise
 the mathematics independently of the microarchitectural pipeline.
 """
 
+import pytest
+
 from repro.aes.core import reduced_round_ciphertext
 from repro.aes.keyrecovery import (
     affected_output_bytes,
@@ -59,6 +61,7 @@ class TestKeyByteRecovery:
         assert recover_key_byte(oracle, base, 7) == 0
 
 
+@pytest.mark.slow
 class TestFullKeyRecovery:
     def test_recovers_full_key(self):
         key = DeterministicRng(6).bytes(16)

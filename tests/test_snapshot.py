@@ -214,6 +214,63 @@ class TestComponentCoverage:
         assert perf.conditional_branches == counts
 
 
+class TestMidRunSnapshotReplay:
+    """Checkpoints taken *mid-run* restore to an identical replay.
+
+    Regression guard for the trial-harness usage pattern: a machine is
+    trained partway through a workload, checkpointed, and every trial
+    must replay bit-identically from the restore -- specifically with
+    the ``fast`` engine and ``trace='none'``, the configuration the
+    parallel harness actually runs (where a stale predecode or a trace
+    buffer leaking through restore() would go unnoticed).
+    """
+
+    def _run(self, machine, program, trace="none"):
+        result = machine.run(program, state=CpuState(), memory=Memory(),
+                             engine="fast", trace=trace)
+        return ((dict(result.state.regs), result.execution.instructions,
+                 result.perf), _fingerprint(machine))
+
+    def test_fast_engine_trace_none_replays_identically(self, machine):
+        program, _ = build_branchy_victim(seed=0b0110101001)
+        self._run(machine, program)  # train partway through the workload
+        snap = machine.snapshot()
+        first = self._run(machine, program)
+        machine.restore(snap)
+        second = self._run(machine, program)
+        assert first == second
+
+    def test_snapshot_captured_at_commit_point(self, machine):
+        """A snapshot taken from inside the run (via the per-commit
+        observation hook) restores to the same forward behavior."""
+        program, _ = build_branchy_victim(seed=0b1110001101)
+        probe = build_counted_loop(5)
+        captured = {}
+
+        def observer(pc, kind, taken):
+            if "snap" not in captured and len(captured.setdefault(
+                    "commits", [])) >= 10:
+                captured["snap"] = machine.snapshot()
+                captured["fingerprint"] = _fingerprint(machine)
+            else:
+                captured["commits"].append(pc)
+
+        machine.branch_observer = observer
+        try:
+            machine.run(program, state=CpuState(), memory=Memory(),
+                        engine="fast", trace="none")
+        finally:
+            machine.branch_observer = None
+        assert "snap" in captured, "workload too short to hit commit #10"
+
+        machine.restore(captured["snap"])
+        assert _fingerprint(machine) == captured["fingerprint"]
+        first = self._run(machine, probe)
+        machine.restore(captured["snap"])
+        second = self._run(machine, probe)
+        assert first == second
+
+
 class TestLeakCheckpointEquivalence:
     """Restoring a checkpoint equals full re-provisioning, trial for trial."""
 
