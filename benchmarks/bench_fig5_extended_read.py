@@ -9,16 +9,28 @@ there are more than 194 consecutive unconditional taken branches."
 The sweep here runs 40 victims spanning the same 194..1000 range (scale
 recorded in EXPERIMENTS.md), plus the single-doublet Figure 5 signature
 and the consecutive-unconditional failure mode.
+
+The replay experiment reads one history with order-independent probes
+(``reset_between_probes=True``) under the two replay-engine policies:
+``reuse='checkpoint'`` restores the primed machine per candidate probe,
+``reuse='none'`` re-establishes it from scratch (prime cascade plus a
+full history refresh) per probe.  Bit-identical results, >=3x floor in
+quick mode.
 """
+
+import time
 
 from repro.cpu import Machine, RAPTOR_LAKE
 from repro.cpu.phr import PathHistoryRegister
 from repro.primitives import ExtendedPhrReader, TakenBranch
 from repro.utils.rng import DeterministicRng
 
-from conftest import print_table
+from conftest import BENCH_QUICK, operation_count, print_table
 
 SWEEP_CASES = 40
+
+#: Taken-branch count for the replay-policy twin read.
+REPLAY_COUNT = operation_count(240, 206)
 
 
 def random_branches(count, seed, conditional_probability=0.8):
@@ -103,3 +115,60 @@ def test_fig5_extended_read(benchmark):
     assert not failure_complete
     benchmark.extra_info["sweep_success"] = successes
     benchmark.extra_info["probes"] = probes
+
+
+# ----------------------------------------------------------------------
+# prefix-replay speedup (ISSUE 5 tentpole gate)
+# ----------------------------------------------------------------------
+
+def run_replay_arms():
+    branches = random_branches(REPLAY_COUNT, seed=7)
+    arms = {}
+    for reuse in ("checkpoint", "none"):
+        reader = ExtendedPhrReader(Machine(RAPTOR_LAKE),
+                                   reset_between_probes=True, reuse=reuse)
+        start = time.perf_counter()
+        result = reader.read(branches)
+        arms[reuse] = {
+            "elapsed": time.perf_counter() - start,
+            "doublets": result.doublets,
+            "complete": result.complete,
+            "probes": result.probes,
+        }
+    return arms, truth_doublets(branches)
+
+
+def test_fig5_extended_read_replay_speedup(benchmark):
+    arms, truth = benchmark.pedantic(run_replay_arms, rounds=1, iterations=1)
+    checkpoint, none = arms["checkpoint"], arms["none"]
+    speedup = none["elapsed"] / checkpoint["elapsed"]
+
+    print_table(
+        f"Section 5 -- Extended Read prefix replay ({REPLAY_COUNT} taken "
+        f"branches, {'quick' if BENCH_QUICK else 'full'} mode)",
+        ["reuse policy", "time", "probes", "speedup"],
+        [
+            ["none (rebuild state per probe)", f"{none['elapsed']:.3f}s",
+             none["probes"], "1.00x"],
+            ["checkpoint (restore per probe)",
+             f"{checkpoint['elapsed']:.3f}s", checkpoint["probes"],
+             f"{speedup:.2f}x"],
+        ],
+    )
+
+    # Bit-identical twins, and both correct against the ground truth.
+    assert checkpoint["complete"] and none["complete"]
+    assert checkpoint["doublets"] == none["doublets"] == truth
+    assert checkpoint["probes"] == none["probes"]
+
+    if BENCH_QUICK:
+        assert speedup >= 3.0, (
+            f"replay-backed extended read only {speedup:.2f}x "
+            f"over reuse='none'")
+
+    benchmark.extra_info.update({
+        "replay_speedup": round(speedup, 2),
+        "checkpoint_s": round(checkpoint["elapsed"], 4),
+        "none_s": round(none["elapsed"], 4),
+        "taken_branches": REPLAY_COUNT,
+    })

@@ -18,9 +18,7 @@ measured speedups land in ``benchmarks/results/harness_trials.json`` (a
 trajectory: one record per run, appended).
 """
 
-import json
 import time
-from pathlib import Path
 
 from repro.aes import AesAttackSpec, setup_attack
 from repro.aes.trials import success_trial
@@ -32,7 +30,6 @@ from conftest import BENCH_QUICK, operation_count, print_table
 TRIALS = operation_count(200, 40)
 PARALLEL_WORKERS = 4
 SEED = 9
-RESULTS_PATH = Path(__file__).parent / "results" / "harness_trials.json"
 
 
 def run_arms():
@@ -72,15 +69,6 @@ def run_arms():
     }
 
 
-def _append_trajectory(record: dict) -> None:
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    trajectory = []
-    if RESULTS_PATH.exists():
-        trajectory = json.loads(RESULTS_PATH.read_text())
-    trajectory.append(record)
-    RESULTS_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
-
-
 def test_harness_trial_speedups(benchmark):
     results = benchmark.pedantic(run_arms, rounds=1, iterations=1)
     snapshot_speedup = results["serial_s"] / results["snapshot_s"]
@@ -114,9 +102,9 @@ def test_harness_trial_speedups(benchmark):
         )
         assert snapshot_speedup >= 2.0
 
-    _append_trajectory({
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "quick": BENCH_QUICK,
+    # The conftest results writer turns this into the next record of
+    # ``benchmarks/results/harness_trials.json``.
+    benchmark.extra_info.update({
         "trials": TRIALS,
         "workers": PARALLEL_WORKERS,
         "pool_ran": results["parallel_ran_pool"],
@@ -126,5 +114,3 @@ def test_harness_trial_speedups(benchmark):
         "snapshot_speedup": round(snapshot_speedup, 2),
         "parallel_speedup": round(parallel_speedup, 2),
     })
-    benchmark.extra_info["snapshot_speedup"] = snapshot_speedup
-    benchmark.extra_info["parallel_speedup"] = parallel_speedup

@@ -9,7 +9,18 @@ leading to the observed PHR value."
 The sweep covers loop trip counts 2..64, nested loops of several shapes,
 random diamond chains, and call-heavy CFGs; every case must yield the
 executed path (and, per the paper, usually exactly one path).
+
+The memoization experiment measures the search's dead-state
+transposition table on its worst case: a chain of footprint-colliding
+diamonds (both arms of every diamond fold the identical doublets into
+the history, so backward states merge at each split) driven by an
+unsatisfiable history.  Without the memo the walk re-explores every
+merged subtree once per arriving route -- ``O(2^N)`` states for ``N``
+diamonds; with it, each subtree is explored once and re-arrivals are
+pruned.
 """
+
+import time
 
 from repro.cpu import Machine, RAPTOR_LAKE
 from repro.cpu.phr import replay_taken_branches
@@ -18,7 +29,7 @@ from repro.pathfinder import ControlFlowGraph, PathSearch
 from repro.primitives import VictimHandle
 from repro.utils.rng import DeterministicRng
 
-from conftest import print_table
+from conftest import BENCH_QUICK, operation_count, print_table
 
 
 def counted_loop(iterations):
@@ -133,3 +144,143 @@ def test_sec6_pathfinder_microbenchmarks(benchmark):
     assert unique_total >= total * 0.8
     benchmark.extra_info["cases"] = total
     benchmark.extra_info["unique"] = unique_total
+
+
+# ----------------------------------------------------------------------
+# dead-state transposition table (ISSUE 5 tentpole gate)
+# ----------------------------------------------------------------------
+
+MEMO_DIAMONDS = operation_count(13, 10)
+MEMO_BASE = 0x440000
+MEMO_STRIDE = 0x1000
+
+
+def collision_chain(diamonds, seed):
+    """A chain of diamonds whose two arms fold to identical histories.
+
+    Per diamond the three footprint collisions exploit the XOR pairs of
+    the Figure 2 layout (f5 = B2^T4, f0 = B4^T1, f6 = B1^T3 together
+    with f4 = B11^T5): the taken arm's addresses and the fall-through
+    arm's addresses differ only in bits a matching target-bit difference
+    cancels.  Backward search states therefore merge at every diamond
+    entry -- the transposition table's worst (best) case.
+    """
+    from repro.cpu.footprint import branch_footprint
+
+    b = ProgramBuilder("collision_chain", base=MEMO_BASE)
+    for k in range(diamonds):
+        p = MEMO_BASE + k * MEMO_STRIDE
+        if k:
+            b.at(p)
+        b.label(f"pad_{k}")        # jmp target of the previous join_a
+        b.nop(10)
+        b.label(f"body_{k}")       # at p+0x28; target of previous join_b
+        b.mov_imm("rb", (seed >> k) & 1)
+        b.cmp("rb", imm=1)
+        b.jeq(f"arm_a_{k}")        # at p+0x30; fall-through jmp at p+0x34
+        b.jmp(f"arm_b_{k}")
+        b.at(p + 0x40)
+        b.label(f"arm_a_{k}")
+        b.jmp(f"join_a_{k}")
+        b.at(p + 0x50)             # +0x10: B4, cancelled by join_b's T1
+        b.label(f"arm_b_{k}")
+        b.jmp(f"join_b_{k}")
+        last = k + 1 == diamonds
+        b.at(p + 0x80)
+        b.label(f"join_a_{k}")
+        b.jmp("exit_pad" if last else f"pad_{k + 1}")
+        b.at(p + 0x882)            # +0x802: B1+B11, cancelled by T3+T5
+        b.label(f"join_b_{k}")
+        b.jmp("exit_body" if last else f"body_{k + 1}")
+    p = MEMO_BASE + diamonds * MEMO_STRIDE
+    b.at(p)
+    b.label("exit_pad")
+    b.nop(10)
+    b.label("exit_body")
+    b.ret()
+    program = b.build()
+
+    for k in range(diamonds):
+        p = MEMO_BASE + k * MEMO_STRIDE
+        nxt = p + MEMO_STRIDE
+        assert branch_footprint(p + 0x30, p + 0x40) == \
+            branch_footprint(p + 0x34, p + 0x50)
+        assert branch_footprint(p + 0x40, p + 0x80) == \
+            branch_footprint(p + 0x50, p + 0x882)
+        assert branch_footprint(p + 0x80, nxt) == \
+            branch_footprint(p + 0x882, nxt + 0x28)
+    return program
+
+
+def run_memoize_arms():
+    program = collision_chain(MEMO_DIAMONDS, seed=0x2A5F)
+    machine = Machine(RAPTOR_LAKE)
+    taken = VictimHandle(machine, program).taken_branches()
+    width = len(taken) + 1
+    doublets = replay_taken_branches(width, taken).doublets()
+    cfg = ControlFlowGraph(program)
+
+    # Positive control: the executed path is recoverable (ambiguously --
+    # every arm choice folds identically, so stop at the first match).
+    control = PathSearch(cfg, mode="exact", max_paths=1)
+    control_paths = control.search(doublets)
+
+    # The measured case: corrupt the deepest doublet, which sits above
+    # every branch's matchable window (the reversal consumes doublet 0
+    # only; with width = taken+1 the top doublet never reaches it).
+    # Every route still doublet-matches all the way back to the entry,
+    # but forward verification rejects it there -- all subtrees are dead.
+    doublets = doublets[:-1] + [(doublets[-1] + 1) % 4]
+    arms = {}
+    for memoize in (True, False):
+        search = PathSearch(cfg, mode="exact", memoize=memoize)
+        start = time.perf_counter()
+        paths = search.search(doublets)
+        arms[memoize] = {
+            "elapsed": time.perf_counter() - start,
+            "paths": [path.taken_branches for path in paths],
+            "explored": search.explored,
+            "pruned": search.pruned,
+        }
+    return control_paths, arms
+
+
+def test_sec6_pathfinder_memoization(benchmark):
+    control_paths, arms = benchmark.pedantic(run_memoize_arms, rounds=1,
+                                             iterations=1)
+    memo, naive = arms[True], arms[False]
+    explored_ratio = naive["explored"] / memo["explored"]
+    speedup = naive["elapsed"] / memo["elapsed"]
+
+    print_table(
+        f"Section 6 -- dead-state transposition table "
+        f"({MEMO_DIAMONDS}-diamond collision chain, "
+        f"{'quick' if BENCH_QUICK else 'full'} mode)",
+        ["search", "states explored", "pruned", "time", "speedup"],
+        [
+            ["naive (memoize=False)", naive["explored"], naive["pruned"],
+             f"{naive['elapsed']:.4f}s", "1.00x"],
+            ["transposition table", memo["explored"], memo["pruned"],
+             f"{memo['elapsed']:.4f}s", f"{speedup:.2f}x"],
+        ],
+    )
+
+    assert control_paths and control_paths[0].reaches_entry
+    # Identical results: both searches prove the history unsatisfiable.
+    assert memo["paths"] == naive["paths"] == []
+    assert memo["pruned"] > 0 and naive["pruned"] == 0
+    # The naive walk pays the exponential route blow-up; the memo keeps
+    # it near-linear in the diamond count.
+    assert explored_ratio >= 3.0, (
+        f"memoized search only {explored_ratio:.2f}x fewer states")
+    if BENCH_QUICK:
+        assert speedup >= 3.0, (
+            f"memoized search only {speedup:.2f}x faster")
+
+    benchmark.extra_info.update({
+        "memo_speedup": round(speedup, 2),
+        "explored_ratio": round(explored_ratio, 1),
+        "explored_naive": naive["explored"],
+        "explored_memo": memo["explored"],
+        "diamonds": MEMO_DIAMONDS,
+    })

@@ -5,14 +5,38 @@ a paper-vs-measured comparison (run pytest with ``-s`` to see it live;
 the data also lands in each benchmark's ``extra_info``), and *asserts*
 the reproduction-level facts -- who wins, which cells are check marks,
 where the plateaus sit -- so a regression fails loudly.
+
+Every passing benchmark also appends one record to
+``benchmarks/results/<name>.json`` (``name`` = the file stem minus its
+``bench_`` prefix): a trajectory of runs in the ``harness_trials.json``
+schema -- machine profile, quick/full mode, timing stats, and every
+``extra_info`` key ending in ``_speedup`` under ``speedups``.  CI
+uploads the whole ``results/`` directory as one artifact.
+
+``--profile`` runs each benchmark under cProfile and dumps the top 25
+functions by cumulative time (mirrors ``python -m repro.fuzz --profile``).
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
+from pathlib import Path
 from typing import Iterable, List
 
 import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--profile", action="store_true", default=False,
+        help="run each benchmark under cProfile and print the top 25 "
+             "functions by cumulative time",
+    )
 
 
 def pytest_collection_modifyitems(items):
@@ -30,6 +54,87 @@ BENCH_QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 def operation_count(full: int, quick: int) -> int:
     """``full`` normally; ``quick`` when ``REPRO_BENCH_QUICK=1`` is set."""
     return quick if BENCH_QUICK else full
+
+
+def machine_profile() -> dict:
+    """The host identity recorded with every result record."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+def append_result(name: str, record: dict) -> Path:
+    """Append ``record`` to the ``results/<name>.json`` trajectory."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    trajectory = json.loads(path.read_text()) if path.exists() else []
+    trajectory.append(record)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return path
+
+
+def _result_record(item, fixture) -> dict:
+    """One trajectory record in the shared results schema."""
+    record = {
+        "bench": item.name,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "quick": BENCH_QUICK,
+        "machine": machine_profile(),
+    }
+    metadata = getattr(fixture, "stats", None)
+    stats = getattr(metadata, "stats", None)
+    if stats is not None and getattr(stats, "data", None):
+        record["timings_s"] = {
+            "min": round(stats.min, 6),
+            "mean": round(stats.mean, 6),
+            "rounds": stats.rounds,
+        }
+    extra = dict(getattr(fixture, "extra_info", {}) or {})
+    speedups = {key: round(float(value), 2)
+                for key, value in extra.items() if key.endswith("_speedup")}
+    if speedups:
+        record["speedups"] = speedups
+    rest = {key: value for key, value in extra.items()
+            if key not in speedups}
+    if rest:
+        record["extra"] = rest
+    return record
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Auto-append a results record for every passing benchmark."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.passed:
+        return
+    stem = Path(str(item.fspath)).stem
+    if not stem.startswith("bench_"):
+        return
+    fixture = getattr(item, "funcargs", {}).get("benchmark")
+    if fixture is None:
+        return
+    append_result(stem[len("bench_"):], _result_record(item, fixture))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """``--profile``: wrap the benchmark body in cProfile."""
+    if not item.config.getoption("--profile"):
+        yield
+        return
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        print(f"\n== cProfile: {item.name} (top 25 by cumulative time) ==")
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
 
 
 def print_table(title: str, headers: List[str],

@@ -42,6 +42,7 @@ from repro.primitives import (
 )
 from repro.pathfinder import ControlFlowGraph, PathSearch
 from repro.harness import TrialReport, TrialRunner, run_trials, trial_rng
+from repro.replay import ReplayEngine, ReplayStats
 
 __version__ = "1.0.0"
 
@@ -58,6 +59,8 @@ __all__ = [
     "PhtReader",
     "PhtWriter",
     "RAPTOR_LAKE",
+    "ReplayEngine",
+    "ReplayStats",
     "SKYLAKE",
     "TARGET_MACHINES",
     "TrialReport",

@@ -30,6 +30,7 @@ from repro.cpu.machine import Machine, MachineSnapshot
 from repro.pathfinder import cached_cfg, cached_path_search
 from repro.pathfinder.report import build_report
 from repro.primitives import PhrReader, PhtWriter, VictimHandle
+from repro.replay import ReplayEngine
 from repro.utils.rng import DeterministicRng
 
 
@@ -134,7 +135,9 @@ class AesSpectreAttack:
         self.spec = spec
         self._iteration_phr: Optional[Dict[int, int]] = None
         self._last_poisoned_phr: Optional[int] = None
-        self._leak_checkpoints: Dict[int, MachineSnapshot] = {}
+        #: Lazily built prefix-replay engine holding the per-exit-point
+        #: leak checkpoints (captured from the live prepared state).
+        self.replay: Optional[ReplayEngine] = None
 
     # ------------------------------------------------------------------
     # step 1: locate the loop branch's per-iteration PHR values
@@ -236,25 +239,36 @@ class AesSpectreAttack:
         # The victim must see the same PHR trajectory as during profiling.
         machine.clear_phr()
 
+    def _leak_key(self, exit_iteration: int):
+        return ("aes", "leak", exit_iteration)
+
     def leak_checkpoint(self, exit_iteration: int) -> MachineSnapshot:
         """The machine checkpoint poised to leak at ``exit_iteration``.
 
         Built once per exit point: the poison is planted, the speculation
         window extended, and the channel flushed, then the whole machine
-        state is captured.  :meth:`leak_reduced_round` restores it per
-        trial in O(changed-state), so every trial sees the identical
+        state is captured into the attack's :class:`ReplayEngine`.
+        :meth:`leak_reduced_round` restores it per trial in
+        O(changed-state), so every trial sees the identical
         predictor/cache trajectory regardless of ordering.
+
+        The capture is taken from the *live* prepared state (not rebuilt
+        from the engine root): the heal-then-poison sequence depends on
+        which coordinate the previous preparation poisoned, so the live
+        state is the ground truth a fresh re-provision would reproduce.
         """
-        snap = self._leak_checkpoints.get(exit_iteration)
-        if snap is None:
+        if self.replay is None:
+            self.replay = ReplayEngine(self.machine)
+        key = self._leak_key(exit_iteration)
+        if key not in self.replay:
             self._prepare_leak(exit_iteration)
-            snap = self.machine.snapshot()
-            self._leak_checkpoints[exit_iteration] = snap
-        return snap
+            self.replay.capture(key)
+        return self.replay.snapshot_of(key)
 
     def discard_checkpoints(self) -> None:
         """Drop cached leak checkpoints (after retraining the machine)."""
-        self._leak_checkpoints.clear()
+        if self.replay is not None:
+            self.replay.invalidate()
 
     def leak_reduced_round(self, plaintext: bytes, exit_iteration: int,
                            from_checkpoint: Optional[bool] = None,
@@ -265,14 +279,18 @@ class AesSpectreAttack:
         setting) restores the cached :meth:`leak_checkpoint` instead of
         re-running the poison sequence.
         """
-        machine = self.machine
-        oracle = self.oracle
         if from_checkpoint is None:
             from_checkpoint = self.use_checkpoints
         if from_checkpoint:
-            machine.restore(self.leak_checkpoint(exit_iteration))
-        else:
-            self._prepare_leak(exit_iteration)
+            self.leak_checkpoint(exit_iteration)  # ensure the capture exists
+            return self.replay.evaluate(self._leak_key(exit_iteration),
+                                        lambda: self._leak_once(plaintext))
+        self._prepare_leak(exit_iteration)
+        return self._leak_once(plaintext)
+
+    def _leak_once(self, plaintext: bytes) -> LeakResult:
+        """Run the oracle from the prepared state and decode the channel."""
+        oracle = self.oracle
         ciphertext, __ = oracle.run_and_read(plaintext)
 
         # Flush+Reload: one hot slot per position is the architectural

@@ -375,6 +375,7 @@ class Machine:
         speculate: bool = True,
         trace: str = "full",
         engine: str = "fast",
+        on_limit: str = "raise",
     ) -> MachineRunResult:
         """Run ``program`` on logical thread ``thread``.
 
@@ -387,7 +388,12 @@ class Machine:
         dispatch-loop twin (``'reference'``); the two are pinned
         bit-identical by tests, so ``'reference'`` exists for equivalence
         checks and as the speedup baseline of
-        ``benchmarks/bench_simulator_throughput.py``.
+        ``benchmarks/bench_simulator_throughput.py``.  ``on_limit='stop'``
+        makes the instruction budget a pause point instead of an error:
+        the run returns ``halted=False`` with ``execution.next_pc`` set,
+        and can be resumed by calling :meth:`run` again with the same
+        state/memory and ``entry=execution.next_pc`` (the machine-side
+        predictor state simply carries over).
         """
         if engine not in ("fast", "reference"):
             raise ValueError(f"unknown engine {engine!r}")
@@ -409,11 +415,11 @@ class Machine:
             execution = interpreter.run(state=state, memory=memory,
                                         entry=entry,
                                         max_instructions=max_instructions,
-                                        trace=trace)
+                                        trace=trace, on_limit=on_limit)
         else:
             execution = interpreter.run_reference(
                 state=state, memory=memory, entry=entry,
-                max_instructions=max_instructions)
+                max_instructions=max_instructions, on_limit=on_limit)
         return MachineRunResult(
             execution=execution,
             perf=self.perf.delta(before),

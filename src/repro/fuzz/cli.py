@@ -67,8 +67,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--smoke", action="store_true",
                         help="use the small 'smoke' generator profile "
                              "(CI-sized programs)")
-    parser.add_argument("--profile", choices=sorted(PROFILES), default=None,
+    parser.add_argument("--gen-profile", choices=sorted(PROFILES),
+                        default=None,
                         help="generator profile (overrides --smoke)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the campaign under cProfile and dump the "
+                             "top 25 functions by cumulative time")
     parser.add_argument("--workers", default=None,
                         help="worker processes (default: REPRO_WORKERS or 1)")
     parser.add_argument("--corpus", default=str(corpus_mod.DEFAULT_CORPUS_DIR),
@@ -166,7 +170,25 @@ def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
         mutations.get_mutator(args.mutate)  # validate the name up front
     except ValueError as exc:
         parser.error(str(exc))
-    profile = args.profile or ("smoke" if args.smoke else "default")
+    if not args.profile:
+        return _campaign(args, workers, out)
+    # cProfile only sees the parent process; profile single-worker runs
+    # (the hot paths are identical) for meaningful numbers.
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return _campaign(args, workers, out)
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=out)
+        stats.sort_stats("cumulative").print_stats(25)
+
+
+def _campaign(args, workers: int, out) -> int:
+    profile = args.gen_profile or ("smoke" if args.smoke else "default")
     corpus_dir = None if args.no_corpus else args.corpus
 
     started = time.perf_counter()

@@ -262,6 +262,8 @@ def check_program(
 
     divergences += _check_snapshot_replay(fuzz_program, machine_mutator,
                                           oracle_stride)
+    divergences += _check_prefix_replay(fuzz_program, fast, machine_mutator,
+                                        oracle_stride)
     return divergences
 
 
@@ -285,6 +287,112 @@ def _check_snapshot_replay(
     second = run_arm(fuzz_program, engine="fast", trace="none",
                      oracle_stride=oracle_stride, machine=machine)
     return _compare("snapshot-replay", first, second, compare_trace=False)
+
+
+def _check_prefix_replay(
+    fuzz_program: FuzzProgram,
+    straight: ArmDigest,
+    machine_mutator: Optional[MachineMutator],
+    oracle_stride: int,
+) -> List[Divergence]:
+    """The :mod:`repro.replay` contract at whole-program granularity.
+
+    Splits the program's dynamic instruction stream in half: run the
+    prefix (``on_limit='stop'``), checkpoint machine + CPU state +
+    memory, run the suffix to completion, and compare the stitched
+    digest -- architectural state, perf counters, committed branch
+    stream, full trace -- against the straight one-shot execution
+    (``prefix-replay`` arm).  Then restore the checkpoint and run the
+    suffix a second time; both suffix runs must be bit-identical
+    (``suffix-replay`` arm), which is exactly what the replay engine's
+    restore-per-guess batching assumes.
+    """
+    if straight.oracle_violation is not None:
+        return []  # already reported; a split run would just repeat it
+    total = straight.instructions
+    split = total // 2
+    if split == 0 or split >= total:
+        return []
+
+    machine = Machine(fuzz_program.machine_config)
+    if machine_mutator is not None:
+        machine_mutator(machine)
+    oracle = InvariantOracle(machine, stride=oracle_stride)
+    commits: List[tuple] = []
+    thread = machine.threads[0]
+    perf = machine.perf
+
+    def observer(pc: int, kind, taken: bool) -> None:
+        commits.append((pc, kind.value, taken, thread.phr.value,
+                        perf.conditional_mispredictions))
+        oracle.after_commit(pc)
+
+    def digest(result, memory, trace, commit_slice) -> ArmDigest:
+        flags = result.execution.state.flags
+        return ArmDigest(
+            regs=dict(result.execution.state.regs),
+            flags=(flags.zero, flags.sign, flags.carry),
+            call_stack=tuple(result.execution.state.call_stack),
+            memory=memory.snapshot(),
+            trace=trace,
+            instructions=result.execution.instructions,
+            halted=result.execution.halted,
+            perf=result.perf,
+            phr_value=result.phr_value,
+            fingerprint=machine_fingerprint(machine),
+            commits=commit_slice,
+        )
+
+    machine.branch_observer = observer
+    state = CpuState()
+    memory = _provision_memory(fuzz_program)
+    before = perf.snapshot()
+    try:
+        prefix = machine.run(
+            fuzz_program.program, state=state, memory=memory,
+            max_instructions=split, trace="full", on_limit="stop")
+        if prefix.execution.halted or prefix.execution.next_pc is None:
+            return [Divergence("prefix-replay", "limit",
+                               f"prefix halted within {split} of "
+                               f"{total} instructions")]
+        # Checkpoint everything the suffix touches.
+        snap = machine.snapshot()
+        state_copy = state.copy()
+        memory_copy = memory.clone()
+        prefix_commits = len(commits)
+
+        suffix_budget = fuzz_program.max_instructions - split
+        first = machine.run(
+            fuzz_program.program, state=state, memory=memory,
+            entry=prefix.execution.next_pc,
+            max_instructions=suffix_budget, trace="full")
+        oracle.final_check()
+        stitched = digest(first, memory, trace=tuple(
+            prefix.execution.trace) + tuple(first.execution.trace),
+            commit_slice=tuple(commits))
+        stitched.instructions = split + first.execution.instructions
+        stitched.perf = perf.delta(before)
+        divergences = _compare("prefix-replay", straight, stitched)
+
+        first_digest = digest(first, memory,
+                              trace=tuple(first.execution.trace),
+                              commit_slice=tuple(commits[prefix_commits:]))
+        machine.restore(snap)
+        replay_start = len(commits)
+        second = machine.run(
+            fuzz_program.program, state=state_copy, memory=memory_copy,
+            entry=prefix.execution.next_pc,
+            max_instructions=suffix_budget, trace="full")
+        oracle.final_check()
+        second_digest = digest(second, memory_copy,
+                               trace=tuple(second.execution.trace),
+                               commit_slice=tuple(commits[replay_start:]))
+        divergences += _compare("suffix-replay", first_digest, second_digest)
+        return divergences
+    except InvariantViolation as exc:
+        return [Divergence("prefix-replay", "invariant", str(exc))]
+    finally:
+        machine.branch_observer = None
 
 
 # ----------------------------------------------------------------------

@@ -158,6 +158,11 @@ class ExecutionResult:
     instructions: int
     state: CpuState
     halted: bool
+    #: Resume point when the run stopped at its instruction budget with
+    #: ``on_limit='stop'`` (None after a normal halt).  Re-entering at
+    #: ``next_pc`` with the same state/memory/hooks continues the run
+    #: exactly where it left off -- the prefix+suffix replay contract.
+    next_pc: Optional[int] = None
 
     @cached_property
     def taken_branches(self) -> List[BranchRecord]:
@@ -192,6 +197,7 @@ class Interpreter:
         entry: Optional[int] = None,
         max_instructions: int = 2_000_000,
         trace: str = "full",
+        on_limit: str = "raise",
     ) -> ExecutionResult:
         """Run from ``entry`` (default: program entry) until Halt.
 
@@ -199,7 +205,14 @@ class Interpreter:
         lets victim *functions* be executed directly.  ``trace`` selects
         how much of the dynamic branch trace is materialised (see the
         module docstring); it never changes hook behaviour.
+
+        ``on_limit`` chooses what hitting ``max_instructions`` means:
+        ``'raise'`` (the default) treats it as a runaway program;
+        ``'stop'`` returns a partial, resumable result (``halted=False``,
+        ``next_pc`` set) with no instruction executed beyond the budget.
         """
+        if on_limit not in ("raise", "stop"):
+            raise ValueError(f"unknown on_limit policy {on_limit!r}")
         if state is None:
             state = CpuState()
         if memory is None:
@@ -212,6 +225,11 @@ class Interpreter:
 
         while True:
             if executed >= max_instructions:
+                if on_limit == "stop":
+                    return ExecutionResult(trace=records,
+                                           instructions=executed,
+                                           state=state, halted=False,
+                                           next_pc=pc)
                 raise ExecutionLimitExceeded(
                     f"{self.program.name} exceeded {max_instructions} instructions"
                 )
@@ -237,10 +255,13 @@ class Interpreter:
         memory: Optional[Memory] = None,
         entry: Optional[int] = None,
         max_instructions: int = 2_000_000,
+        on_limit: str = "raise",
     ) -> ExecutionResult:
         """The original isinstance-dispatch loop, kept as the reference
         twin of :meth:`run` (DESIGN.md decision 5).  Always records the
         full trace."""
+        if on_limit not in ("raise", "stop"):
+            raise ValueError(f"unknown on_limit policy {on_limit!r}")
         if state is None:
             state = CpuState()
         if memory is None:
@@ -252,6 +273,11 @@ class Interpreter:
 
         while True:
             if executed >= max_instructions:
+                if on_limit == "stop":
+                    return ExecutionResult(trace=trace,
+                                           instructions=executed,
+                                           state=state, halted=False,
+                                           next_pc=pc)
                 raise ExecutionLimitExceeded(
                     f"{self.program.name} exceeded {max_instructions} instructions"
                 )

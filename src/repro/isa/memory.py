@@ -51,6 +51,12 @@ class Memory:
         """A copy of the populated bytes (for test assertions)."""
         return dict(self._bytes)
 
+    def clone(self) -> "Memory":
+        """An independent copy (checkpointing for prefix+suffix replay)."""
+        copy = Memory()
+        copy._bytes = dict(self._bytes)
+        return copy
+
 
 class TransientMemory:
     """A store-buffer overlay over a :class:`Memory`.

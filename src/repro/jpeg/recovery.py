@@ -75,7 +75,7 @@ class ImageRecoveryAttack:
 
     def __init__(self, machine: Machine, codec: Optional[JpegCodec] = None,
                  extended_rounds: int = 6, idct_variant: str = "islow",
-                 reset_probes: bool = False):
+                 reset_probes: bool = False, reuse: Optional[str] = None):
         self.machine = machine
         self.codec = codec if codec is not None else JpegCodec()
         self.victim = IdctVictim(variant=idct_variant)
@@ -84,6 +84,10 @@ class ImageRecoveryAttack:
         #: checkpoint before every candidate probe, making the extended
         #: read's measurements order-independent.
         self.reset_probes = reset_probes
+        #: Forwarded to :class:`ExtendedPhrReader`: the replay-engine
+        #: reuse policy ('checkpoint', 'none', or 'inline'; None picks
+        #: the reader's default for ``reset_between_probes``).
+        self.reuse = reuse
 
     # ------------------------------------------------------------------
 
@@ -116,7 +120,8 @@ class ImageRecoveryAttack:
             for r in trace if r.taken
         ]
         reader = ExtendedPhrReader(self.machine, rounds=self.extended_rounds,
-                                   reset_between_probes=self.reset_probes)
+                                   reset_between_probes=self.reset_probes,
+                                   reuse=self.reuse)
         history = reader.read(taken)
         if not history.complete:
             raise RuntimeError("extended read failed to recover the history")

@@ -93,7 +93,10 @@ class ControlFlowGraph:
         #: Return-continuation address -> list of callee entry addresses,
         #: used by the path search to pair rets with their call sites.
         self.call_continuations: Dict[int, List[int]] = {}
-        #: Callee entry -> list of (call edge), for backward traversal.
+        #: Bumped by every post-build mutation (:meth:`add_edge`) so
+        #: consumers holding derived indexes (:class:`PathSearch`'s
+        #: doublet-indexed edge lookup) can detect staleness.
+        self.version: int = 0
         self._build()
 
     # ------------------------------------------------------------------
@@ -192,6 +195,32 @@ class ControlFlowGraph:
         # dynamically by the path search via call_continuations.
 
     # ------------------------------------------------------------------
+
+    def add_edge(self, edge: Edge) -> None:
+        """Insert a dynamically discovered edge after construction.
+
+        The static builder cannot resolve indirect jump targets (the
+        paper notes the same angr limitation); a driver that observes one
+        at runtime can patch it in here.  Both endpoints must be existing
+        block starts.  Bumps :attr:`version` so every memoized consumer
+        (cached searches and their edge indexes) rebuilds instead of
+        serving stale results.
+        """
+        if edge.source not in self.blocks:
+            raise KeyError(f"no block starts at source {edge.source:#x}")
+        if edge.destination not in self.blocks:
+            raise KeyError(
+                f"no block starts at destination {edge.destination:#x}")
+        if edge.kind.updates_phr and edge.footprint is None:
+            raise ValueError(f"{edge.kind.value} edge needs a footprint")
+        self.edges_out.setdefault(edge.source, []).append(edge)
+        self.edges_in.setdefault(edge.destination, []).append(edge)
+        if edge.kind is EdgeKind.CALL:
+            assert edge.branch_pc is not None
+            continuation = edge.branch_pc + 4
+            self.call_continuations.setdefault(
+                continuation, []).append(edge.destination)
+        self.version += 1
 
     def block_at(self, address: int) -> BasicBlock:
         """The block starting exactly at ``address``."""

@@ -85,14 +85,66 @@ class PathSearch:
     mode: str = "exact"
     max_states: int = 2_000_000
     max_paths: int = 16
+    #: Dead-state transposition table.  A residual state is fully
+    #: described by ``(block, residual value, matched depth, call
+    #: stack)``; once a subtree rooted at such a state has been fully
+    #: explored without yielding a verified path, every later arrival at
+    #: the same state is pruned.  Window-mode searches over loopy CFGs
+    #: otherwise re-explore identical residual states exponentially
+    #: often (equal-footprint diamonds all fold to one value).  ``False``
+    #: keeps the naive exhaustive walk for benchmark comparison.
+    memoize: bool = True
     #: Explored states in the last run (diagnostics).
     explored: int = field(default=0, init=False)
+    #: States skipped via the dead-state memo in the last run.
+    pruned: int = field(default=0, init=False)
+    #: Doublet-indexed predecessor lookup, keyed to ``cfg.version``.
+    _in_index: Optional[Dict] = field(default=None, init=False, repr=False)
+    _passthrough: Optional[Dict] = field(default=None, init=False, repr=False)
+    _ret_index: Optional[Dict] = field(default=None, init=False, repr=False)
+    _index_version: int = field(default=-1, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.mode not in ("exact", "window"):
             raise ValueError(f"unknown search mode {self.mode!r}")
 
     # ------------------------------------------------------------------
+
+    def _ensure_index(self) -> None:
+        """(Re)build the per-CFG edge indexes if the CFG changed.
+
+        ``edges_in`` scans touched every in-edge per visited state; the
+        index buckets PHR-updating edges by their lowest footprint
+        doublet (the only value doublet 0 can match), so each visit
+        walks exactly the candidate edges.  Dynamic RET edges -- whose
+        footprints the old walk recomputed per visit -- are prebuilt
+        once per continuation.  ``cfg.version`` invalidates everything
+        when an edge is inserted after the first search.
+        """
+        version = getattr(self.cfg, "version", 0)
+        if self._in_index is not None and self._index_version == version:
+            return
+        in_index: Dict[int, Dict[int, List[Edge]]] = {}
+        passthrough: Dict[int, List[Edge]] = {}
+        for destination, edges in self.cfg.edges_in.items():
+            for edge in edges:
+                if edge.kind.updates_phr:
+                    assert edge.footprint is not None
+                    in_index.setdefault(destination, {}).setdefault(
+                        edge.footprint & 0b11, []).append(edge)
+                else:
+                    passthrough.setdefault(destination, []).append(edge)
+        ret_index: Dict[int, List[Tuple[int, Edge]]] = {}
+        for continuation, callees in self.cfg.call_continuations.items():
+            entries = ret_index.setdefault(continuation, [])
+            for callee_entry in callees:
+                for ret_block in self.cfg.ret_blocks():
+                    entries.append((callee_entry,
+                                    self._ret_edge(ret_block, continuation)))
+        self._in_index = in_index
+        self._passthrough = passthrough
+        self._ret_index = ret_index
+        self._index_version = version
 
     def search(
         self,
@@ -113,32 +165,73 @@ class PathSearch:
         if not exits:
             raise ValueError("CFG has no exit blocks")
 
+        self._ensure_index()
         paths: List[RecoveredPath] = []
-        stack: List[_State] = [
-            _State(point=block.start, value=observed.value, matched=0,
-                   call_stack=())
-            for block in exits
-        ]
         self.explored = 0
+        self.pruned = 0
         entry = self.cfg.entry
+        #: Per-search transposition table of dead residual states.
+        dead = set() if self.memoize else None
+        #: Once a limit trips, frames unwind without dead-marking: a
+        #: partially explored subtree may still hide a verified path, so
+        #: memoizing it as dead would be unsound on a rerun... and within
+        #: this run nothing further is explored anyway.
+        truncated = False
+        #: DFS frames: [state, memo key, successor iterator, found flag].
+        frames: List[list] = []
 
-        while stack and len(paths) < self.max_paths:
-            state = stack.pop()
+        def enter(state: _State) -> Optional[bool]:
+            """Visit ``state``; True = verified leaf, False = barren,
+            None = frame pushed (successors pending)."""
+            nonlocal truncated
             self.explored += 1
             if self.explored > self.max_states:
-                break
-
+                truncated = True
+                return False
             if self._accepts(state, entry, width):
                 candidate = self._materialize(state)
                 if self._verify(candidate, observed.value, width):
                     paths.append(candidate)
-                # In window mode a state accepted at matched == width has
-                # no useful predecessors; in exact mode acceptance already
-                # required reaching the entry, same conclusion.
-                continue
+                    return True
+                # Accepted states have no useful predecessors (window
+                # mode: matched == width; exact mode: at the entry).
+                return False
+            key = (state.point, state.value, state.matched, state.call_stack)
+            if dead is not None and key in dead:
+                self.pruned += 1
+                return False
+            # Reversed, so iteration order matches the old LIFO pop order.
+            successors = list(self._predecessors(state, value_mask, width))
+            frames.append([state, key, iter(reversed(successors)), False])
+            return None
 
-            for successor in self._predecessors(state, value_mask, width):
-                stack.append(successor)
+        # Old stack order: exits pushed in address order, popped last-first.
+        for root in reversed([
+            _State(point=block.start, value=observed.value, matched=0,
+                   call_stack=())
+            for block in exits
+        ]):
+            if truncated or len(paths) >= self.max_paths:
+                break
+            enter(root)
+            while frames:
+                if len(paths) >= self.max_paths:
+                    truncated = True
+                frame = frames[-1]
+                if truncated:
+                    frames.pop()
+                    continue
+                try:
+                    successor = next(frame[2])
+                except StopIteration:
+                    frames.pop()
+                    if dead is not None and not frame[3]:
+                        dead.add(frame[1])
+                    if frames and frame[3]:
+                        frames[-1][3] = True
+                    continue
+                if enter(successor):
+                    frame[3] = True
 
         return paths
 
@@ -171,17 +264,30 @@ class PathSearch:
         return phr.value == observed_value
 
     def _predecessors(self, state: _State, value_mask: int, width: int):
-        cfg = self.cfg
-        # Regular static edges into this block.
-        for edge in cfg.edges_in.get(state.point, []):
+        # PHR-updating static edges: only those whose lowest footprint
+        # doublet equals the state's doublet 0 can step, and only while
+        # the window still has unmatched doublets -- the index hands us
+        # exactly that bucket.  Bucket order preserves edges_in order, so
+        # the yielded sequence matches the pre-index walk.
+        if state.matched < width:
+            updating = self._in_index.get(state.point)
+            if updating is not None:
+                for edge in updating.get(state.value & 0b11, ()):
+                    successor = self._step(state, edge, value_mask, width)
+                    if successor is not None:
+                        yield successor
+        # Non-updating edges (not-taken, fallthrough) always qualify.
+        for edge in self._passthrough.get(state.point, ()):
             successor = self._step(state, edge, value_mask, width)
             if successor is not None:
                 yield successor
         # Dynamic return edges: if this point is a call continuation, the
         # predecessor may be any ret block of the recorded callee.
-        for callee_entry in cfg.call_continuations.get(state.point, []):
-            for ret_block in cfg.ret_blocks():
-                edge = self._ret_edge(ret_block, state.point)
+        if state.matched < width:
+            low = state.value & 0b11
+            for callee_entry, edge in self._ret_index.get(state.point, ()):
+                if (edge.footprint & 0b11) != low:
+                    continue
                 successor = self._step(state, edge, value_mask, width,
                                        push=(callee_entry, state.point))
                 if successor is not None:

@@ -12,6 +12,11 @@ conditional branch predictor read/writable "as easy as memory":
   Figure 5).
 """
 
+from repro.primitives.errors import (
+    DoubletCountError,
+    HistoryLengthError,
+    PrimitiveProtocolError,
+)
 from repro.primitives.macros import PhrMacros
 from repro.primitives.victim import VictimHandle
 from repro.primitives.read_phr import PhrReadResult, PhrReader
@@ -20,7 +25,10 @@ from repro.primitives.read_pht import PhtReader
 from repro.primitives.extended_read import ExtendedPhrReader, TakenBranch
 
 __all__ = [
+    "DoubletCountError",
     "ExtendedPhrReader",
+    "HistoryLengthError",
+    "PrimitiveProtocolError",
     "PhrMacros",
     "PhrReadResult",
     "PhrReader",

@@ -37,7 +37,25 @@ from typing import List, Optional, Sequence
 
 from repro.cpu.machine import Machine
 from repro.cpu.phr import PathHistoryRegister
+from repro.primitives.errors import HistoryLengthError
+from repro.replay import ReplayEngine
 from repro.utils.bits import mask
+
+#: Accepted prefix-reuse policies for the extended reader.
+#:
+#: * ``inline`` -- probes accumulate machine state (the pre-replay
+#:   default when ``reset_between_probes`` is off);
+#: * ``checkpoint`` -- every candidate probe is evaluated from the
+#:   baseline checkpoint through :class:`~repro.replay.ReplayEngine`
+#:   (order-independent probes), and each round refreshes only the
+#:   probed PHT entry -- the amortized shortcut;
+#: * ``none`` -- the naive twin: probes still start from the baseline
+#:   state, but every round re-commits the victim's *entire* taken
+#:   branch sequence (each conditional at its true pre-branch PHR),
+#:   i.e. the full Figure 5 victim re-invocation that ``checkpoint``
+#:   amortizes away.  Only the probed entry differs between candidate
+#:   measurements, so the recovered doublets are pinned equal.
+REUSE_MODES = ("inline", "checkpoint", "none")
 
 
 @dataclass(frozen=True)
@@ -85,7 +103,13 @@ class ExtendedPhrReader:
         victim_context=None,
         attacker_context=None,
         reset_between_probes: bool = False,
+        reuse: Optional[str] = None,
     ):
+        if reuse is None:
+            reuse = "checkpoint" if reset_between_probes else "inline"
+        if reuse not in REUSE_MODES:
+            raise ValueError(
+                f"unknown reuse mode {reuse!r}; expected one of {REUSE_MODES}")
         self.machine = machine
         self.thread = thread
         self.rounds = rounds
@@ -93,6 +117,15 @@ class ExtendedPhrReader:
         self.max_gap = max_gap
         self.pc_alias_offset = pc_alias_offset
         self.probes = 0
+        self.reuse = reuse
+        #: Lazily constructed at the first probe, so its root checkpoint
+        #: captures the machine right after the victim ran (the state
+        #: every candidate measurement must start from).
+        self.replay: Optional[ReplayEngine] = None
+        #: (pc, pre-branch PHR) of every victim conditional, set by
+        #: :meth:`read`; the ``reuse='none'`` twin replays it as the full
+        #: per-round victim refresh.
+        self._refresh_sequence = None
         #: When True, every candidate probe restores the machine to a
         #: checkpoint taken at the first probe
         #: (:meth:`repro.cpu.machine.Machine.snapshot`).  Long reads churn
@@ -151,12 +184,31 @@ class ExtendedPhrReader:
            primed entry never sees a taken update and the probe stays
            silent.
         """
-        machine = self.machine
+        if self.reuse != "inline":
+            if self.replay is None:
+                self.replay = ReplayEngine(
+                    self.machine,
+                    reuse="none" if self.reuse == "none" else "checkpoint")
+            # Every candidate measurement starts from the engine root (the
+            # machine as it stood at the first probe), so probes are
+            # order-independent.
+            return self.replay.evaluate(
+                ReplayEngine.ROOT,
+                lambda: self._probe_once(victim_pc, victim_pre_phr,
+                                         candidate_phr))
         if self.reset_between_probes:
+            # Legacy combination (explicit reuse='inline' with resets):
+            # the pre-engine ad-hoc snapshot path.
             if self._probe_baseline is None:
-                self._probe_baseline = machine.snapshot()
+                self._probe_baseline = self.machine.snapshot()
             else:
-                machine.restore(self._probe_baseline)
+                self.machine.restore(self._probe_baseline)
+        return self._probe_once(victim_pc, victim_pre_phr, candidate_phr)
+
+    def _probe_once(self, victim_pc: int, victim_pre_phr: int,
+                    candidate_phr: int) -> int:
+        """One prime + refresh/probe measurement on the live machine."""
+        machine = self.machine
         phr = machine.phr(self.thread)
         attacker_pc = victim_pc + self.pc_alias_offset
         attacker_target = attacker_pc + 0x40
@@ -177,13 +229,24 @@ class ExtendedPhrReader:
                                         thread=self.thread)
 
         mispredictions = 0
+        full_refresh = (self.reuse == "none"
+                        and self._refresh_sequence is not None)
         for _ in range(self.rounds):
             self.probes += 1
             # Two victim calls per probe: the asymmetry lets a shared
             # counter escape the primed saturation.
             self.victim_context()
-            machine.cbp.observe(victim_pc, victim_phr, True)
-            machine.cbp.observe(victim_pc, victim_phr, True)
+            if full_refresh:
+                # Naive twin: each victim call re-trains *every*
+                # conditional at its true pre-branch PHR.  Only the
+                # probed entry feeds the aliased probe, which is what
+                # the 'checkpoint' shortcut exploits.
+                for _call in range(2):
+                    for pc, pre_phr in self._refresh_sequence:
+                        machine.cbp.observe(pc, pre_phr, True)
+            else:
+                machine.cbp.observe(victim_pc, victim_phr, True)
+                machine.cbp.observe(victim_pc, victim_phr, True)
             self.attacker_context()
             phr.set_value(candidate_phr)
             if machine.observe_conditional(attacker_pc, attacker_target,
@@ -232,6 +295,18 @@ class ExtendedPhrReader:
             for branch in branches:
                 phr.update(branch.pc, branch.target)
             observed_phr_doublets = phr.doublets()
+        else:
+            # Read_PHR output covers min(count, capacity) doublets; a
+            # shorter observation cannot seed the reconstruction and a
+            # longer one cannot have come from the physical PHR.  Raising
+            # beats the old silent truncation: a clipped window walks the
+            # reversal from the wrong anchor value.
+            expected = min(count, capacity)
+            if not expected <= len(observed_phr_doublets) <= capacity:
+                raise HistoryLengthError(
+                    f"observed_phr_doublets has {len(observed_phr_doublets)} "
+                    f"doublets; expected between {expected} and {capacity} "
+                    f"for {count} taken branches (capacity {capacity})")
 
         known = list(observed_phr_doublets)  # doublets of E_N, LSB first
         if count <= capacity:
@@ -239,6 +314,11 @@ class ExtendedPhrReader:
                                       probes=self.probes, max_gap=0)
 
         pre_phr_values = self._true_pre_phr_values(branches)
+        if self.reuse == "none":
+            self._refresh_sequence = [
+                (branch.pc, PathHistoryRegister(capacity, pre_phr_values[i]))
+                for i, branch in enumerate(branches) if branch.conditional
+            ]
         #: Running reconstruction of the PHR *before* branch m, walking m
         #: backward; unknown top doublets are held as zero and counted in
         #: ``pending``.

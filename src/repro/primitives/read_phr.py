@@ -26,8 +26,23 @@ from typing import Dict, List, Optional
 
 from repro.cpu.machine import Machine
 from repro.cpu.phr import PathHistoryRegister
+from repro.primitives.errors import DoubletCountError
 from repro.primitives.victim import VictimHandle
+from repro.replay import ReplayEngine
 from repro.utils.rng import DeterministicRng
+
+#: Accepted prefix-reuse policies for the reader.
+#:
+#: * ``checkpoint`` -- run ``Clear_PHR; victim()`` once, checkpoint the
+#:   machine through :class:`~repro.replay.ReplayEngine`, and measure
+#:   every guess as a restored suffix (the fast path, default);
+#: * ``none`` -- the naive twin: re-run the prefix from scratch for
+#:   every guess.  Bit-identical to ``checkpoint`` by construction
+#:   (property-tested); exists so benchmarks can measure the gap;
+#: * ``inline`` -- the pre-replay behaviour: no restores at all, state
+#:   accumulates across guesses and the victim's post-call PHR is cached
+#:   after its first in-loop invocation.
+REUSE_MODES = ("checkpoint", "none", "inline")
 
 #: Default attacker train/test branch locations.  The exact values are
 #: arbitrary; they only need to stay clear of victim code and of the macro
@@ -82,7 +97,11 @@ class PhrReader:
         rng: Optional[DeterministicRng] = None,
         train_pc: int = TRAIN_PC,
         test_pc: int = TEST_PC,
+        reuse: str = "checkpoint",
     ):
+        if reuse not in REUSE_MODES:
+            raise ValueError(
+                f"unknown reuse mode {reuse!r}; expected one of {REUSE_MODES}")
         self.machine = machine
         self.victim = victim
         self.thread = thread
@@ -95,6 +114,12 @@ class PhrReader:
         self.test_target = test_pc + 0x40
         self._victim_phr_cache: Optional[int] = None
         self.iterations = 0
+        self.reuse = reuse
+        #: The prefix-replay engine (None under ``reuse='inline'``).  Its
+        #: root checkpoint is the machine state at reader construction.
+        self.replay: Optional[ReplayEngine] = (
+            None if reuse == "inline" else ReplayEngine(machine, reuse=reuse))
+        self._prefix_key = None
 
     # ------------------------------------------------------------------
 
@@ -129,9 +154,36 @@ class PhrReader:
             value |= doublet << (2 * (capacity - back))
         return value
 
+    def _profile_victim(self) -> None:
+        """The replayed prefix: ``Clear_PHR`` + one real victim run.
+
+        Declared as the engine's prefix builder, so under
+        ``reuse='checkpoint'`` it executes exactly once, and under
+        ``reuse='none'`` it re-executes (victim and all) for every
+        guess -- the paper's naive per-trial protocol.
+        """
+        phr = self.machine.phr(self.thread)
+        phr.clear()
+        self.victim.invoke(thread=self.thread)
+        self._victim_phr_cache = phr.value
+
+    def _ensure_prefix(self):
+        if self._prefix_key is None:
+            self._prefix_key = self.replay.checkpoint(
+                ("read_phr", "victim-profiled"), self._profile_victim)
+        return self._prefix_key
+
     def _measure_guess(self, index: int, guess: int,
                        known: List[int]) -> float:
         """Misprediction rate of the test branch for one guess of P_index."""
+        if self.replay is None:
+            return self._measure_loop(index, guess, known)
+        key = self._ensure_prefix()
+        return self.replay.evaluate(
+            key, lambda: self._measure_loop(index, guess, known))
+
+    def _measure_loop(self, index: int, guess: int,
+                      known: List[int]) -> float:
         machine = self.machine
         phr = machine.phr(self.thread)
         rng = self.rng.fork(index * 4 + guess)
@@ -178,7 +230,9 @@ class PhrReader:
         if count is None:
             count = self.capacity
         if not 0 < count <= self.capacity:
-            raise ValueError(f"doublet count out of range: {count}")
+            raise DoubletCountError(
+                f"requested {count} doublets, but the primitive can deliver "
+                f"between 1 and {self.capacity} (the PHR capacity)")
         known: List[int] = []
         confidence: List[float] = []
         for index in range(count):

@@ -15,8 +15,10 @@ A prime+test+probe protocol over one PHT entry:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 from repro.cpu.machine import Machine
+from repro.replay import ReplayEngine
 
 
 @dataclass
@@ -111,3 +113,37 @@ class PhtReader:
         self.prime(pc, phr_value)
         run_victim()
         return self.probe(pc, phr_value)
+
+    def read_batch(
+        self,
+        coordinates: Sequence[Tuple[int, int]],
+        run_victim,
+        reuse: str = "checkpoint",
+    ) -> List[PhtProbeResult]:
+        """Read several ``(pc, phr_value)`` coordinates of *one* victim run.
+
+        The shared prefix -- prime every coordinate, then invoke the
+        victim once -- executes through a :class:`~repro.replay.ReplayEngine`
+        checkpoint; each coordinate's probe replays as a restored suffix,
+        so probing coordinate ``i`` cannot disturb coordinate ``j``'s
+        entry (probes are taken branches: they *write* the counters they
+        read).  ``reuse='none'`` is the naive twin that re-runs the whole
+        prefix per coordinate; both orders of execution are bit-identical
+        because the prefix is deterministic.  Coordinates must not alias
+        each other (distinct PHT entries), or the batched prime differs
+        from per-coordinate protocols.
+        """
+        coordinates = list(coordinates)
+        engine = ReplayEngine(self.machine, reuse=reuse)
+
+        def prefix() -> None:
+            for pc, phr_value in coordinates:
+                self.prime(pc, phr_value)
+            run_victim()
+
+        key = engine.checkpoint(("read_pht", "primed+victim"), prefix)
+        return [
+            engine.evaluate(key, lambda pc=pc, value=value:
+                            self.probe(pc, value))
+            for pc, value in coordinates
+        ]

@@ -11,8 +11,11 @@ attack.
 
 from __future__ import annotations
 
+from typing import Hashable, Optional
+
 from repro.cpu.machine import Machine
 from repro.cpu.phr import PathHistoryRegister
+from repro.replay import ReplayEngine
 from repro.utils.rng import DeterministicRng
 
 
@@ -96,3 +99,25 @@ class PhtWriter:
                          taken: bool) -> None:
         """Convenience overload taking a PHR object."""
         self.write(pc, phr.value, taken)
+
+    def write_checkpointed(
+        self,
+        replay: ReplayEngine,
+        pc: int,
+        phr_value: int,
+        taken: bool,
+        parent: Optional[Hashable] = None,
+    ) -> Hashable:
+        """A :meth:`write` declared as a replay-engine checkpoint.
+
+        The first write from state ``parent`` runs the full ~22-branch
+        training protocol and snapshots the poisoned machine; repeated
+        writes of the same coordinate from the same parent restore it
+        instead (one diff-based restore per re-poison).  Returns the
+        checkpoint key for :meth:`ReplayEngine.evaluate`.
+        """
+        key = ("write_pht", pc, phr_value, taken,
+               ReplayEngine.ROOT if parent is None else parent)
+        return replay.checkpoint(
+            key, lambda: self.write(pc, phr_value, taken),
+            parent=ReplayEngine.ROOT if parent is None else parent)

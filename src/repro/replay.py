@@ -1,0 +1,278 @@
+"""Prefix-replay engine: snapshot-backed guess batching (ARCHITECTURE.md §9).
+
+The paper's Section 4--6 primitives all share one loop shape: establish a
+history prefix (clear the PHR, run the victim, prime a PHT entry), then
+measure many small divergent suffixes -- one per doublet guess, per
+probe candidate, per leak coordinate.  Re-running the prefix for every
+suffix costs O(guesses x full-run).  :class:`ReplayEngine` executes each
+distinct prefix once, checkpoints the full machine through
+:meth:`Machine.snapshot` (PHR, base + tagged PHTs, BTB, RAS, IBP, cache,
+perf counters), and replays suffixes by ``restore()`` + run-suffix:
+O(full-run + sum-of-suffixes).
+
+Checkpoints form a tree.  ``checkpoint(key, build, parent)`` declares
+that state ``key`` is reached by running ``build()`` from state
+``parent`` (the implicit root is the machine state at engine
+construction), so successive reads extend the previous prefix
+incrementally instead of rebuilding from scratch.  Builders must be
+deterministic functions of the machine state they start from -- that is
+exactly the property the fast engine's snapshot-replay fuzz arm pins --
+which makes the two reuse policies interchangeable:
+
+* ``reuse='checkpoint'`` -- cache a snapshot per key; establishing a
+  state is a diff-based ``restore()``.
+* ``reuse='none'`` -- the naive twin: cache nothing and re-run the whole
+  builder chain from the root for every evaluation.  Property tests pin
+  ``checkpoint == none`` bit for bit; benchmarks measure the gap.
+
+The cache is bounded (LRU).  Evicting a checkpoint is safe because the
+builder chain is retained: the state is simply rebuilt (and re-cached)
+on next use.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+REUSE_MODES = ("checkpoint", "none")
+
+#: Sentinel key for the machine state captured at engine construction.
+ROOT: Hashable = ("replay-root",)
+
+
+class ReplayError(ValueError):
+    """Misuse of the replay engine (unknown key, bad reuse mode, ...)."""
+
+
+@dataclass
+class ReplayStats:
+    """Counters for the perf benches and for cache-behaviour tests."""
+
+    prefix_runs: int = 0  #: builder executions (cache misses + 'none' reruns)
+    suffix_runs: int = 0  #: evaluate() suffix executions
+    checkpoint_hits: int = 0
+    checkpoint_misses: int = 0
+    restores: int = 0  #: Machine.restore() calls issued by the engine
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "prefix_runs": self.prefix_runs,
+            "suffix_runs": self.suffix_runs,
+            "checkpoint_hits": self.checkpoint_hits,
+            "checkpoint_misses": self.checkpoint_misses,
+            "restores": self.restores,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class _Node:
+    """One declared checkpoint: how to rebuild it, and its cached state."""
+
+    parent: Hashable
+    build: Optional[Callable[[], Any]]  #: ``None`` for captured states
+    depth: int
+
+
+class ReplayEngine:
+    """Keyed checkpoint cache over one :class:`~repro.cpu.machine.Machine`.
+
+    The engine snapshots the machine at construction time as the root of
+    the checkpoint tree; every declared prefix extends the root or
+    another declared checkpoint.
+    """
+
+    ROOT = ROOT
+
+    def __init__(self, machine, reuse: str = "checkpoint",
+                 capacity: int = 128):
+        if reuse not in REUSE_MODES:
+            raise ReplayError(
+                f"unknown reuse mode {reuse!r}; expected one of {REUSE_MODES}")
+        if capacity < 1:
+            raise ReplayError(f"capacity must be >= 1, got {capacity}")
+        self.machine = machine
+        self.reuse = reuse
+        self.capacity = capacity
+        self.stats = ReplayStats()
+        self._nodes: Dict[Hashable, _Node] = {}
+        #: key -> MachineSnapshot, LRU order (only under reuse='checkpoint').
+        self._snapshots: "OrderedDict[Hashable, Any]" = OrderedDict()
+        #: key -> MachineSnapshot for captured states (never evicted --
+        #: there is no builder chain to rebuild them from).
+        self._pinned: Dict[Hashable, Any] = {}
+        self._root_snapshot = machine.snapshot()
+
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, key: Hashable, build: Callable[[], Any],
+                   parent: Hashable = ROOT) -> Hashable:
+        """Declare state ``key`` = run ``build()`` from state ``parent``.
+
+        Establishes the state immediately (the machine is left at
+        ``key``) and returns ``key`` for use with :meth:`evaluate`.
+        Re-declaring an existing key with a different parent chain raises
+        -- a key names one state, forever.
+        """
+        node = self._nodes.get(key)
+        if node is None:
+            if parent is not ROOT and parent not in self._nodes:
+                raise ReplayError(f"unknown parent checkpoint {parent!r}")
+            depth = 0 if parent is ROOT else self._nodes[parent].depth + 1
+            self._nodes[key] = _Node(parent=parent, build=build, depth=depth)
+        elif node.parent != parent:
+            raise ReplayError(
+                f"checkpoint {key!r} already declared with parent "
+                f"{node.parent!r}")
+        self._establish(key)
+        return key
+
+    def capture(self, key: Hashable, parent: Hashable = ROOT) -> Hashable:
+        """Adopt the machine's *current* state as checkpoint ``key``.
+
+        For prefixes whose builders depend on evolving out-of-band state
+        (the AES attack's heal-then-poison sequence tracks the previous
+        trial's coordinate outside the machine), re-running a builder
+        from ``parent`` would not reproduce the live state.  ``capture``
+        snapshots the machine exactly as it stands instead.  Captured
+        checkpoints are pinned -- never evicted, since there is no
+        builder to rebuild them from -- and work under either reuse
+        policy.  ``parent`` is recorded purely for :meth:`invalidate`'s
+        descendant tracking.  The machine is left untouched.
+        """
+        if key is ROOT:
+            raise ReplayError("cannot capture over the root key")
+        if key in self._nodes:
+            raise ReplayError(f"checkpoint {key!r} already declared")
+        if parent is not ROOT and parent not in self._nodes:
+            raise ReplayError(f"unknown parent checkpoint {parent!r}")
+        depth = 0 if parent is ROOT else self._nodes[parent].depth + 1
+        self._nodes[key] = _Node(parent=parent, build=None, depth=depth)
+        self._pinned[key] = self.machine.snapshot()
+        return key
+
+    def evaluate(self, key: Hashable, suffix: Callable[[], Any]) -> Any:
+        """Establish state ``key`` and run ``suffix()`` on the machine.
+
+        Under ``reuse='checkpoint'`` establishing is (at worst) one
+        diff-based restore; under ``reuse='none'`` it re-runs the whole
+        builder chain from the root.  Either way the suffix starts from
+        a bit-identical machine state, which is the equivalence the
+        property tests pin.
+        """
+        self._establish(key)
+        self.stats.suffix_runs += 1
+        return suffix()
+
+    def run_batch(self, key: Hashable,
+                  suffixes: List[Callable[[], Any]]) -> List[Any]:
+        """``evaluate(key, s)`` for each suffix, in order."""
+        return [self.evaluate(key, suffix) for suffix in suffixes]
+
+    def invalidate(self, key: Optional[Hashable] = None) -> None:
+        """Drop cached snapshots (all of them, or ``key`` and descendants).
+
+        Built declarations survive: those states rebuild from their
+        parents on next use.  Captured checkpoints have no builder, so
+        invalidation drops their declarations (and their descendants')
+        entirely -- the keys become free for re-capture.  Use this when
+        the machine is mutated out-of-band (e.g. a config swap) and
+        cached states no longer describe it.
+        """
+        if key is None:
+            stale = set(self._nodes)
+            self._snapshots.clear()
+        else:
+            stale = {key}
+            changed = True
+            while changed:  # transitive closure over declared children
+                changed = False
+                for child, node in self._nodes.items():
+                    if node.parent in stale and child not in stale:
+                        stale.add(child)
+                        changed = True
+            for dead in stale:
+                self._snapshots.pop(dead, None)
+        unrecoverable = {k for k in stale
+                         if k in self._nodes and self._nodes[k].build is None}
+        changed = True
+        while changed:  # descendants of a dropped capture cannot rebuild
+            changed = False
+            for child, node in self._nodes.items():
+                if node.parent in unrecoverable and child not in unrecoverable:
+                    unrecoverable.add(child)
+                    changed = True
+        for dead in unrecoverable:
+            self._nodes.pop(dead, None)
+            self._pinned.pop(dead, None)
+            self._snapshots.pop(dead, None)
+
+    # ------------------------------------------------------------------
+
+    def _establish(self, key: Hashable) -> None:
+        """Bring the machine to state ``key``."""
+        if key is ROOT:
+            self.machine.restore(self._root_snapshot)
+            self.stats.restores += 1
+            return
+        if key not in self._nodes:
+            raise ReplayError(f"unknown checkpoint {key!r}")
+        pinned = self._pinned.get(key)
+        if pinned is not None:
+            self.stats.checkpoint_hits += 1
+            self.machine.restore(pinned)
+            self.stats.restores += 1
+            return
+        if self._nodes[key].build is None:
+            raise ReplayError(
+                f"captured checkpoint {key!r} has no snapshot left")
+        if self.reuse == "checkpoint":
+            snapshot = self._snapshots.get(key)
+            if snapshot is not None:
+                self.stats.checkpoint_hits += 1
+                self._snapshots.move_to_end(key)
+                self.machine.restore(snapshot)
+                self.stats.restores += 1
+                return
+            self.stats.checkpoint_misses += 1
+        node = self._nodes[key]
+        self._establish(node.parent)
+        node.build()
+        self.stats.prefix_runs += 1
+        if self.reuse == "checkpoint":
+            self._store(key)
+
+    def _store(self, key: Hashable) -> None:
+        self._snapshots[key] = self.machine.snapshot()
+        self._snapshots.move_to_end(key)
+        while len(self._snapshots) > self.capacity:
+            self._snapshots.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key is ROOT or key in self._nodes
+
+    def snapshot_of(self, key: Hashable):
+        """The stored snapshot for ``key`` (pinned or cached), or None."""
+        if key is ROOT:
+            return self._root_snapshot
+        if key in self._pinned:
+            return self._pinned[key]
+        return self._snapshots.get(key)
+
+    def cached_keys(self) -> Tuple[Hashable, ...]:
+        """Keys with a live snapshot (LRU order, oldest first)."""
+        return tuple(self._snapshots)
+
+    def depth_of(self, key: Hashable) -> int:
+        """Chain length from the root to ``key`` (root itself is -1)."""
+        if key is ROOT:
+            return -1
+        if key not in self._nodes:
+            raise ReplayError(f"unknown checkpoint {key!r}")
+        return self._nodes[key].depth

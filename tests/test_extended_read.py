@@ -129,3 +129,38 @@ class TestProbeMechanics:
                              observed_phr_doublets=physical.doublets())
         assert result.complete
         assert result.doublets == unbounded_truth(branches)
+
+    def test_short_observed_history_raises_named_error(self):
+        """An undersized Read_PHR window raises HistoryLengthError
+        instead of silently anchoring the reversal on a clipped value."""
+        from repro.primitives import HistoryLengthError
+
+        branches = random_branches(210, seed=19)
+        reader = ExtendedPhrReader(Machine(RAPTOR_LAKE))
+        with pytest.raises(HistoryLengthError):
+            reader.read(branches, observed_phr_doublets=[0, 1, 2, 3])
+        with pytest.raises(HistoryLengthError):
+            reader.read(branches, observed_phr_doublets=[0] * 200)
+
+
+class TestReusePolicies:
+    def test_unknown_reuse_rejected(self):
+        with pytest.raises(ValueError):
+            ExtendedPhrReader(Machine(RAPTOR_LAKE), reuse="magic")
+
+    def test_checkpoint_matches_naive_twin_bit_for_bit(self):
+        """Order-independent probing through the replay engine: restore
+        per probe ('checkpoint') must equal full re-establishment per
+        probe ('none') doublet for doublet."""
+        branches = random_branches(206, seed=7)
+        results = {}
+        for reuse in ("checkpoint", "none"):
+            reader = ExtendedPhrReader(Machine(RAPTOR_LAKE),
+                                       reset_between_probes=True,
+                                       reuse=reuse)
+            results[reuse] = reader.read(branches)
+        assert results["checkpoint"].complete
+        assert results["none"].complete
+        assert results["checkpoint"].doublets == results["none"].doublets
+        assert results["checkpoint"].doublets == unbounded_truth(branches)
+        assert results["checkpoint"].probes == results["none"].probes

@@ -62,6 +62,53 @@ class TestReadDoublets:
         with pytest.raises(ValueError):
             reader.read(count=195)
 
+    def test_bad_count_raises_named_error(self):
+        """Out-of-range counts raise DoubletCountError (not a silent
+        truncation, and catchable apart from generic ValueErrors)."""
+        from repro.primitives import DoubletCountError
+
+        program = build_counted_loop(3)
+        machine = Machine(RAPTOR_LAKE)
+        reader = PhrReader(machine, VictimHandle(machine, program))
+        with pytest.raises(DoubletCountError):
+            reader.read(count=reader.capacity + 1)
+        with pytest.raises(DoubletCountError):
+            reader.read(count=-3)
+
+
+class TestReusePolicies:
+    def test_unknown_reuse_rejected(self):
+        program = build_counted_loop(3)
+        machine = Machine(RAPTOR_LAKE)
+        with pytest.raises(ValueError):
+            PhrReader(machine, VictimHandle(machine, program), reuse="magic")
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_checkpoint_matches_naive_twin_bit_for_bit(self, seed):
+        """reuse='checkpoint' (restore per guess) and reuse='none'
+        (re-run the prefix per guess) must agree on every doublet AND
+        every observed misprediction rate -- the equivalence the replay
+        engine's determinism contract promises."""
+        program, __ = build_branchy_victim(seed=0xC0 + seed,
+                                           conditional_count=8)
+        results = {}
+        for reuse in ("checkpoint", "none"):
+            machine = Machine(RAPTOR_LAKE)
+            reader = PhrReader(machine, VictimHandle(machine, program),
+                               rng=DeterministicRng(seed), reuse=reuse)
+            results[reuse] = reader.read(count=10)
+        assert results["checkpoint"].doublets == results["none"].doublets
+        assert results["checkpoint"].confidence == results["none"].confidence
+        assert results["checkpoint"].iterations == results["none"].iterations
+
+    def test_checkpoint_runs_victim_once(self):
+        program = build_counted_loop(4)
+        machine = Machine(RAPTOR_LAKE)
+        reader = PhrReader(machine, VictimHandle(machine, program))
+        reader.read(count=6)
+        assert reader.replay.stats.prefix_runs == 1
+        assert reader.replay.stats.checkpoint_hits == 6 * 4
+
 
 class TestSection42Evaluation:
     """Paper Section 4.2: write 1000 random PHRs and read them back; the

@@ -133,6 +133,69 @@ class TestWindowMode:
         assert not path.reaches_entry
 
 
+class TestIndexStaleness:
+    def test_add_edge_invalidates_memoized_index(self):
+        """The doublet-indexed edge lookup is keyed to ``cfg.version``:
+        an edge patched in after a search (the documented indirect-jump
+        use case) must be visible to the next search on the SAME
+        PathSearch object, not served from the stale index."""
+        from repro.cpu.footprint import branch_footprint
+        from repro.pathfinder.cfg import Edge, EdgeKind
+
+        landing = 0x2000
+        b = ProgramBuilder(base=0x1000)
+        b.mov_imm("rt", landing)
+        b.jmp_reg("rt")            # indirect: no static CFG edge
+        b.at(landing)
+        b.label("landing")
+        b.ret()
+        program = b.build()
+        taken, doublets = history_of(program)
+        assert taken == [(0x1004, landing)]
+
+        cfg = ControlFlowGraph(program)
+        search = PathSearch(cfg, mode="exact")
+        # Statically the landing block is unreachable.
+        assert search.search(doublets) == []
+
+        # A driver observes the jump at runtime and patches it in.
+        cfg.add_edge(Edge(EdgeKind.JUMP, source=0x1000,
+                          destination=landing, branch_pc=0x1004,
+                          footprint=branch_footprint(0x1004, landing)))
+        paths = search.search(doublets)
+        assert len(paths) == 1
+        assert paths[0].taken_branches == taken
+
+    def test_version_bumps_on_mutation(self):
+        from repro.cpu.footprint import branch_footprint
+        from repro.pathfinder.cfg import Edge, EdgeKind
+
+        program = build_counted_loop(2)
+        cfg = ControlFlowGraph(program)
+        before = cfg.version
+        loop = program.address_of("loop")
+        cfg.add_edge(Edge(EdgeKind.JUMP, source=loop, destination=loop,
+                          branch_pc=loop,
+                          footprint=branch_footprint(loop, loop)))
+        assert cfg.version == before + 1
+
+    def test_add_edge_validates_endpoints_and_footprint(self):
+        from repro.pathfinder.cfg import Edge, EdgeKind
+
+        program = build_counted_loop(2)
+        cfg = ControlFlowGraph(program)
+        loop = program.address_of("loop")
+        with pytest.raises(KeyError):
+            cfg.add_edge(Edge(EdgeKind.JUMP, source=0xDEAD,
+                              destination=loop, footprint=0))
+        with pytest.raises(KeyError):
+            cfg.add_edge(Edge(EdgeKind.JUMP, source=loop,
+                              destination=0xDEAD, footprint=0))
+        with pytest.raises(ValueError):
+            cfg.add_edge(Edge(EdgeKind.JUMP, source=loop,
+                              destination=loop, branch_pc=loop))
+
+
 class TestAmbiguity:
     def test_reports_multiple_matching_paths(self):
         """A victim crafted so two different paths yield one history.
