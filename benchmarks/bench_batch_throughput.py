@@ -1,0 +1,183 @@
+"""Batch-engine throughput: vectorized replicas vs scalar trial loops.
+
+The :class:`repro.batch.BatchMachine` steps N predictor replicas in
+lockstep with numpy array state; its reason to exist is trials/sec on
+the restore-observe-collect loop every attack evaluation runs.  Two
+arms measure exactly that loop:
+
+* **predictor-observe** (asserted) -- per trial: restore a pristine
+  checkpoint, commit a fixed conditional-branch stream with per-trial
+  outcomes, collect the misprediction count.  The scalar arm runs the
+  trials one machine at a time; the batch arm runs all of them as
+  replicas of one ``BatchMachine``.  Both arms must produce identical
+  per-trial counts (the bit-identity contract), and the batch arm must
+  be >= 3x faster (asserted in quick *and* full mode; the full-mode
+  target from ISSUE 6 is 10x, recorded as measured).
+* **aes-run-batch** (informational) -- the per-plaintext AES victim
+  sweep of :func:`repro.aes.trials.run_victim_signatures`, scalar vs
+  ``vectorize=N``.  ``run_batch`` still interprets each replica's
+  architectural instructions serially (phase 1), so this arm shows the
+  Amdahl-limited end-to-end figure rather than the predictor-core one.
+
+Results land in ``benchmarks/results/batch_throughput.json``.
+"""
+
+import time
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.batch import BatchMachine
+from repro.cpu import Machine, RAPTOR_LAKE
+from repro.utils.rng import DeterministicRng
+
+from conftest import BENCH_QUICK, print_table
+
+#: Replica count == trial count for the predictor-observe arm.  The
+#: per-branch vectorized cost is mostly fixed per *step*, so wider
+#: batches amortize better; quick mode stays wide and shortens the
+#: stream instead.
+REPLICAS = 768 if BENCH_QUICK else 1024
+#: Conditional branches committed per trial.
+STREAM_LENGTH = 120 if BENCH_QUICK else 400
+#: Distinct branch sites (narrow enough for real set contention).
+PC_POOL = 24
+
+#: AES arm sizing.
+AES_TRIALS = 48 if BENCH_QUICK else 192
+AES_VECTORIZE = 16 if BENCH_QUICK else 64
+
+SEED = 0xBA7C
+
+
+def _make_stream():
+    """One shared (pc, target) stream plus per-trial outcome rows."""
+    rng = DeterministicRng(SEED)
+    pool = [(rng.value_bits(16), rng.value_bits(18))
+            for _ in range(PC_POOL)]
+    stream = [rng.choice(pool) for _ in range(STREAM_LENGTH)]
+    takens = [[rng.coin() for _ in range(STREAM_LENGTH)]
+              for _ in range(REPLICAS)]
+    return stream, takens
+
+
+def _scalar_arm(stream, takens):
+    machine = Machine(RAPTOR_LAKE)
+    checkpoint = machine.snapshot()
+
+    def run_once():
+        counts = []
+        start = time.perf_counter()
+        for trial in range(REPLICAS):
+            machine.restore(checkpoint)
+            row = takens[trial]
+            mispredictions = 0
+            for step, (pc, target) in enumerate(stream):
+                if machine.observe_conditional(pc, target, row[step]):
+                    mispredictions += 1
+            counts.append(mispredictions)
+        return time.perf_counter() - start, counts
+
+    # Best of two passes: the first touches cold allocator/cache state.
+    first_s, counts = run_once()
+    second_s, again = run_once()
+    assert again == counts
+    return min(first_s, second_s), counts
+
+
+def _batch_arm(stream, takens):
+    batch = BatchMachine(REPLICAS, RAPTOR_LAKE)
+    checkpoint = batch.snapshot()
+    columns = [[takens[trial][step] for trial in range(REPLICAS)]
+               for step in range(STREAM_LENGTH)]
+
+    def run_once():
+        start = time.perf_counter()
+        batch.restore(checkpoint)
+        counts = np.zeros(REPLICAS, dtype=np.int64)
+        for step, (pc, target) in enumerate(stream):
+            counts += batch.observe_conditional(pc, target, columns[step])
+        return time.perf_counter() - start, [int(count) for count in counts]
+
+    first_s, counts = run_once()
+    second_s, again = run_once()
+    assert again == counts
+    return min(first_s, second_s), counts
+
+
+def _aes_arm():
+    from repro.aes.trials import AesVictimSpec, run_victim_signatures
+
+    spec = AesVictimSpec(key=bytes(range(16)))
+    start = time.perf_counter()
+    scalar = run_victim_signatures(spec, AES_TRIALS, workers=1)
+    scalar_elapsed = time.perf_counter() - start
+    start = time.perf_counter()
+    batched = run_victim_signatures(spec, AES_TRIALS, workers=1,
+                                    vectorize=AES_VECTORIZE)
+    batched_elapsed = time.perf_counter() - start
+    assert batched.values == scalar.values
+    return scalar_elapsed, batched_elapsed
+
+
+def run_arms():
+    stream, takens = _make_stream()
+    scalar_s, scalar_counts = _scalar_arm(stream, takens)
+    batch_s, batch_counts = _batch_arm(stream, takens)
+    aes_scalar_s, aes_batch_s = _aes_arm()
+    return {
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "scalar_counts": scalar_counts,
+        "batch_counts": batch_counts,
+        "aes_scalar_s": aes_scalar_s,
+        "aes_batch_s": aes_batch_s,
+    }
+
+
+def test_batch_throughput(benchmark):
+    results = benchmark.pedantic(run_arms, rounds=1, iterations=1)
+    trials_total = REPLICAS
+    scalar_rate = trials_total / results["scalar_s"]
+    batch_rate = trials_total / results["batch_s"]
+    speedup = results["scalar_s"] / results["batch_s"]
+    aes_speedup = results["aes_scalar_s"] / results["aes_batch_s"]
+
+    print_table(
+        f"Batch engine -- {trials_total} trials x {STREAM_LENGTH} branches "
+        f"({'quick' if BENCH_QUICK else 'full'} mode)",
+        ["arm", "time", "trials/sec", "speedup"],
+        [
+            ["scalar restore+observe loop",
+             f"{results['scalar_s']:.3f}s", f"{scalar_rate:,.0f}", "1.00x"],
+            [f"BatchMachine({REPLICAS}) lockstep",
+             f"{results['batch_s']:.3f}s", f"{batch_rate:,.0f}",
+             f"{speedup:.2f}x"],
+            [f"AES run_batch (vectorize={AES_VECTORIZE})",
+             f"{results['aes_batch_s']:.3f}s "
+             f"(vs {results['aes_scalar_s']:.3f}s)",
+             f"{AES_TRIALS / results['aes_batch_s']:,.0f}",
+             f"{aes_speedup:.2f}x"],
+        ],
+    )
+
+    # Bit-identity: the two arms observed the same mispredictions.
+    assert results["batch_counts"] == results["scalar_counts"]
+
+    # The throughput gate.  Quick mode runs on loaded CI machines with a
+    # small batch, so the floor is 3x there; the 10x ISSUE target is the
+    # full-mode expectation, recorded as measured.
+    assert speedup >= 3.0, (
+        f"batch engine only {speedup:.2f}x over the scalar trial loop")
+
+    benchmark.extra_info.update({
+        "replicas": REPLICAS,
+        "stream_length": STREAM_LENGTH,
+        "scalar_trials_per_s": round(scalar_rate, 1),
+        "batch_trials_per_s": round(batch_rate, 1),
+        "aes_trials": AES_TRIALS,
+        "aes_vectorize": AES_VECTORIZE,
+        "batch_speedup": round(speedup, 2),
+        "aes_batch_speedup": round(aes_speedup, 2),
+    })

@@ -47,8 +47,10 @@ def pytest_collection_modifyitems(items):
 #: Quick mode (``REPRO_BENCH_QUICK=1``) shrinks benchmark workloads so
 #: the throughput benches can ride along in a fast CI loop.  Statistical
 #: assertions about paper-level facts should keep their full populations;
-#: only raw operation counts shrink.
-BENCH_QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+#: only raw operation counts shrink.  The value is stripped before
+#: comparing so ``"0 "`` / ``" "`` (trailing whitespace from shell
+#: quoting or CI YAML) still count as off.
+BENCH_QUICK = os.environ.get("REPRO_BENCH_QUICK", "").strip() not in ("", "0")
 
 
 def operation_count(full: int, quick: int) -> int:
@@ -64,13 +66,46 @@ def machine_profile() -> dict:
     }
 
 
+def _load_trajectory(path: Path) -> list:
+    """The existing trajectory, recovering from corrupt/empty files.
+
+    A truncated or garbled ``results/<name>.json`` (killed run, disk
+    full, merge damage) must not poison every future benchmark run: the
+    bad file is moved aside to ``<name>.json.corrupt`` and the
+    trajectory restarts fresh.  A valid file that is not a list is
+    treated the same way.
+    """
+    if not path.exists():
+        return []
+    try:
+        trajectory = json.loads(path.read_text())
+        if not isinstance(trajectory, list):
+            raise ValueError(
+                f"expected a list trajectory, got {type(trajectory).__name__}")
+    except (ValueError, OSError):
+        quarantine = path.with_suffix(path.suffix + ".corrupt")
+        try:
+            os.replace(path, quarantine)
+        except OSError:
+            pass  # unreadable *and* unmovable: just start fresh
+        return []
+    return trajectory
+
+
 def append_result(name: str, record: dict) -> Path:
-    """Append ``record`` to the ``results/<name>.json`` trajectory."""
+    """Append ``record`` to the ``results/<name>.json`` trajectory.
+
+    The write is atomic (temp file in the same directory +
+    ``os.replace``), so a benchmark interrupted mid-write leaves the
+    previous trajectory intact instead of a truncated JSON file.
+    """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
-    trajectory = json.loads(path.read_text()) if path.exists() else []
+    trajectory = _load_trajectory(path)
     trajectory.append(record)
-    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    scratch = path.with_suffix(path.suffix + f".tmp.{os.getpid()}")
+    scratch.write_text(json.dumps(trajectory, indent=2) + "\n")
+    os.replace(scratch, path)
     return path
 
 

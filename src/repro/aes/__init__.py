@@ -43,13 +43,23 @@ from repro.aes.attack import (
 )
 from repro.aes.trials import (
     AesAttackSpec,
+    AesVictimSpec,
     build_attack,
     recover_key_parallel,
+    run_victim_signatures,
     setup_attack,
+    setup_victim_signature,
+    victim_signature_batch,
+    victim_signature_trial,
 )
 
 __all__ = [
     "AesAttackSpec",
+    "AesVictimSpec",
+    "run_victim_signatures",
+    "setup_victim_signature",
+    "victim_signature_batch",
+    "victim_signature_trial",
     "AesCbcVictim",
     "AesSpectreAttack",
     "AmbiguousChannelError",

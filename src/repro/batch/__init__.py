@@ -1,0 +1,25 @@
+"""Vectorized batch simulation: N machine replicas in lockstep.
+
+:class:`BatchMachine` keeps the conditional-branch-predictor state of N
+independent machine replicas as numpy arrays -- base/tagged PHT counters,
+tags and useful bits as ``(N, ...)`` arrays, PHR bits as an ``(N, width)``
+bit array -- and commits a branch across the whole batch as a handful of
+vectorized operations instead of N Python predictor walks.  It is pinned
+bit-identical to the scalar :class:`~repro.cpu.machine.Machine` by
+``tests/test_batch_equivalence.py`` and a dedicated fuzz arm in
+:mod:`repro.fuzz.diff`.
+"""
+
+from repro.batch.engine import (
+    BatchMachine,
+    BatchRunResult,
+    BatchSnapshot,
+    supports_config,
+)
+
+__all__ = [
+    "BatchMachine",
+    "BatchRunResult",
+    "BatchSnapshot",
+    "supports_config",
+]

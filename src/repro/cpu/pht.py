@@ -473,6 +473,79 @@ class TaggedTable:
         return len(self._sets[index])
 
 
+# ----- array export / import --------------------------------------------
+#
+# The vectorized batch engine (repro.batch) holds predictor state as dense
+# per-replica arrays.  These converters translate between the sparse
+# snapshot formats above and that dense layout; they accept any indexable
+# sequences (plain lists or numpy rows) so the batch engine can hand its
+# array slices straight in.
+
+
+def base_snapshot_to_dense(snap: dict, index_bits: int,
+                           counter_bits: int) -> Tuple[list, list]:
+    """Expand a :meth:`BasePredictor.snapshot` dict to dense arrays.
+
+    Returns ``(values, populated)``, each of length ``2**index_bits``.
+    Unpopulated slots carry the default (weakly not-taken) counter value
+    so a dense consumer can treat "populated" as the only sparse fact.
+    """
+    size = 1 << index_bits
+    default = (1 << (counter_bits - 1)) - 1
+    values = [default] * size
+    populated = [False] * size
+    for index, value in snap.items():
+        values[index] = int(value)
+        populated[index] = True
+    return values, populated
+
+
+def base_snapshot_from_dense(values, populated) -> dict:
+    """Inverse of :func:`base_snapshot_to_dense` (numpy rows welcome)."""
+    return {
+        index: int(values[index])
+        for index, live in enumerate(populated) if live
+    }
+
+
+def table_snapshot_to_dense(snap: dict, sets: int,
+                            ways: int) -> Tuple[list, list, list, list]:
+    """Expand a :meth:`TaggedTable.snapshot` dict to dense arrays.
+
+    Returns ``(tags, counters, useful, occupancy)``: three ``sets x ways``
+    nested lists (zero-filled beyond each set's occupancy) plus the
+    per-set occupancy vector.  Ways pack from position 0, mirroring the
+    scalar table's append-order storage.
+    """
+    tags = [[0] * ways for _ in range(sets)]
+    counters = [[0] * ways for _ in range(sets)]
+    useful = [[0] * ways for _ in range(sets)]
+    occupancy = [0] * sets
+    for index, entries in snap.items():
+        occupancy[index] = len(entries)
+        for way, (tag, value, use) in enumerate(entries):
+            tags[index][way] = int(tag)
+            counters[index][way] = int(value)
+            useful[index][way] = int(use)
+    return tags, counters, useful, occupancy
+
+
+def table_snapshot_from_dense(tags, counters, useful, occupancy) -> dict:
+    """Inverse of :func:`table_snapshot_to_dense` (numpy rows welcome)."""
+    snap = {}
+    for index, occupied in enumerate(occupancy):
+        occupied = int(occupied)
+        if occupied:
+            row_tags, row_counters, row_useful = (
+                tags[index], counters[index], useful[index])
+            snap[index] = tuple(
+                (int(row_tags[way]), int(row_counters[way]),
+                 int(row_useful[way]))
+                for way in range(occupied)
+            )
+    return snap
+
+
 def default_history_lengths(phr_capacity: int) -> Tuple[int, int, int]:
     """The geometric history window lengths for the three tagged tables.
 

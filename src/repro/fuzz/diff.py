@@ -20,6 +20,15 @@ Arms per program (all on fresh machines of the program's preset):
     Train a machine with one run, checkpoint, run again (digest A),
     restore, run again (digest B).  A and B must be bit-identical --
     the snapshot/restore/replay contract the trial harness rests on.
+``batch-twin``
+    The vectorized :class:`~repro.batch.BatchMachine` against scalar
+    non-speculative runs: ``run_batch`` over two replicas must
+    reproduce each scalar ``Machine.run(speculate=False)`` exactly --
+    trace, perf delta, PHR, memory, registers, and the full
+    ``extract(i)`` machine snapshot.  Skipped when numpy is missing,
+    when the preset falls outside :func:`repro.batch.supports_config`,
+    or when a ``machine_mutator`` is installed (the mutator perturbs
+    scalar machines only, so the comparison would diverge by design).
 
 The invariant oracle (:mod:`repro.fuzz.oracle`) rides along inside every
 arm, raising independently of any twin comparison.
@@ -264,6 +273,71 @@ def check_program(
                                           oracle_stride)
     divergences += _check_prefix_replay(fuzz_program, fast, machine_mutator,
                                         oracle_stride)
+    divergences += _check_batch_twin(fuzz_program, machine_mutator)
+    return divergences
+
+
+def _check_batch_twin(
+    fuzz_program: FuzzProgram,
+    machine_mutator: Optional[MachineMutator],
+) -> List[Divergence]:
+    """The batch engine against scalar non-speculative twins.
+
+    Two replicas run the same program through ``run_batch`` while two
+    fresh scalar machines run it with ``speculate=False``; every
+    observable -- trace, perf delta, PHR, architectural memory and
+    registers, and the extracted full machine snapshot -- must match
+    bit for bit.  This is the fuzz half of the batch engine's
+    bit-identity contract (the property half lives in
+    ``tests/test_batch_equivalence.py``).
+    """
+    if machine_mutator is not None:
+        return []  # mutators perturb scalar machines only
+    try:
+        from repro.batch import BatchMachine, supports_config
+    except ImportError:
+        return []  # numpy not available: the batch engine is optional
+    config = fuzz_program.machine_config
+    if not supports_config(config):
+        return []
+
+    n = 2
+    scalar_runs = []
+    for _ in range(n):
+        machine = Machine(config)
+        memory = _provision_memory(fuzz_program)
+        result = machine.run(
+            fuzz_program.program, memory=memory,
+            max_instructions=fuzz_program.max_instructions,
+            speculate=False, trace="full")
+        scalar_runs.append((result, memory, machine.snapshot()))
+
+    batch = BatchMachine(n, config)
+    memories = [_provision_memory(fuzz_program) for _ in range(n)]
+    results = batch.run_batch(
+        fuzz_program.program, memories,
+        max_instructions=fuzz_program.max_instructions, trace="full")
+
+    divergences: List[Divergence] = []
+    for i in range(n):
+        scalar_result, scalar_memory, scalar_snap = scalar_runs[i]
+        got = results[i]
+        arm = f"batch-twin[{i}]"
+
+        def check(kind: str, left, right, arm=arm) -> None:
+            if left != right:
+                divergences.append(
+                    Divergence(arm, kind, f"{left!r} != {right!r}"))
+
+        check("trace", tuple(got.trace), tuple(scalar_result.trace))
+        check("perf", got.perf, scalar_result.perf)
+        check("phr", got.phr_value, scalar_result.phr_value)
+        check("instructions", got.execution.instructions,
+              scalar_result.execution.instructions)
+        check("registers", dict(got.state.regs),
+              dict(scalar_result.state.regs))
+        check("memory", memories[i].snapshot(), scalar_memory.snapshot())
+        check("snapshot", batch.extract(i), scalar_snap)
     return divergences
 
 

@@ -37,6 +37,7 @@ import os
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence
 
@@ -137,6 +138,8 @@ class TrialReport:
     #: for the no-``fork``-platform serial fallback).
     parallel: bool = False
     elapsed: float = 0.0
+    #: Batch width the vectorized fast path ran with (1 = scalar trials).
+    vectorize: int = 1
 
     @property
     def count(self) -> int:
@@ -180,6 +183,40 @@ def _run_chunk(context: Any, trial: Callable, indices: range,
     return results
 
 
+def _run_chunk_batched(context: Any, trial: Callable, batch_trial: Callable,
+                       indices: range, seed: int, width: int) -> List[tuple]:
+    """Run one chunk through ``batch_trial`` in blocks of ``width`` trials.
+
+    ``batch_trial(context, indices, rngs)`` must return one value per
+    index, in order.  Each trial still sees the RNG stream
+    ``trial_rng(seed, index)``, so a batched run is bit-identical to the
+    scalar path for trials that honor the determinism contract.  A block
+    whose batch call raises -- or returns the wrong number of values --
+    falls back to scalar ``trial`` calls with *fresh* RNG forks, so one
+    misbehaving block degrades to the slow path instead of failing
+    ``width`` trials at once.
+    """
+    results: List[tuple] = []
+    index_list = list(indices)
+    for low in range(0, len(index_list), width):
+        block = index_list[low:low + width]
+        try:
+            values = batch_trial(context, list(block),
+                                 [trial_rng(seed, index) for index in block])
+            if values is None or len(values) != len(block):
+                raise ValueError(
+                    f"batch_trial returned "
+                    f"{'no values' if values is None else len(values)} "
+                    f"for {len(block)} trials"
+                )
+        except Exception:  # noqa: BLE001 -- degrade to the scalar path
+            results.extend(_run_chunk(context, trial, block, seed))
+            continue
+        results.extend(
+            (index, True, value) for index, value in zip(block, values))
+    return results
+
+
 #: Worker-process context, built once by the pool initializer.
 _WORKER_CONTEXT: Any = None
 
@@ -189,8 +226,12 @@ def _worker_initialize(setup: Optional[Callable], spec: Any) -> None:
     _WORKER_CONTEXT = setup(spec) if setup is not None else None
 
 
-def _worker_run_chunk(trial: Callable, indices: range,
-                      seed: int) -> List[tuple]:
+def _worker_run_chunk(trial: Callable, indices: range, seed: int,
+                      batch_trial: Optional[Callable] = None,
+                      vectorize: int = 1) -> List[tuple]:
+    if batch_trial is not None:
+        return _run_chunk_batched(_WORKER_CONTEXT, trial, batch_trial,
+                                  indices, seed, vectorize)
     return _run_chunk(_WORKER_CONTEXT, trial, indices, seed)
 
 
@@ -212,6 +253,9 @@ def run_trials(
     chunk_size: Optional[int] = None,
     on_error: str = "raise",
     progress: Optional[Callable[[int, int], None]] = None,
+    vectorize: Optional[int] = None,
+    batch_trial: Optional[Callable[[Any, List[int], List[DeterministicRng]],
+                                   Sequence[Any]]] = None,
 ) -> TrialReport:
     """Run ``count`` independent trials, optionally across processes.
 
@@ -221,17 +265,36 @@ def run_trials(
     chunks complete.  ``on_error`` is ``'raise'`` (default; raise
     :class:`TrialError` after all trials ran) or ``'collect'`` (return
     the report with failures recorded and ``values[i] is None``).
+
+    The vectorized fast path: pass ``batch_trial(context, indices, rngs)
+    -> values`` plus ``vectorize=N`` and each chunk runs in blocks of up
+    to ``N`` trials through one batch call (a
+    :class:`~repro.batch.BatchMachine` sweep, say) instead of ``N``
+    scalar ``trial`` calls.  ``trial`` stays required -- it is the
+    semantic reference and the per-block fallback when a batch call
+    raises or returns the wrong number of values.
     """
     if count < 0:
         raise ValueError(f"trial count must be >= 0, got {count}")
     if on_error not in ("raise", "collect"):
         raise ValueError(f"unknown on_error mode {on_error!r}")
+    if vectorize is not None:
+        if not isinstance(vectorize, int) or isinstance(vectorize, bool) \
+                or vectorize < 1:
+            raise ValueError(
+                f"vectorize must be a positive integer, got {vectorize!r}")
+        if batch_trial is None:
+            raise ValueError("vectorize requires a batch_trial callable")
+    width = vectorize if batch_trial is not None else 1
+    if width is None:
+        width = 1
     workers = resolve_workers(workers)
     start = time.perf_counter()
     values: List[Any] = [None] * count
     failures: List[TrialFailure] = []
     if count == 0:
-        return TrialReport(values=values, workers=workers, parallel=False)
+        return TrialReport(values=values, workers=workers, parallel=False,
+                           vectorize=width)
 
     chunks = _chunk_indices(count, chunk_size, workers)
     mp_context = _fork_context() if workers > 1 else None
@@ -250,7 +313,11 @@ def run_trials(
         context = setup(spec) if setup is not None else None
         done = 0
         for chunk in chunks:
-            absorb(_run_chunk(context, trial, chunk, seed))
+            if batch_trial is not None:
+                absorb(_run_chunk_batched(context, trial, batch_trial,
+                                          chunk, seed, width))
+            else:
+                absorb(_run_chunk(context, trial, chunk, seed))
             done += len(chunk)
             if progress is not None:
                 progress(done, count)
@@ -262,13 +329,31 @@ def run_trials(
             initargs=(setup, spec),
         ) as pool:
             futures = {
-                pool.submit(_worker_run_chunk, trial, chunk, seed): chunk
+                pool.submit(_worker_run_chunk, trial, chunk, seed,
+                            batch_trial, width): chunk
                 for chunk in chunks
             }
             done = 0
             for future in as_completed(futures):
-                absorb(future.result())
-                done += len(futures[future])
+                chunk = futures[future]
+                try:
+                    absorb(future.result())
+                except BrokenProcessPool:
+                    # A worker died (os._exit, OOM kill, segfault in a
+                    # native extension) and took the pool with it.  The
+                    # executor cannot say which chunk crashed it, so the
+                    # chunk attached to each failed future is recorded
+                    # trial by trial and the remaining futures drain the
+                    # same way -- on_error='collect' still returns a
+                    # full report instead of leaking the exception.
+                    absorb([
+                        (index, False,
+                         ("BrokenProcessPool: worker process died "
+                          "before the chunk completed",
+                          "".join(traceback.format_stack())))
+                        for index in chunk
+                    ])
+                done += len(chunk)
                 if progress is not None:
                     progress(done, count)
 
@@ -280,6 +365,7 @@ def run_trials(
         chunks=len(chunks),
         parallel=parallel,
         elapsed=time.perf_counter() - start,
+        vectorize=width,
     )
     if failures and on_error == "raise":
         raise TrialError(failures)
@@ -300,6 +386,8 @@ class TrialRunner:
     workers: Optional[int] = None
     chunk_size: Optional[int] = None
     on_error: str = "raise"
+    vectorize: Optional[int] = None
+    batch_trial: Optional[Callable] = None
 
     def run(self, trial: Callable, count: int,
             progress: Optional[Callable[[int, int], None]] = None,
@@ -310,4 +398,5 @@ class TrialRunner:
             setup=self.setup, spec=self.spec, seed=self.seed,
             workers=self.workers, chunk_size=self.chunk_size,
             on_error=self.on_error, progress=progress,
+            vectorize=self.vectorize, batch_trial=self.batch_trial,
         )

@@ -102,7 +102,10 @@ class ReplayEngine:
         #: key -> MachineSnapshot, LRU order (only under reuse='checkpoint').
         self._snapshots: "OrderedDict[Hashable, Any]" = OrderedDict()
         #: key -> MachineSnapshot for captured states (never evicted --
-        #: there is no builder chain to rebuild them from).
+        #: there is no builder chain to rebuild them from).  Pinned
+        #: snapshots count against ``capacity``; :meth:`capture` refuses
+        #: to pin past it rather than silently growing the cache or
+        #: starving the LRU side into a store-then-evict loop.
         self._pinned: Dict[Hashable, Any] = {}
         self._root_snapshot = machine.snapshot()
 
@@ -142,6 +145,11 @@ class ReplayEngine:
         builder to rebuild them from -- and work under either reuse
         policy.  ``parent`` is recorded purely for :meth:`invalidate`'s
         descendant tracking.  The machine is left untouched.
+
+        Pinned snapshots occupy cache slots: once ``capacity`` of them
+        exist, further captures raise :class:`ReplayError` (an evicted
+        capture would be unrecoverable, so eviction is not an option).
+        Free slots with :meth:`invalidate` or a larger ``capacity``.
         """
         if key is ROOT:
             raise ReplayError("cannot capture over the root key")
@@ -149,9 +157,17 @@ class ReplayEngine:
             raise ReplayError(f"checkpoint {key!r} already declared")
         if parent is not ROOT and parent not in self._nodes:
             raise ReplayError(f"unknown parent checkpoint {parent!r}")
+        if len(self._pinned) >= self.capacity:
+            raise ReplayError(
+                f"cannot capture {key!r}: all {self.capacity} cache "
+                f"slot(s) hold pinned captures, which are never evicted; "
+                f"invalidate() a capture or raise the engine capacity")
         depth = 0 if parent is ROOT else self._nodes[parent].depth + 1
         self._nodes[key] = _Node(parent=parent, build=None, depth=depth)
         self._pinned[key] = self.machine.snapshot()
+        # The pin shrank the LRU side's budget; trim it immediately so
+        # the cache bound holds at all times, not just on the next store.
+        self._trim()
         return key
 
     def evaluate(self, key: Hashable, suffix: Callable[[], Any]) -> Any:
@@ -246,9 +262,21 @@ class ReplayEngine:
             self._store(key)
 
     def _store(self, key: Hashable) -> None:
+        budget = self.capacity - len(self._pinned)
+        if budget < 1:
+            # Every slot is pinned: storing would evict the snapshot we
+            # just made (or another key) in an endless store/evict churn.
+            # Built checkpoints are always recoverable from their chain,
+            # so simply run uncached.
+            return
         self._snapshots[key] = self.machine.snapshot()
         self._snapshots.move_to_end(key)
-        while len(self._snapshots) > self.capacity:
+        self._trim()
+
+    def _trim(self) -> None:
+        """Evict LRU snapshots until pins + cached fit ``capacity``."""
+        budget = max(0, self.capacity - len(self._pinned))
+        while len(self._snapshots) > budget:
             self._snapshots.popitem(last=False)
             self.stats.evictions += 1
 

@@ -1,0 +1,248 @@
+"""Property suite pinning the batch engine bit-identical to the scalar one.
+
+Style follows ``tests/test_interpreter_equivalence.py``: drive the
+vectorized :class:`BatchMachine` and N scalar :class:`Machine` twins
+through identical randomized workloads and require *exact* state
+equality -- ``extract(i)`` must equal the scalar ``snapshot()`` down to
+every counter, tag, useful bit, PHR bit, BTB ordering and perf
+histogram.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.batch import BatchMachine, supports_config
+from repro.cpu.config import RAPTOR_LAKE, SKYLAKE
+from repro.cpu.machine import Machine
+from repro.isa.memory import Memory
+from repro.isa.builder import ProgramBuilder
+from repro.utils.rng import DeterministicRng
+
+CONFIGS = [RAPTOR_LAKE, SKYLAKE]
+
+
+def _assert_snapshots_equal(batch_snap, scalar_snap, context: str) -> None:
+    assert batch_snap.cbp[0] == scalar_snap.cbp[0], f"{context}: base"
+    for t, (got, want) in enumerate(zip(batch_snap.cbp[1],
+                                        scalar_snap.cbp[1])):
+        assert got == want, f"{context}: table {t}"
+    assert batch_snap.btb == scalar_snap.btb, f"{context}: btb"
+    assert batch_snap.ibp == scalar_snap.ibp, f"{context}: ibp"
+    assert batch_snap.cache == scalar_snap.cache, f"{context}: cache"
+    assert batch_snap.perf == scalar_snap.perf, f"{context}: perf"
+    assert batch_snap.threads == scalar_snap.threads, f"{context}: threads"
+    assert batch_snap.ibrs_enabled == scalar_snap.ibrs_enabled, context
+    assert batch_snap.phr_capacity == scalar_snap.phr_capacity, context
+
+
+def _random_branch(rng: DeterministicRng):
+    pc = rng.value_bits(20)
+    target = rng.value_bits(20)
+    return pc, target
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_observe_stream_matches_scalar(config, seed):
+    """Random conditional/taken-branch streams: state equal throughout."""
+    assert supports_config(config)
+    n = 3
+    rng = DeterministicRng(0xBA7C4 + seed)
+    scalars = [Machine(config) for _ in range(n)]
+    batch = BatchMachine(n, config)
+
+    # Narrow PC pool so branches collide in sets and trigger the
+    # duplicate-reseed / eviction / decay allocate paths.
+    pc_pool = [rng.value_bits(16) for _ in range(12)]
+    for step in range(400):
+        choice = rng.integer(0, 9)
+        if choice < 7:
+            pcs = [rng.choice(pc_pool) for _ in range(n)]
+            targets = [rng.value_bits(18) for _ in range(n)]
+            takens = [rng.coin() for _ in range(n)]
+            scalar_mis = [scalars[i].observe_conditional(pcs[i], targets[i],
+                                                         takens[i])
+                          for i in range(n)]
+            batch_mis = batch.observe_conditional(pcs, targets, takens)
+            assert list(batch_mis) == scalar_mis, f"step {step}"
+        elif choice < 9:
+            pcs = [rng.choice(pc_pool) for _ in range(n)]
+            targets = [rng.value_bits(18) for _ in range(n)]
+            for i in range(n):
+                scalars[i].record_taken_branch(pcs[i], targets[i])
+            batch.record_taken_branch(pcs, targets)
+        else:
+            value = rng.value_bits(2 * config.phr_capacity)
+            values = [value ^ i for i in range(n)]
+            for i in range(n):
+                scalars[i].phr().set_value(values[i])
+            batch.set_phr_values(values)
+        if step % 97 == 0:
+            for i in range(n):
+                _assert_snapshots_equal(batch.extract(i),
+                                        scalars[i].snapshot(),
+                                        f"step {step} replica {i}")
+    for i in range(n):
+        _assert_snapshots_equal(batch.extract(i), scalars[i].snapshot(),
+                                f"final replica {i}")
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_masked_observe_matches_scalar(config):
+    """Masked commits touch exactly the selected replicas."""
+    n = 4
+    rng = DeterministicRng(0x5E1EC7)
+    scalars = [Machine(config) for _ in range(n)]
+    batch = BatchMachine(n, config)
+    for step in range(120):
+        mask = [rng.coin() for _ in range(n)]
+        pc, target = _random_branch(rng)
+        taken = rng.coin()
+        for i in range(n):
+            if mask[i]:
+                scalars[i].observe_conditional(pc, target, taken)
+        batch.observe_conditional(pc, target, taken, mask=mask)
+    for i in range(n):
+        _assert_snapshots_equal(batch.extract(i), scalars[i].snapshot(),
+                                f"replica {i}")
+
+
+def _branchy_program():
+    """A program whose control flow depends on per-replica memory."""
+    b = ProgramBuilder()
+    b.mov_imm("rax", 0x40_0000)   # input block
+    b.mov_imm("rbx", 0)           # accumulator
+    b.mov_imm("rcx", 0)           # loop counter
+    b.label("loop")
+    b.load("rdx", "rax", 0)
+    b.cmp("rdx", imm=100)
+    b.jlt("small")
+    b.add("rbx", imm=3)
+    b.store("rbx", "rax", 64)
+    b.jmp("next")
+    b.label("small")
+    b.add("rbx", imm=1)
+    b.label("next")
+    b.add("rax", imm=1)
+    b.add("rcx", imm=1)
+    b.cmp("rcx", imm=40)
+    b.jlt("loop")
+    b.call("leaf")
+    b.halt()
+    b.label("leaf")
+    b.ret()
+    return b.build()
+
+
+def _provision(seed: int) -> Memory:
+    memory = Memory()
+    rng = DeterministicRng(seed)
+    for offset in range(64):
+        memory.write(0x40_0000 + offset, 1, rng.value_bits(8))
+    return memory
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_run_batch_matches_scalar_runs(config):
+    """run_batch == per-replica Machine.run(speculate=False), bit for bit."""
+    n = 4
+    program = _branchy_program()
+    batch = BatchMachine(n, config)
+    results = batch.run_batch(
+        program, [_provision(7 + i) for i in range(n)], trace="full")
+    for i in range(n):
+        scalar = Machine(config)
+        result = scalar.run(program, memory=_provision(7 + i),
+                            speculate=False, trace="full")
+        got = results[i]
+        assert tuple(got.trace) == tuple(result.trace), f"replica {i} trace"
+        assert got.perf == result.perf, f"replica {i} perf delta"
+        assert got.phr_value == result.phr_value, f"replica {i} phr"
+        assert got.execution.instructions == result.execution.instructions
+        assert got.state.regs == result.state.regs
+        _assert_snapshots_equal(batch.extract(i), scalar.snapshot(),
+                                f"replica {i}")
+
+
+def test_run_batch_from_trained_snapshot():
+    """Importing a trained scalar snapshot preserves bit-identity."""
+    config = RAPTOR_LAKE
+    program = _branchy_program()
+    trainer = Machine(config)
+    trainer.run(program, memory=_provision(99), speculate=False,
+                trace="none")
+    snap = trainer.snapshot()
+
+    n = 3
+    batch = BatchMachine.from_snapshot(config, snap, n)
+    for i in range(n):
+        _assert_snapshots_equal(batch.extract(i), snap, f"import {i}")
+    results = batch.run_batch(program,
+                              [_provision(200 + i) for i in range(n)])
+    for i in range(n):
+        scalar = Machine(config)
+        scalar.restore(snap)
+        result = scalar.run(program, memory=_provision(200 + i),
+                            speculate=False, trace="branches")
+        assert results[i].perf == result.perf
+        assert results[i].phr_value == result.phr_value
+        _assert_snapshots_equal(batch.extract(i), scalar.snapshot(),
+                                f"trained replica {i}")
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_long_taken_stream_wraps_buffer(config):
+    """Streams long enough to wrap the circular PHR buffer stay exact.
+
+    The batch engine keeps PHR bits behind a moving origin that recopies
+    every ``slack/2`` taken branches; masked commits desynchronize the
+    per-replica origins so the recopy path runs with mixed offsets.
+    """
+    n = 3
+    rng = DeterministicRng(0x11AB)
+    scalars = [Machine(config) for _ in range(n)]
+    batch = BatchMachine(n, config)
+    for step in range(3 * 2 * config.phr_capacity + 64):
+        mask = [True, step % 2 == 0, step % 3 != 0]
+        pc = rng.value_bits(16)
+        target = rng.value_bits(18)
+        for i in range(n):
+            if mask[i]:
+                scalars[i].record_taken_branch(pc, target)
+        batch.record_taken_branch(pc, target, mask=mask)
+        if step % 251 == 0:
+            for i in range(n):
+                assert batch.phr_value(i) == scalars[i].phr().value, \
+                    f"step {step} replica {i}"
+    for i in range(n):
+        _assert_snapshots_equal(batch.extract(i), scalars[i].snapshot(),
+                                f"replica {i}")
+
+
+def test_snapshot_restore_replays_identically():
+    """restore() rewinds to a bit-identical state: same stream, same end."""
+    config = RAPTOR_LAKE
+    n = 3
+    rng = DeterministicRng(0xD0)
+    batch = BatchMachine(n, config)
+    for _ in range(50):
+        pc, target = _random_branch(rng)
+        batch.observe_conditional(pc, target, rng.coin())
+    checkpoint = batch.snapshot()
+
+    def drive(tag):
+        stream_rng = DeterministicRng(0xF00D)
+        for _ in range(80):
+            pc, target = _random_branch(stream_rng)
+            batch.observe_conditional(pc, target,
+                                      stream_rng.coin())
+        return [batch.extract(i) for i in range(n)]
+
+    first = drive("first")
+    batch.restore(checkpoint)
+    second = drive("second")
+    for i in range(n):
+        _assert_snapshots_equal(first[i], second[i], f"replay replica {i}")

@@ -1,0 +1,144 @@
+"""API contract tests for :class:`repro.batch.BatchMachine`.
+
+The bit-identity pinning lives in ``tests/test_batch_equivalence.py``;
+this module covers the functional surface: argument validation, masks,
+PHR seeding, snapshot discipline and the error paths the batch contract
+promises (no speculation, no indirect kinds, supported configs only).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.batch import BatchMachine, BatchSnapshot, supports_config
+from repro.cpu.config import RAPTOR_LAKE, SKYLAKE
+from repro.cpu.machine import Machine
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import BranchKind
+
+
+def _tiny_program():
+    b = ProgramBuilder()
+    b.mov_imm("rax", 1)
+    b.cmp("rax", imm=0)
+    b.jgt("end")
+    b.mov_imm("rbx", 2)
+    b.label("end")
+    b.halt()
+    return b.build()
+
+
+def test_rejects_bad_replica_count():
+    with pytest.raises(ValueError):
+        BatchMachine(0)
+    with pytest.raises(ValueError):
+        BatchMachine(-3)
+
+
+def test_supports_config_gates_unsupported_shapes():
+    assert supports_config(RAPTOR_LAKE)
+    assert supports_config(SKYLAKE)
+    odd = dataclasses.replace(RAPTOR_LAKE, pht_sets=600)
+    assert not supports_config(odd)
+    with pytest.raises(ValueError):
+        BatchMachine(2, odd)
+
+
+def test_run_batch_rejects_speculation():
+    batch = BatchMachine(1)
+    with pytest.raises(ValueError, match="speculat"):
+        batch.run_batch(_tiny_program(), speculate=True)
+
+
+def test_record_taken_branch_rejects_indirect_kind():
+    batch = BatchMachine(2)
+    with pytest.raises(ValueError):
+        batch.record_taken_branch(0x1000, 0x2000, kind=BranchKind.INDIRECT)
+
+
+def test_run_batch_rejects_wrong_input_count():
+    batch = BatchMachine(3)
+    with pytest.raises(ValueError):
+        batch.run_batch(_tiny_program(), inputs=[None, None])
+
+
+def test_mask_must_match_batch_width():
+    batch = BatchMachine(3)
+    with pytest.raises(ValueError):
+        batch.observe_conditional(0x10, 0x20, True, mask=[True, False])
+
+
+def test_restore_rejects_foreign_width():
+    small = BatchMachine(2)
+    snap = small.snapshot()
+    big = BatchMachine(3)
+    with pytest.raises(ValueError):
+        big.restore(snap)
+    assert isinstance(snap, BatchSnapshot)
+
+
+def test_set_phr_values_scalar_and_vector():
+    batch = BatchMachine(3)
+    batch.set_phr_values(0xABC)
+    assert batch.phr_values() == [0xABC, 0xABC, 0xABC]
+    batch.set_phr_values([1, 2, 3])
+    assert batch.phr_values() == [1, 2, 3]
+    batch.clear_phr()
+    assert batch.phr_values() == [0, 0, 0]
+    with pytest.raises(ValueError):
+        batch.set_phr_values([1, 2])
+
+
+def test_phr_value_tracks_taken_branches():
+    batch = BatchMachine(2)
+    scalar = Machine()
+    batch.record_taken_branch(0x4000, 0x5000)
+    scalar.record_taken_branch(0x4000, 0x5000)
+    assert batch.phr_value(0) == scalar.phr().value
+    assert batch.phr_value(1) == scalar.phr().value
+    # Not-taken conditionals leave the PHR untouched.
+    before = batch.phr_value(0)
+    batch.observe_conditional(0x4100, 0x5100, False)
+    assert batch.phr_value(0) == before
+
+
+def test_extract_is_idempotent_mid_stream():
+    batch = BatchMachine(2)
+    for step in range(40):
+        batch.observe_conditional(0x100 + 16 * step, 0x900, step % 3 == 0)
+    first = batch.extract(1)
+    second = batch.extract(1)
+    assert first == second
+    # extract() must not disturb the other replica either.
+    assert batch.extract(0) == batch.extract(0)
+
+
+def test_per_replica_vector_arguments():
+    """Vector pc/target/taken arguments apply element-wise."""
+    n = 3
+    batch = BatchMachine(n)
+    scalars = [Machine() for _ in range(n)]
+    pcs = [0x1000, 0x2000, 0x3000]
+    targets = [0x1100, 0x2200, 0x3300]
+    takens = [True, False, True]
+    got = batch.observe_conditional(pcs, targets, takens)
+    want = [scalars[i].observe_conditional(pcs[i], targets[i], takens[i])
+            for i in range(n)]
+    assert list(got) == want
+    for i in range(n):
+        assert batch.phr_value(i) == scalars[i].phr().value
+
+
+def test_snapshot_is_isolated_from_later_mutation():
+    batch = BatchMachine(2)
+    batch.observe_conditional(0x700, 0x800, True)
+    snap = batch.snapshot()
+    reference = batch.extract(0)
+    for step in range(25):
+        batch.observe_conditional(0x700 + 4 * step, 0x800, step % 2 == 0)
+    batch.restore(snap)
+    assert batch.extract(0) == reference

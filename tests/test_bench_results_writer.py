@@ -1,0 +1,102 @@
+"""Tests for the benchmark results writer (``benchmarks/conftest.py``).
+
+The writer is a pytest conftest, not an importable package module, so
+these tests load it by file path.  Covered: corrupt/empty trajectory
+recovery (quarantine + fresh start), atomic appends, and the
+``REPRO_BENCH_QUICK`` parsing that must treat ``"0 "`` (trailing
+whitespace) as off.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+CONFTEST_PATH = (Path(__file__).resolve().parent.parent
+                 / "benchmarks" / "conftest.py")
+
+
+def _load_writer(name: str, monkeypatch, results_dir: Path):
+    """A fresh instance of the benchmarks conftest module."""
+    spec = importlib.util.spec_from_file_location(name, CONFTEST_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "RESULTS_DIR", results_dir)
+    return module
+
+
+@pytest.fixture
+def writer(tmp_path, monkeypatch):
+    module = _load_writer("_bench_writer_under_test", monkeypatch,
+                          tmp_path / "results")
+    yield module
+    sys.modules.pop("_bench_writer_under_test", None)
+
+
+class TestAppendResult:
+    def test_appends_a_trajectory(self, writer):
+        path = writer.append_result("demo", {"run": 1})
+        writer.append_result("demo", {"run": 2})
+        assert json.loads(path.read_text()) == [{"run": 1}, {"run": 2}]
+        # Atomic write: no scratch files left behind.
+        leftovers = [p for p in path.parent.iterdir() if p != path]
+        assert leftovers == []
+
+    def test_recovers_from_corrupt_file(self, writer):
+        writer.RESULTS_DIR.mkdir(parents=True)
+        path = writer.RESULTS_DIR / "demo.json"
+        path.write_text('[{"run": 1}, {"ru')  # truncated mid-record
+        result = writer.append_result("demo", {"run": 2})
+        assert json.loads(result.read_text()) == [{"run": 2}]
+        quarantine = path.with_suffix(".json.corrupt")
+        assert quarantine.exists()
+        assert quarantine.read_text() == '[{"run": 1}, {"ru'
+
+    def test_recovers_from_empty_file(self, writer):
+        writer.RESULTS_DIR.mkdir(parents=True)
+        (writer.RESULTS_DIR / "demo.json").write_text("")
+        result = writer.append_result("demo", {"run": 7})
+        assert json.loads(result.read_text()) == [{"run": 7}]
+        assert (writer.RESULTS_DIR / "demo.json.corrupt").exists()
+
+    def test_recovers_from_non_list_payload(self, writer):
+        writer.RESULTS_DIR.mkdir(parents=True)
+        (writer.RESULTS_DIR / "demo.json").write_text('{"not": "a list"}')
+        result = writer.append_result("demo", {"run": 3})
+        assert json.loads(result.read_text()) == [{"run": 3}]
+        assert (writer.RESULTS_DIR / "demo.json.corrupt").exists()
+
+    def test_valid_trajectory_is_preserved(self, writer):
+        writer.RESULTS_DIR.mkdir(parents=True)
+        (writer.RESULTS_DIR / "demo.json").write_text('[{"run": 1}]\n')
+        result = writer.append_result("demo", {"run": 2})
+        assert json.loads(result.read_text()) == [{"run": 1}, {"run": 2}]
+        assert not (writer.RESULTS_DIR / "demo.json.corrupt").exists()
+
+
+class TestQuickModeParsing:
+    @pytest.mark.parametrize("value,expected", [
+        ("", False),
+        ("0", False),
+        ("0 ", False),      # the regression: trailing whitespace
+        (" 0", False),
+        ("  ", False),
+        ("1", True),
+        ("1 ", True),
+        ("yes", True),
+    ])
+    def test_quick_flag_strips_before_comparing(self, value, expected,
+                                                tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_QUICK", value)
+        module = _load_writer(f"_bench_writer_quick_{expected}_{id(value)}",
+                              monkeypatch, tmp_path)
+        try:
+            assert module.BENCH_QUICK is expected
+            assert module.operation_count(100, 5) == (5 if expected else 100)
+        finally:
+            sys.modules.pop(module.__name__, None)

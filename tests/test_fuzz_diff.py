@@ -37,6 +37,36 @@ class TestCleanSweep:
             rng = DeterministicRng(0xAE5).fork(index)
             assert diff.check_aes_data_paths(rng) == []
 
+    def test_batch_twin_arm_clean_and_skips(self):
+        pytest.importorskip("numpy")
+        fp = generator.generate_program(0xD1FF, 0, profile="smoke")
+        assert diff._check_batch_twin(fp, machine_mutator=None) == []
+        # A machine_mutator perturbs scalar machines only, so the arm
+        # must stand down rather than report spurious divergences.
+        assert diff._check_batch_twin(fp, machine_mutator=lambda m: None) \
+            == []
+
+    def test_batch_twin_arm_is_not_vacuous(self, monkeypatch):
+        """A perturbed batch replica must register as a divergence."""
+        pytest.importorskip("numpy")
+        import repro.batch as batch_module
+
+        real = batch_module.BatchMachine
+
+        class Perturbed(real):
+            def run_batch(self, *args, **kwargs):
+                results = super().run_batch(*args, **kwargs)
+                # Skew predictor state after the run: the extracted
+                # snapshots no longer match the scalar machines.
+                self.record_taken_branch(0x1234, 0x5678)
+                return results
+
+        monkeypatch.setattr(batch_module, "BatchMachine", Perturbed)
+        fp = generator.generate_program(0xD1FF, 0, profile="smoke")
+        divergences = diff._check_batch_twin(fp, machine_mutator=None)
+        assert divergences, "perturbed batch arm reported no divergence"
+        assert any(d.kind == "snapshot" for d in divergences)
+
 
 class TestArmDigests:
     def test_run_arm_captures_commit_stream(self):

@@ -163,6 +163,41 @@ class TestCapture:
         with pytest.raises(ReplayError):
             engine.capture("child", parent="missing")
 
+    def test_capture_refuses_to_pin_past_capacity(self):
+        """Pins fill the cache; the capacity+1'th capture must raise a
+        clear :class:`ReplayError` rather than grow the cache unbounded
+        or evict an unrecoverable pinned snapshot."""
+        machine = Machine(RAPTOR_LAKE)
+        engine = ReplayEngine(machine, capacity=1)
+        engine.capture("first")
+        with pytest.raises(ReplayError, match="pinned"):
+            engine.capture("second")
+        # The failed capture must not leave a half-declared node behind.
+        assert "second" not in engine
+        # Freeing the pin makes the slot reusable.
+        engine.invalidate("first")
+        engine.capture("second")
+
+    def test_pins_count_against_lru_budget(self):
+        """A pin shrinks the LRU side immediately and keeps built
+        checkpoints functional (uncached) when every slot is pinned."""
+        machine = Machine(RAPTOR_LAKE)
+        engine = ReplayEngine(machine, capacity=2)
+        calls = []
+        engine.checkpoint("a", make_builder(machine, 0x1000, 0x2000, calls))
+        engine.checkpoint("b", make_builder(machine, 0x3000, 0x4000, calls))
+        assert engine.cached_keys() == ("a", "b")
+        engine.capture("pin1")
+        assert len(engine.cached_keys()) == 1  # trimmed at capture time
+        engine.capture("pin2")
+        assert engine.cached_keys() == ()
+        # Fully pinned: built checkpoints still establish correctly,
+        # they just re-run their builders every time instead of caching.
+        value_a = engine.evaluate("a", lambda: phr_of(machine))
+        assert engine.evaluate("a", lambda: phr_of(machine)) == value_a
+        assert engine.cached_keys() == ()
+        assert calls.count(0x1000) >= 3
+
 
 class TestValidation:
     def test_reuse_modes_exported(self):
