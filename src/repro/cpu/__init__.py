@@ -22,8 +22,11 @@ from repro.cpu.cbp import ConditionalBranchPredictor, Prediction
 from repro.cpu.cache import DataCache
 from repro.cpu.perf import PerfCounters
 from repro.cpu.machine import Machine, MachineRunResult, MachineSnapshot
+from repro.cpu.serialize import SNAPSHOT_FORMAT_VERSION, SnapshotFormatError
 
 __all__ = [
+    "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotFormatError",
     "ALDER_LAKE",
     "ConditionalBranchPredictor",
     "DataCache",

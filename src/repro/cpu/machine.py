@@ -75,6 +75,30 @@ class MachineSnapshot:
     #: PHR capacity (doublets) of the source machine, for restore checks.
     phr_capacity: int = 0
 
+    def to_bytes(self) -> bytes:
+        """Serialize to the versioned artifact format.
+
+        The inverse of :meth:`from_bytes`; see
+        :mod:`repro.cpu.serialize` for the format contract.  Round-trips
+        are bit-identical (``from_bytes(to_bytes(s)) == s``), which is
+        what lets the service layer's checkpoint store share snapshots
+        across processes and worker restarts.
+        """
+        from repro.cpu.serialize import snapshot_to_bytes
+
+        return snapshot_to_bytes(self)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MachineSnapshot":
+        """Deserialize a :meth:`to_bytes` artifact.
+
+        Raises :class:`repro.cpu.serialize.SnapshotFormatError` on a
+        magic/version mismatch or a damaged payload.
+        """
+        from repro.cpu.serialize import snapshot_from_bytes
+
+        return snapshot_from_bytes(data)
+
 
 @dataclass
 class MachineRunResult:

@@ -1,0 +1,117 @@
+"""Versioned byte serialization of :class:`MachineSnapshot` artifacts.
+
+The snapshot format is the stable currency of the service layer
+(ARCHITECTURE.md §11): the content-addressed checkpoint store persists
+snapshots to disk and restores them in *other* processes, across worker
+restarts, so the in-memory object graph alone is not enough.  An
+artifact is::
+
+    magic (8 bytes)  b"RPROSNAP"
+    version (u16 BE) SNAPSHOT_FORMAT_VERSION
+    payload          pickled builtins-only field mapping
+
+The payload deliberately contains no project classes: every component
+checkpoint is already sparse builtins (tuples/dicts/ints/strs), and the
+one dataclass member (:class:`~repro.cpu.perf.PerfCounters`) is lowered
+to its field dict.  That keeps old artifacts readable by any build whose
+*format version* matches, independent of class-layout refactors -- and
+makes a mismatch a loud :class:`SnapshotFormatError` instead of a
+pickle-layer crash deep inside a worker.
+
+Round-trips are bit-identical: ``snapshot_from_bytes(snapshot_to_bytes(s))
+== s`` including perf counters and per-thread state, pinned by
+``tests/test_snapshot_serialize.py`` and a fuzz diff arm.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+MAGIC = b"RPROSNAP"
+
+#: Bump whenever the payload schema changes shape.  Readers refuse
+#: artifacts from any other version -- a checkpoint silently restored
+#: into the wrong field layout would corrupt every measurement built on
+#: top of it.
+SNAPSHOT_FORMAT_VERSION = 1
+
+_HEADER_LEN = len(MAGIC) + 2
+
+
+class SnapshotFormatError(ValueError):
+    """The bytes are not a readable snapshot artifact of this version."""
+
+
+def snapshot_to_bytes(snapshot) -> bytes:
+    """Serialize a :class:`~repro.cpu.machine.MachineSnapshot`."""
+    payload = {
+        "cbp": snapshot.cbp,
+        "btb": snapshot.btb,
+        "ibp": snapshot.ibp,
+        "cache": snapshot.cache,
+        "perf": dataclasses.asdict(snapshot.perf),
+        "threads": snapshot.threads,
+        "ibrs_enabled": snapshot.ibrs_enabled,
+        "phr_capacity": snapshot.phr_capacity,
+    }
+    header = MAGIC + SNAPSHOT_FORMAT_VERSION.to_bytes(2, "big")
+    return header + pickle.dumps(payload, protocol=4)
+
+
+def snapshot_from_bytes(data: bytes):
+    """Deserialize a snapshot artifact; the exact inverse of
+    :func:`snapshot_to_bytes`.
+
+    Raises :class:`SnapshotFormatError` for anything that is not a
+    complete artifact of :data:`SNAPSHOT_FORMAT_VERSION`: wrong magic,
+    other versions, truncation, or a payload that does not decode to the
+    expected field mapping.
+    """
+    from repro.cpu.machine import MachineSnapshot
+    from repro.cpu.perf import PerfCounters
+
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise SnapshotFormatError(
+            f"expected bytes, got {type(data).__name__}")
+    data = bytes(data)
+    if len(data) < _HEADER_LEN or data[:len(MAGIC)] != MAGIC:
+        raise SnapshotFormatError(
+            "not a snapshot artifact (bad or truncated magic header)")
+    version = int.from_bytes(data[len(MAGIC):_HEADER_LEN], "big")
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise SnapshotFormatError(
+            f"snapshot artifact is format version {version}; this build "
+            f"reads version {SNAPSHOT_FORMAT_VERSION}")
+    try:
+        payload = pickle.loads(data[_HEADER_LEN:])
+    except Exception as exc:  # pickle raises a zoo of error types
+        raise SnapshotFormatError(
+            f"snapshot payload failed to decode: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SnapshotFormatError(
+            f"snapshot payload decoded to {type(payload).__name__}, "
+            f"expected a field mapping")
+    expected = {"cbp", "btb", "ibp", "cache", "perf", "threads",
+                "ibrs_enabled", "phr_capacity"}
+    if set(payload) != expected:
+        missing = expected - set(payload)
+        extra = set(payload) - expected
+        raise SnapshotFormatError(
+            f"snapshot payload has the wrong fields "
+            f"(missing {sorted(missing)}, unexpected {sorted(extra)})")
+    try:
+        perf = PerfCounters(**payload["perf"])
+    except TypeError as exc:
+        raise SnapshotFormatError(
+            f"snapshot perf counters failed to rebuild: {exc}") from exc
+    return MachineSnapshot(
+        cbp=payload["cbp"],
+        btb=payload["btb"],
+        ibp=payload["ibp"],
+        cache=payload["cache"],
+        perf=perf,
+        threads=payload["threads"],
+        ibrs_enabled=payload["ibrs_enabled"],
+        phr_capacity=payload["phr_capacity"],
+    )

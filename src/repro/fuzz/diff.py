@@ -271,6 +271,8 @@ def check_program(
 
     divergences += _check_snapshot_replay(fuzz_program, machine_mutator,
                                           oracle_stride)
+    divergences += _check_snapshot_serialization(fuzz_program,
+                                                 machine_mutator)
     divergences += _check_prefix_replay(fuzz_program, fast, machine_mutator,
                                         oracle_stride)
     divergences += _check_batch_twin(fuzz_program, machine_mutator)
@@ -361,6 +363,53 @@ def _check_snapshot_replay(
     second = run_arm(fuzz_program, engine="fast", trace="none",
                      oracle_stride=oracle_stride, machine=machine)
     return _compare("snapshot-replay", first, second, compare_trace=False)
+
+
+def _check_snapshot_serialization(
+    fuzz_program: FuzzProgram,
+    machine_mutator: Optional[MachineMutator],
+) -> List[Divergence]:
+    """The versioned snapshot wire format, against fuzz-trained state.
+
+    Train a machine with one full run, serialize its snapshot through
+    :meth:`MachineSnapshot.to_bytes`, deserialize, and demand (a) the
+    round-tripped snapshot compares equal to the live one, and (b) a
+    fresh machine restored from the *deserialized* snapshot is
+    structurally bit-identical to the trained machine.  This is the
+    disk tier's contract: a checkpoint served from
+    :class:`repro.service.store.SnapshotStore`'s spill directory must
+    be indistinguishable from the live capture it spilled.
+    """
+    from repro.cpu.machine import MachineSnapshot
+    from repro.cpu.serialize import SnapshotFormatError
+
+    machine = Machine(fuzz_program.machine_config)
+    if machine_mutator is not None:
+        machine_mutator(machine)
+    machine.run(fuzz_program.program,
+                memory=_provision_memory(fuzz_program),
+                max_instructions=fuzz_program.max_instructions,
+                trace="none")
+    snap = machine.snapshot()
+    arm = "snapshot-serialization"
+    try:
+        restored = MachineSnapshot.from_bytes(snap.to_bytes())
+    except SnapshotFormatError as exc:
+        return [Divergence(arm, "format", str(exc))]
+    if restored != snap:
+        return [Divergence(arm, "round-trip",
+                           "deserialized snapshot != live snapshot")]
+
+    twin = Machine(fuzz_program.machine_config)
+    twin.restore(restored)
+    left = machine_fingerprint(machine)
+    right = machine_fingerprint(twin)
+    if left == right:
+        return []
+    names = ("cbp.base", "cbp.tables", "btb", "ibp", "cache", "perf",
+             "threads", "ibrs")
+    return [Divergence(arm, f"machine.{name}", f"{a!r} != {b!r}")
+            for name, a, b in zip(names, left, right) if a != b]
 
 
 def _check_prefix_replay(

@@ -140,6 +140,15 @@ class TrialReport:
     elapsed: float = 0.0
     #: Batch width the vectorized fast path ran with (1 = scalar trials).
     vectorize: int = 1
+    #: Per-trial wall-clock seconds ordered by trial index (``None`` for
+    #: trials that never ran).  Trials in a vectorized block share the
+    #: block's elapsed time evenly (the scheduler cannot see inside one
+    #: batch call).
+    timings: List[Optional[float]] = field(default_factory=list)
+    #: True when a KeyboardInterrupt/shutdown drained the run early:
+    #: completed chunks are reported, pending trials carry a
+    #: ``CancelledError`` failure.
+    interrupted: bool = False
 
     @property
     def count(self) -> int:
@@ -150,6 +159,18 @@ class TrialReport:
     def completed(self) -> int:
         """Trials that returned a value."""
         return len(self.values) - len(self.failures)
+
+    def timing_summary(self):
+        """p50/p99/mean percentiles over the per-trial wall times.
+
+        Returns a :class:`repro.utils.stats.TimingSummary` (or ``None``
+        when no trial was timed).  The same helper feeds the service
+        load generator, so harness and service latency numbers are
+        directly comparable.
+        """
+        from repro.utils.stats import summarize_timings
+
+        return summarize_timings(self.timings)
 
 
 def _chunk_indices(count: int, chunk_size: Optional[int],
@@ -169,16 +190,24 @@ def _chunk_indices(count: int, chunk_size: Optional[int],
 
 def _run_chunk(context: Any, trial: Callable, indices: range,
                seed: int) -> List[tuple]:
-    """Run one chunk inline; returns ``(index, ok, payload)`` triples."""
+    """Run one chunk inline.
+
+    Returns ``(index, ok, payload, seconds)`` quadruples -- the per-trial
+    wall time rides along so the parent can report latency percentiles
+    without a second timing pass.
+    """
     results = []
     for index in indices:
+        begin = time.perf_counter()
         try:
             value = trial(context, index, trial_rng(seed, index))
-            results.append((index, True, value))
+            results.append((index, True, value,
+                            time.perf_counter() - begin))
         except Exception as exc:  # noqa: BLE001 -- per-trial accounting
             results.append((
                 index, False,
                 (f"{type(exc).__name__}: {exc}", traceback.format_exc()),
+                time.perf_counter() - begin,
             ))
     return results
 
@@ -200,6 +229,7 @@ def _run_chunk_batched(context: Any, trial: Callable, batch_trial: Callable,
     index_list = list(indices)
     for low in range(0, len(index_list), width):
         block = index_list[low:low + width]
+        begin = time.perf_counter()
         try:
             values = batch_trial(context, list(block),
                                  [trial_rng(seed, index) for index in block])
@@ -212,8 +242,12 @@ def _run_chunk_batched(context: Any, trial: Callable, batch_trial: Callable,
         except Exception:  # noqa: BLE001 -- degrade to the scalar path
             results.extend(_run_chunk(context, trial, block, seed))
             continue
+        # One batch call is one timing event; split it evenly since the
+        # scheduler cannot attribute lockstep work to single trials.
+        per_trial = (time.perf_counter() - begin) / len(block)
         results.extend(
-            (index, True, value) for index, value in zip(block, values))
+            (index, True, value, per_trial)
+            for index, value in zip(block, values))
     return results
 
 
@@ -291,7 +325,9 @@ def run_trials(
     workers = resolve_workers(workers)
     start = time.perf_counter()
     values: List[Any] = [None] * count
+    timings: List[Optional[float]] = [None] * count
     failures: List[TrialFailure] = []
+    interrupted = False
     if count == 0:
         return TrialReport(values=values, workers=workers, parallel=False,
                            vectorize=width)
@@ -299,9 +335,12 @@ def run_trials(
     chunks = _chunk_indices(count, chunk_size, workers)
     mp_context = _fork_context() if workers > 1 else None
     parallel = workers > 1 and mp_context is not None
+    touched = [False] * count
 
     def absorb(chunk_results: List[tuple]) -> None:
-        for index, ok, payload in chunk_results:
+        for index, ok, payload, seconds in chunk_results:
+            touched[index] = True
+            timings[index] = seconds
             if ok:
                 values[index] = payload
             else:
@@ -309,53 +348,97 @@ def run_trials(
                 failures.append(TrialFailure(index=index, error=error,
                                              traceback=trace))
 
+    def broken_pool_records(chunk: range) -> List[tuple]:
+        return [
+            (index, False,
+             ("BrokenProcessPool: worker process died "
+              "before the chunk completed",
+              "".join(traceback.format_stack())),
+             None)
+            for index in chunk
+        ]
+
     if not parallel:
         context = setup(spec) if setup is not None else None
         done = 0
-        for chunk in chunks:
-            if batch_trial is not None:
-                absorb(_run_chunk_batched(context, trial, batch_trial,
-                                          chunk, seed, width))
-            else:
-                absorb(_run_chunk(context, trial, chunk, seed))
-            done += len(chunk)
-            if progress is not None:
-                progress(done, count)
+        try:
+            for chunk in chunks:
+                if batch_trial is not None:
+                    absorb(_run_chunk_batched(context, trial, batch_trial,
+                                              chunk, seed, width))
+                else:
+                    absorb(_run_chunk(context, trial, chunk, seed))
+                done += len(chunk)
+                if progress is not None:
+                    progress(done, count)
+        except KeyboardInterrupt:
+            # Graceful drain: everything absorbed so far stays; the
+            # remaining trials are recorded as cancelled below.
+            interrupted = True
     else:
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=min(workers, len(chunks)),
             mp_context=mp_context,
             initializer=_worker_initialize,
             initargs=(setup, spec),
-        ) as pool:
+        )
+        processed: set = set()
+        try:
             futures = {
                 pool.submit(_worker_run_chunk, trial, chunk, seed,
                             batch_trial, width): chunk
                 for chunk in chunks
             }
             done = 0
-            for future in as_completed(futures):
-                chunk = futures[future]
-                try:
-                    absorb(future.result())
-                except BrokenProcessPool:
-                    # A worker died (os._exit, OOM kill, segfault in a
-                    # native extension) and took the pool with it.  The
-                    # executor cannot say which chunk crashed it, so the
-                    # chunk attached to each failed future is recorded
-                    # trial by trial and the remaining futures drain the
-                    # same way -- on_error='collect' still returns a
-                    # full report instead of leaking the exception.
-                    absorb([
-                        (index, False,
-                         ("BrokenProcessPool: worker process died "
-                          "before the chunk completed",
-                          "".join(traceback.format_stack())))
-                        for index in chunk
-                    ])
-                done += len(chunk)
-                if progress is not None:
-                    progress(done, count)
+            try:
+                for future in as_completed(futures):
+                    chunk = futures[future]
+                    processed.add(future)
+                    try:
+                        absorb(future.result())
+                    except BrokenProcessPool:
+                        # A worker died (os._exit, OOM kill, segfault in
+                        # a native extension) and took the pool with it.
+                        # The executor cannot say which chunk crashed
+                        # it, so the chunk attached to each failed
+                        # future is recorded trial by trial and the
+                        # remaining futures drain the same way --
+                        # on_error='collect' still returns a full report
+                        # instead of leaking the exception.
+                        absorb(broken_pool_records(chunk))
+                    done += len(chunk)
+                    if progress is not None:
+                        progress(done, count)
+            except KeyboardInterrupt:
+                # Graceful drain: cancel every not-yet-running chunk,
+                # keep every chunk that already finished (including any
+                # that completed during the interrupt window), and let
+                # the cancelled tail surface as per-trial failures.
+                interrupted = True
+                for future in futures:
+                    future.cancel()
+                for future, chunk in futures.items():
+                    if future in processed or not future.done() \
+                            or future.cancelled():
+                        continue
+                    try:
+                        absorb(future.result())
+                    except BrokenProcessPool:
+                        absorb(broken_pool_records(chunk))
+        finally:
+            pool.shutdown(wait=not interrupted, cancel_futures=interrupted)
+
+    if interrupted:
+        if on_error == "raise":
+            raise KeyboardInterrupt
+        for index in range(count):
+            if not touched[index]:
+                failures.append(TrialFailure(
+                    index=index,
+                    error="CancelledError: pending chunk cancelled by "
+                          "KeyboardInterrupt drain",
+                    traceback="",
+                ))
 
     failures.sort(key=lambda failure: failure.index)
     report = TrialReport(
@@ -366,6 +449,8 @@ def run_trials(
         parallel=parallel,
         elapsed=time.perf_counter() - start,
         vectorize=width,
+        timings=timings,
+        interrupted=interrupted,
     )
     if failures and on_error == "raise":
         raise TrialError(failures)

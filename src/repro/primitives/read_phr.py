@@ -98,6 +98,8 @@ class PhrReader:
         train_pc: int = TRAIN_PC,
         test_pc: int = TEST_PC,
         reuse: str = "checkpoint",
+        store=None,
+        store_scope=None,
     ):
         if reuse not in REUSE_MODES:
             raise ValueError(
@@ -115,11 +117,43 @@ class PhrReader:
         self._victim_phr_cache: Optional[int] = None
         self.iterations = 0
         self.reuse = reuse
+        if store is not None and reuse == "inline":
+            raise ValueError("reuse='inline' has no replay engine to "
+                             "attach a snapshot store to")
+        if store is not None and store_scope is None:
+            store_scope = self._default_store_scope()
         #: The prefix-replay engine (None under ``reuse='inline'``).  Its
         #: root checkpoint is the machine state at reader construction.
         self.replay: Optional[ReplayEngine] = (
-            None if reuse == "inline" else ReplayEngine(machine, reuse=reuse))
+            None if reuse == "inline" else ReplayEngine(
+                machine, reuse=reuse, store=store, store_scope=store_scope))
         self._prefix_key = None
+
+    def _default_store_scope(self):
+        """Content identity of this reader's profiled-victim prefix.
+
+        The prefix state is a deterministic function of (machine profile,
+        machine state at construction, victim program + entry + mode,
+        thread), so those are exactly the scope components.  A victim
+        with a ``setup`` hook has behaviour outside the program digest
+        (it provisions registers/memory), so no sound default exists --
+        the caller must name the victim via an explicit ``store_scope``.
+        """
+        if self.victim.setup is not None:
+            raise ValueError(
+                "cannot derive a content-address scope for a victim with "
+                "a setup hook; pass an explicit store_scope identifying it")
+        from repro.service.store import machine_digest, profile_digest, \
+            program_digest
+        return (
+            "read_phr",
+            profile_digest(self.machine.config),
+            machine_digest(self.machine),
+            program_digest(self.victim.program),
+            self.victim.entry,
+            self.victim.mode,
+            self.thread,
+        )
 
     # ------------------------------------------------------------------
 
@@ -186,6 +220,12 @@ class PhrReader:
                       known: List[int]) -> float:
         machine = self.machine
         phr = machine.phr(self.thread)
+        if self.replay is not None and self._victim_phr_cache is None:
+            # Prefix served from the shared store: the builder never ran
+            # here, but the restored state *is* the post-victim state, so
+            # the PHR constant the taken path installs is simply the
+            # current register value.
+            self._victim_phr_cache = phr.value
         rng = self.rng.fork(index * 4 + guess)
         not_taken_value = self._not_taken_value(guess, known)
         shift_amount = self.capacity - 1 - index

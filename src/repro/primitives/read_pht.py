@@ -119,6 +119,8 @@ class PhtReader:
         coordinates: Sequence[Tuple[int, int]],
         run_victim,
         reuse: str = "checkpoint",
+        store=None,
+        store_scope=None,
     ) -> List[PhtProbeResult]:
         """Read several ``(pc, phr_value)`` coordinates of *one* victim run.
 
@@ -132,9 +134,37 @@ class PhtReader:
         because the prefix is deterministic.  Coordinates must not alias
         each other (distinct PHT entries), or the batched prime differs
         from per-coordinate protocols.
+
+        With a shared :class:`~repro.service.store.SnapshotStore`, the
+        primed+victim prefix is published/consulted under a content
+        address, letting repeated batches against the same victim (other
+        readers, other service workers, later runs) skip the prefix
+        build.  ``run_victim`` is an arbitrary callable the store cannot
+        digest, so callers must pass ``store_scope`` naming the victim's
+        behaviour; the reader folds in the machine profile, live machine
+        state, thread, prime parameters, and coordinate list so distinct
+        batch setups never collide.
         """
         coordinates = list(coordinates)
-        engine = ReplayEngine(self.machine, reuse=reuse)
+        if store is not None:
+            if store_scope is None:
+                raise ValueError(
+                    "read_batch with a shared store needs a store_scope "
+                    "identifying run_victim (callables have no content "
+                    "address)")
+            from repro.service.store import machine_digest, profile_digest
+            store_scope = (
+                "read_pht",
+                profile_digest(self.machine.config),
+                machine_digest(self.machine),
+                self.thread,
+                self.prime_repetitions,
+                self.pc_alias_offset,
+                tuple(coordinates),
+                store_scope,
+            )
+        engine = ReplayEngine(self.machine, reuse=reuse, store=store,
+                              store_scope=store_scope)
 
         def prefix() -> None:
             for pc, phr_value in coordinates:

@@ -56,6 +56,28 @@ class ReplayStats:
     checkpoint_misses: int = 0
     restores: int = 0  #: Machine.restore() calls issued by the engine
     evictions: int = 0
+    #: Snapshots pinned by :meth:`ReplayEngine.capture` /
+    #: :meth:`ReplayEngine.adopt` over the engine's lifetime (never
+    #: decremented -- it counts pin *events*, not live pins).
+    pins: int = 0
+    #: Checkpoint misses resolved from the shared
+    #: :class:`~repro.service.store.SnapshotStore` instead of a rebuild.
+    store_hits: int = 0
+    #: Checkpoint misses the store could not serve either.
+    store_misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Checkpoint hits over lookups (0.0 before any lookup).
+
+        Store hits count as hits -- the prefix was *not* rebuilt -- so
+        the rate answers the question the benchmarks ask: what fraction
+        of establishes avoided running the builder chain.
+        """
+        lookups = self.checkpoint_hits + self.checkpoint_misses
+        if not lookups:
+            return 0.0
+        return (self.checkpoint_hits + self.store_hits) / lookups
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -65,7 +87,21 @@ class ReplayStats:
             "checkpoint_misses": self.checkpoint_misses,
             "restores": self.restores,
             "evictions": self.evictions,
+            "pins": self.pins,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
         }
+
+    def reset(self) -> None:
+        """Zero every counter.
+
+        For benchmarks that reuse one warm engine across measurement
+        windows: the cached snapshots (and pins) survive -- only the
+        accounting restarts, so each window's hit rate reflects that
+        window alone.
+        """
+        for name in self.as_dict():
+            setattr(self, name, 0)
 
 
 @dataclass
@@ -88,15 +124,28 @@ class ReplayEngine:
     ROOT = ROOT
 
     def __init__(self, machine, reuse: str = "checkpoint",
-                 capacity: int = 128):
+                 capacity: int = 128, store=None,
+                 store_scope: Optional[Hashable] = None):
         if reuse not in REUSE_MODES:
             raise ReplayError(
                 f"unknown reuse mode {reuse!r}; expected one of {REUSE_MODES}")
         if capacity < 1:
             raise ReplayError(f"capacity must be >= 1, got {capacity}")
+        if store is not None and store_scope is None:
+            raise ReplayError(
+                "a shared store needs a store_scope naming the "
+                "(profile, prefix program) identity its checkpoints "
+                "belong to -- engine keys alone are not content addresses")
         self.machine = machine
         self.reuse = reuse
         self.capacity = capacity
+        #: Optional shared :class:`~repro.service.store.SnapshotStore`.
+        #: On a local checkpoint miss the engine consults the store
+        #: before rebuilding, and publishes freshly built checkpoints
+        #: back -- that is how concurrent jobs against the same
+        #: victim+profile share prefixes across requests and restarts.
+        self.store = store
+        self.store_scope = store_scope
         self.stats = ReplayStats()
         self._nodes: Dict[Hashable, _Node] = {}
         #: key -> MachineSnapshot, LRU order (only under reuse='checkpoint').
@@ -165,8 +214,37 @@ class ReplayEngine:
         depth = 0 if parent is ROOT else self._nodes[parent].depth + 1
         self._nodes[key] = _Node(parent=parent, build=None, depth=depth)
         self._pinned[key] = self.machine.snapshot()
+        self.stats.pins += 1
         # The pin shrank the LRU side's budget; trim it immediately so
         # the cache bound holds at all times, not just on the next store.
+        self._trim()
+        return key
+
+    def adopt(self, key: Hashable, snapshot, parent: Hashable = ROOT
+              ) -> Hashable:
+        """Install an externally obtained snapshot as a pinned checkpoint.
+
+        The cross-process twin of :meth:`capture`: a snapshot pulled
+        from the shared store (built by another worker, or by a previous
+        service run) becomes checkpoint ``key`` without touching the
+        machine.  Same pinning/eviction semantics and the same capacity
+        guard as :meth:`capture`.
+        """
+        if key is ROOT:
+            raise ReplayError("cannot adopt over the root key")
+        if key in self._nodes:
+            raise ReplayError(f"checkpoint {key!r} already declared")
+        if parent is not ROOT and parent not in self._nodes:
+            raise ReplayError(f"unknown parent checkpoint {parent!r}")
+        if len(self._pinned) >= self.capacity:
+            raise ReplayError(
+                f"cannot adopt {key!r}: all {self.capacity} cache "
+                f"slot(s) hold pinned captures, which are never evicted; "
+                f"invalidate() a capture or raise the engine capacity")
+        depth = 0 if parent is ROOT else self._nodes[parent].depth + 1
+        self._nodes[key] = _Node(parent=parent, build=None, depth=depth)
+        self._pinned[key] = snapshot
+        self.stats.pins += 1
         self._trim()
         return key
 
@@ -254,6 +332,14 @@ class ReplayEngine:
                 self.stats.restores += 1
                 return
             self.stats.checkpoint_misses += 1
+            snapshot = self._store_fetch(key)
+            if snapshot is not None:
+                self._snapshots[key] = snapshot
+                self._snapshots.move_to_end(key)
+                self._trim()
+                self.machine.restore(snapshot)
+                self.stats.restores += 1
+                return
         node = self._nodes[key]
         self._establish(node.parent)
         node.build()
@@ -261,17 +347,62 @@ class ReplayEngine:
         if self.reuse == "checkpoint":
             self._store(key)
 
+    def _content_key(self, key: Hashable) -> Optional[str]:
+        """The shared-store content address of built checkpoint ``key``.
+
+        ``None`` when no store is attached, when any ancestor is a
+        capture (its state is not a deterministic function of the
+        declared chain, so it has no content identity), or when the key
+        chain contains values the store cannot canonicalize.
+        """
+        if self.store is None:
+            return None
+        chain: List[Hashable] = []
+        cursor = key
+        while cursor is not ROOT:
+            node = self._nodes[cursor]
+            if node.build is None:
+                return None
+            chain.append(cursor)
+            cursor = node.parent
+        chain.reverse()
+        try:
+            return self.store.content_key(
+                "replay", self.store_scope, tuple(chain))
+        except ValueError:
+            return None
+
+    def _store_fetch(self, key: Hashable):
+        """A shared-store snapshot for ``key``, or ``None``."""
+        content = self._content_key(key)
+        if content is None:
+            return None
+        entry = self.store.get(content)
+        if entry is None:
+            self.stats.store_misses += 1
+            return None
+        self.stats.store_hits += 1
+        snapshot, __ = entry
+        return snapshot
+
     def _store(self, key: Hashable) -> None:
+        snapshot = None
         budget = self.capacity - len(self._pinned)
-        if budget < 1:
-            # Every slot is pinned: storing would evict the snapshot we
-            # just made (or another key) in an endless store/evict churn.
-            # Built checkpoints are always recoverable from their chain,
-            # so simply run uncached.
-            return
-        self._snapshots[key] = self.machine.snapshot()
-        self._snapshots.move_to_end(key)
-        self._trim()
+        if budget >= 1:
+            snapshot = self.machine.snapshot()
+            self._snapshots[key] = snapshot
+            self._snapshots.move_to_end(key)
+            self._trim()
+        # Every local slot pinned: storing locally would evict the
+        # snapshot we just made (or another key) in an endless
+        # store/evict churn, so the local tier runs uncached -- but the
+        # shared store still gets the build, which is the whole point of
+        # cross-request reuse.
+        content = self._content_key(key)
+        if content is not None:
+            if snapshot is None:
+                snapshot = self.machine.snapshot()
+            self.store.put(content, snapshot)
 
     def _trim(self) -> None:
         """Evict LRU snapshots until pins + cached fit ``capacity``."""

@@ -1,0 +1,478 @@
+"""Content-addressed checkpoint store: memory tier + spill-to-disk tier.
+
+The attack service's whole economy (ARCHITECTURE.md §11) rests on one
+observation: every request against the same victim+profile rebuilds the
+same prefix checkpoints.  The store gives those checkpoints an identity
+that is *content*, not process-local object graph: a key is the SHA-256
+digest of the canonicalized ``(profile, prefix program, prefix chain)``
+description, so two requests -- in the same worker, in different shard
+workers, or across a service restart -- that would build the same state
+resolve to the same artifact.
+
+Two tiers:
+
+* **memory** -- live :class:`~repro.cpu.machine.MachineSnapshot` objects
+  in an LRU ``OrderedDict``, bounded by entry count.  Hits are free
+  (no deserialization).
+* **disk** -- versioned byte artifacts (``MachineSnapshot.to_bytes``
+  plus a JSON meta sidecar in the same file), written through on
+  :meth:`put` with the atomic temp+``os.replace`` pattern, bounded by a
+  byte budget with oldest-first eviction.  A memory eviction only drops
+  the object; the disk artifact stays, which is what makes checkpoints
+  survive worker restarts.
+
+Artifacts that fail to decode (truncation, version skew, a foreign
+file) are quarantined out of the way and counted -- a damaged spill
+directory degrades to cache misses, never to wrong state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.cpu.machine import MachineSnapshot
+from repro.cpu.serialize import SNAPSHOT_FORMAT_VERSION, SnapshotFormatError
+
+#: Suffix of every artifact file in the spill directory.
+ARTIFACT_SUFFIX = ".ckpt"
+
+
+class StoreError(ValueError):
+    """Misuse of the snapshot store (bad budgets, unusable directory)."""
+
+
+# ----------------------------------------------------------------------
+# content addressing
+# ----------------------------------------------------------------------
+
+def _canonical(value: Any) -> str:
+    """A stable, type-tagged text form of a key part.
+
+    Deliberately tiny: the service keys stores by tuples/strs/ints/bytes
+    (profile digests, program digests, checkpoint-chain keys), and the
+    canonical form must not depend on dict ordering or object identity.
+    """
+    if isinstance(value, (tuple, list)):
+        return "(" + ",".join(_canonical(part) for part in value) + ")"
+    if isinstance(value, dict):
+        items = sorted((_canonical(k), _canonical(v))
+                       for k, v in value.items())
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if isinstance(value, (bytes, bytearray)):
+        return "b:" + bytes(value).hex()
+    if isinstance(value, bool):
+        return f"B:{value}"
+    if isinstance(value, int):
+        return f"i:{value}"
+    if isinstance(value, float):
+        return f"f:{value!r}"
+    if isinstance(value, str):
+        return f"s:{value}"
+    if value is None:
+        return "none"
+    raise StoreError(
+        f"cannot canonicalize a {type(value).__name__} into a content key")
+
+
+def content_key(*parts: Any) -> str:
+    """The SHA-256 content address of a key-part tuple."""
+    text = _canonical(tuple(parts))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def profile_digest(config) -> str:
+    """Content identity of a :class:`~repro.cpu.config.MachineConfig`.
+
+    Covers every field (not just the name): two profiles that differ in
+    any predictor parameter must never share checkpoints.
+    """
+    fields = {f.name: getattr(config, f.name)
+              for f in dataclasses.fields(config)}
+    return content_key("machine-config", fields)
+
+
+def program_digest(program) -> str:
+    """Content identity of an assembled :class:`~repro.isa.program.Program`.
+
+    Hashes the placed instruction stream and the label map; two programs
+    with identical layout digest equal regardless of how they were built.
+    """
+    body = tuple((address, repr(instruction))
+                 for address, instruction in program.items())
+    labels = tuple(sorted(program.labels.items()))
+    return content_key("program", body, labels, program.entry)
+
+
+def machine_digest(machine) -> str:
+    """Content identity of a machine's full *live* state.
+
+    Digest of the versioned snapshot serialization, so two machines with
+    bit-identical predictor/cache/perf state digest equal and any state
+    divergence -- however small -- separates them.  Used as the root-state
+    component of replay store scopes: checkpoints built from different
+    starting states must never share a content address.
+    """
+    return hashlib.sha256(machine.snapshot().to_bytes()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# stats
+# ----------------------------------------------------------------------
+
+@dataclass
+class StoreStats:
+    """Counters for benchmarks and cache-behaviour tests."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    memory_evictions: int = 0
+    disk_evictions: int = 0
+    #: Artifacts written to the spill directory.
+    spills: int = 0
+    #: Disk artifacts that failed to decode and were quarantined.
+    invalid_artifacts: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total hits across both tiers."""
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        """Total :meth:`SnapshotStore.get` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "memory_evictions": self.memory_evictions,
+            "disk_evictions": self.disk_evictions,
+            "spills": self.spills,
+            "invalid_artifacts": self.invalid_artifacts,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (start of a measurement window)."""
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, 0)
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+
+_KEY_CHARS = set("0123456789abcdef")
+
+
+def _check_key(key: str) -> str:
+    if not (isinstance(key, str) and len(key) == 64
+            and set(key) <= _KEY_CHARS):
+        raise StoreError(
+            f"store keys are 64-char hex content digests "
+            f"(use content_key()), got {key!r}")
+    return key
+
+
+class SnapshotStore:
+    """Two-tier content-addressed cache of serialized machine snapshots.
+
+    Thread-safe: the service's shard workers share one store, so every
+    tier operation runs under one lock (snapshot (de)serialization is
+    pure CPU work on immutable values and stays outside it where
+    possible).
+
+    ``directory=None`` runs memory-only (eviction simply drops);
+    otherwise evictions leave the disk artifact in place and lookups
+    fall through to it.  ``meta`` rides along with each artifact as a
+    JSON document -- small derived values (the AES attack's
+    per-iteration PHR map) that must travel with the snapshot.
+    """
+
+    #: Content-addressing helper exposed on the class/instance so
+    #: consumers that receive a store by reference (the replay engine
+    #: lives below this package) need no import of this module.
+    content_key = staticmethod(content_key)
+
+    def __init__(self, directory: Optional[os.PathLike] = None,
+                 memory_entries: int = 64,
+                 disk_budget_bytes: int = 256 * 1024 * 1024):
+        if memory_entries < 0:
+            raise StoreError(
+                f"memory_entries must be >= 0, got {memory_entries}")
+        if disk_budget_bytes < 1:
+            raise StoreError(
+                f"disk_budget_bytes must be >= 1, got {disk_budget_bytes}")
+        self.directory = Path(directory) if directory is not None else None
+        self.memory_entries = memory_entries
+        self.disk_budget_bytes = disk_budget_bytes
+        self.stats = StoreStats()
+        self._lock = threading.Lock()
+        #: key -> (snapshot, meta), LRU order (oldest first).
+        self._memory: "OrderedDict[str, Tuple[MachineSnapshot, dict]]" = \
+            OrderedDict()
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Tuple[MachineSnapshot, dict]]:
+        """The ``(snapshot, meta)`` stored under ``key``, or ``None``.
+
+        Memory tier first; a disk hit deserializes, promotes the entry
+        back into the memory tier, and refreshes the artifact's eviction
+        clock.
+        """
+        _check_key(key)
+        with self._lock:
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                return entry
+        entry = self._read_artifact(key)
+        with self._lock:
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self.stats.disk_hits += 1
+            self._memory[key] = entry
+            self._memory.move_to_end(key)
+            self._trim_memory_locked()
+        return entry
+
+    def put(self, key: str, snapshot: MachineSnapshot,
+            meta: Optional[dict] = None) -> None:
+        """Store ``(snapshot, meta)`` under content address ``key``.
+
+        Write-through: the artifact lands in the spill directory
+        immediately (atomic temp+rename), so a later memory eviction --
+        or a worker restart -- costs one deserialization, not a rebuild.
+        Content addressing makes re-puts of an existing key no-ops on
+        the disk side: same key, same content.
+        """
+        _check_key(key)
+        if not isinstance(snapshot, MachineSnapshot):
+            raise StoreError(
+                f"store values are MachineSnapshots, "
+                f"got {type(snapshot).__name__}")
+        meta = dict(meta) if meta else {}
+        on_disk = self._write_artifact(key, snapshot, meta)
+        with self._lock:
+            self.stats.puts += 1
+            if on_disk:
+                self.stats.spills += 1
+            self._memory[key] = (snapshot, meta)
+            self._memory.move_to_end(key)
+            self._trim_memory_locked()
+        if on_disk:
+            self._trim_disk(protect=key)
+
+    def __contains__(self, key: str) -> bool:
+        _check_key(key)
+        with self._lock:
+            if key in self._memory:
+                return True
+        return self._artifact_path(key) is not None \
+            and self._artifact_path(key).exists()
+
+    def __len__(self) -> int:
+        """Distinct keys across both tiers."""
+        with self._lock:
+            keys = set(self._memory)
+        keys.update(self._disk_keys())
+        return len(keys)
+
+    def clear(self, memory: bool = True, disk: bool = False) -> None:
+        """Drop the memory tier and optionally every disk artifact."""
+        with self._lock:
+            if memory:
+                self._memory.clear()
+        if disk and self.directory is not None:
+            for path in self._artifact_files():
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------------
+
+    def disk_bytes(self) -> int:
+        """Total bytes currently held by the disk tier."""
+        return sum(size for __, size, __ in self._artifact_listing())
+
+    def manifest(self) -> Dict[str, Any]:
+        """A JSON-ready description of the spill directory.
+
+        Uploaded as a CI artifact on service-smoke failure, so a broken
+        run shows exactly which checkpoints existed, how big, and how
+        the tiers were behaving.
+        """
+        listing = self._artifact_listing()
+        with self._lock:
+            memory_keys = list(self._memory)
+        return {
+            "directory": str(self.directory) if self.directory else None,
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "disk_budget_bytes": self.disk_budget_bytes,
+            "memory_entries_budget": self.memory_entries,
+            "memory_keys": memory_keys,
+            "disk_artifacts": [
+                {"key": key, "bytes": size}
+                for key, size, __ in sorted(listing)
+            ],
+            "disk_bytes": sum(size for __, size, __ in listing),
+            "stats": self.stats.as_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    # memory tier internals
+    # ------------------------------------------------------------------
+
+    def _trim_memory_locked(self) -> None:
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.memory_evictions += 1
+
+    # ------------------------------------------------------------------
+    # disk tier internals
+    # ------------------------------------------------------------------
+
+    def _artifact_path(self, key: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"{key}{ARTIFACT_SUFFIX}"
+
+    def _artifact_files(self) -> List[Path]:
+        if self.directory is None:
+            return []
+        try:
+            return [path for path in self.directory.iterdir()
+                    if path.name.endswith(ARTIFACT_SUFFIX)]
+        except OSError:
+            return []
+
+    def _disk_keys(self) -> Iterable[str]:
+        return (path.name[:-len(ARTIFACT_SUFFIX)]
+                for path in self._artifact_files())
+
+    def _artifact_listing(self) -> List[Tuple[str, int, float]]:
+        """(key, size, mtime) of every artifact currently on disk."""
+        listing = []
+        for path in self._artifact_files():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            listing.append((path.name[:-len(ARTIFACT_SUFFIX)],
+                            stat.st_size, stat.st_mtime))
+        return listing
+
+    def _write_artifact(self, key: str, snapshot: MachineSnapshot,
+                        meta: dict) -> bool:
+        path = self._artifact_path(key)
+        if path is None:
+            return False
+        if path.exists():
+            # Content-addressed: an existing artifact for this key holds
+            # these exact bytes already.  Refresh its eviction clock.
+            try:
+                os.utime(path)
+            except OSError:
+                pass
+            return False
+        meta_blob = json.dumps(meta, sort_keys=True).encode("utf-8")
+        body = (len(meta_blob).to_bytes(4, "big") + meta_blob
+                + snapshot.to_bytes())
+        scratch = path.with_suffix(path.suffix + f".tmp.{os.getpid()}")
+        try:
+            scratch.write_bytes(body)
+            os.replace(scratch, path)
+        except OSError:
+            try:
+                scratch.unlink()
+            except OSError:
+                pass
+            return False
+        return True
+
+    def _read_artifact(self, key: str
+                       ) -> Optional[Tuple[MachineSnapshot, dict]]:
+        path = self._artifact_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            body = path.read_bytes()
+            if len(body) < 4:
+                raise SnapshotFormatError("artifact truncated before meta")
+            meta_len = int.from_bytes(body[:4], "big")
+            if len(body) < 4 + meta_len:
+                raise SnapshotFormatError("artifact truncated inside meta")
+            meta = json.loads(body[4:4 + meta_len].decode("utf-8"))
+            if not isinstance(meta, dict):
+                raise SnapshotFormatError("artifact meta is not a mapping")
+            snapshot = MachineSnapshot.from_bytes(body[4 + meta_len:])
+        except (OSError, ValueError, SnapshotFormatError):
+            self._quarantine(path)
+            with self._lock:
+                self.stats.invalid_artifacts += 1
+            return None
+        try:
+            os.utime(path)  # refresh the eviction clock
+        except OSError:
+            pass
+        return snapshot, meta
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _trim_disk(self, protect: Optional[str] = None) -> None:
+        """Evict oldest artifacts until the byte budget holds.
+
+        The just-written key is protected so one oversized workload
+        cannot evict its own checkpoint in a write/evict churn.
+        """
+        if self.directory is None:
+            return
+        listing = self._artifact_listing()
+        total = sum(size for __, size, __ in listing)
+        if total <= self.disk_budget_bytes:
+            return
+        for key, size, __ in sorted(listing, key=lambda item: item[2]):
+            if key == protect:
+                continue
+            path = self._artifact_path(key)
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            with self._lock:
+                self.stats.disk_evictions += 1
+            total -= size
+            if total <= self.disk_budget_bytes:
+                break

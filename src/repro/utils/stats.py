@@ -1,0 +1,81 @@
+"""Shared timing statistics: percentiles for reports and benchmarks.
+
+One implementation serves every consumer -- the trial harness's
+:class:`~repro.harness.runner.TrialReport`, the service layer's job
+accounting, and the load-generator benchmark -- so "p99" means the same
+number everywhere: the linear-interpolation quantile (numpy's default
+``linear`` method) over the observed sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    Matches ``numpy.percentile(values, q)`` exactly: rank ``(n-1)*q/100``
+    interpolated between the two surrounding order statistics.  Raises
+    ``ValueError`` on an empty sample or an out-of-range ``q``.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    data = sorted(values)
+    if not data:
+        raise ValueError("percentile of an empty sample is undefined")
+    if len(data) == 1:
+        return float(data[0])
+    rank = (len(data) - 1) * (q / 100.0)
+    low = int(rank)
+    high = min(low + 1, len(data) - 1)
+    fraction = rank - low
+    return float(data[low]) + (float(data[high]) - float(data[low])) * fraction
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """Percentile summary of a latency/duration sample (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p99: float
+    minimum: float
+    maximum: float
+    total: float
+
+    def as_dict(self, digits: int = 6) -> Dict[str, float]:
+        """JSON-ready form (the benchmark results-writer schema)."""
+        return {
+            "count": self.count,
+            "mean": round(self.mean, digits),
+            "p50": round(self.p50, digits),
+            "p99": round(self.p99, digits),
+            "min": round(self.minimum, digits),
+            "max": round(self.maximum, digits),
+            "total": round(self.total, digits),
+        }
+
+
+def summarize_timings(values: Iterable[Optional[float]]
+                      ) -> Optional[TimingSummary]:
+    """A :class:`TimingSummary` over the non-``None`` entries.
+
+    ``None`` entries (failed trials never timed) are skipped; an empty
+    effective sample yields ``None`` rather than a summary of nothing.
+    """
+    data = sorted(v for v in values if v is not None)
+    if not data:
+        return None
+    total = sum(data)
+    return TimingSummary(
+        count=len(data),
+        mean=total / len(data),
+        p50=percentile(data, 50),
+        p99=percentile(data, 99),
+        minimum=data[0],
+        maximum=data[-1],
+        total=total,
+    )

@@ -1,0 +1,201 @@
+"""Harness latency reporting and the KeyboardInterrupt graceful drain.
+
+Two additions ride on the trial runner: per-trial wall-clock timings
+summarized through :mod:`repro.utils.stats` (the same helper the
+service layer reports through, so "p99" is one number everywhere), and
+an interrupt drain that keeps completed results while recording the
+cancelled tail -- instead of throwing a whole run away.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy
+import pytest
+
+from repro.harness import run_trials
+from repro.utils.stats import TimingSummary, percentile, summarize_timings
+
+
+# ----------------------------------------------------------------------
+# percentile helpers (known distributions)
+# ----------------------------------------------------------------------
+
+class TestPercentile:
+    def test_known_uniform_distribution(self):
+        values = list(range(101))  # 0..100: percentile q is exactly q
+        for q in (0, 25, 50, 75, 99, 100):
+            assert percentile(values, q) == pytest.approx(float(q))
+
+    def test_interpolation_between_order_statistics(self):
+        # rank (2-1)*0.5 = 0.5 -> halfway between 10 and 20.
+        assert percentile([10.0, 20.0], 50) == pytest.approx(15.0)
+        # rank (3-1)*0.99 = 1.98 -> between 20 and 30 at fraction 0.98.
+        assert percentile([10.0, 20.0, 30.0], 99) == pytest.approx(29.8)
+
+    def test_single_sample(self):
+        assert percentile([42.0], 0) == 42.0
+        assert percentile([42.0], 50) == 42.0
+        assert percentile([42.0], 100) == 42.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_matches_numpy_linear_method(self):
+        rng = numpy.random.default_rng(7)
+        values = rng.exponential(scale=0.01, size=137).tolist()
+        for q in (0, 10, 50, 90, 99, 100):
+            assert percentile(values, q) == pytest.approx(
+                float(numpy.percentile(values, q)), rel=1e-12)
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50)
+        with pytest.raises(ValueError, match="in \\[0, 100\\]"):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+
+class TestSummarizeTimings:
+    def test_known_sample(self):
+        summary = summarize_timings([0.0, 1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 5
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.p50 == pytest.approx(2.0)
+        assert summary.p99 == pytest.approx(3.96)
+        assert summary.minimum == 0.0
+        assert summary.maximum == 4.0
+        assert summary.total == pytest.approx(10.0)
+
+    def test_none_entries_skipped(self):
+        summary = summarize_timings([None, 1.0, None, 3.0])
+        assert summary.count == 2
+        assert summary.mean == pytest.approx(2.0)
+
+    def test_empty_effective_sample_is_none(self):
+        assert summarize_timings([]) is None
+        assert summarize_timings([None, None]) is None
+
+    def test_as_dict_schema(self):
+        summary = TimingSummary(count=2, mean=1.5, p50=1.5, p99=1.99,
+                                minimum=1.0, maximum=2.0, total=3.0)
+        data = summary.as_dict()
+        assert set(data) == {"count", "mean", "p50", "p99", "min", "max",
+                             "total"}
+        assert data["count"] == 2
+        assert data["p99"] == 1.99
+
+
+# ----------------------------------------------------------------------
+# TrialReport timing plumbing
+# ----------------------------------------------------------------------
+
+def _timed_trial(context, index, rng):
+    time.sleep(0.001)
+    return index
+
+
+def _sometimes_failing_trial(context, index, rng):
+    if index % 2:
+        raise ValueError(f"odd trial {index}")
+    return index
+
+
+class TestReportTimings:
+    def test_every_trial_is_timed(self):
+        report = run_trials(_timed_trial, 6)
+        assert len(report.timings) == 6
+        assert all(t is not None and t > 0 for t in report.timings)
+
+    def test_timing_summary_over_the_run(self):
+        report = run_trials(_timed_trial, 6)
+        summary = report.timing_summary()
+        assert summary is not None
+        assert summary.count == 6
+        assert summary.minimum >= 0.001
+        assert summary.p50 <= summary.p99 <= summary.maximum
+        assert summary.total == pytest.approx(
+            sum(report.timings), rel=1e-9)
+
+    def test_failed_trials_still_timed(self):
+        report = run_trials(_sometimes_failing_trial, 4,
+                            on_error="collect")
+        assert len(report.failures) == 2
+        assert all(t is not None for t in report.timings)
+        assert report.timing_summary().count == 4
+
+    def test_empty_run_has_no_summary(self):
+        report = run_trials(_timed_trial, 0)
+        assert report.timing_summary() is None
+        assert report.interrupted is False
+
+
+# ----------------------------------------------------------------------
+# KeyboardInterrupt graceful drain
+# ----------------------------------------------------------------------
+
+INTERRUPT_AT = 5
+
+
+def _interrupting_trial(context, index, rng):
+    if index == INTERRUPT_AT:
+        raise KeyboardInterrupt
+    return index * 10
+
+
+class TestInterruptDrain:
+    def test_serial_collect_keeps_completed_results(self):
+        report = run_trials(_interrupting_trial, 10, chunk_size=1,
+                            on_error="collect")
+        assert report.interrupted is True
+        # Chunks before the interrupt completed and survived the drain.
+        assert report.values[:INTERRUPT_AT] == [0, 10, 20, 30, 40]
+        # Everything from the interrupt on was never absorbed.
+        assert report.values[INTERRUPT_AT:] == [None] * 5
+        cancelled = {f.index for f in report.failures}
+        assert cancelled == set(range(INTERRUPT_AT, 10))
+        for failure in report.failures:
+            assert failure.error.startswith("CancelledError")
+            assert "KeyboardInterrupt drain" in failure.error
+        assert report.completed == INTERRUPT_AT
+
+    def test_serial_raise_reraises_the_interrupt(self):
+        with pytest.raises(KeyboardInterrupt):
+            run_trials(_interrupting_trial, 10, chunk_size=1,
+                       on_error="raise")
+
+    def test_drain_respects_chunk_granularity(self):
+        # The interrupt kills its whole chunk: trials 4 and 5 share one,
+        # so trial 4's completed value is lost with the chunk while the
+        # earlier chunks survive.
+        report = run_trials(_interrupting_trial, 8, chunk_size=2,
+                            on_error="collect")
+        assert report.interrupted is True
+        assert report.values[:4] == [0, 10, 20, 30]
+        cancelled = {f.index for f in report.failures}
+        assert cancelled == {4, 5, 6, 7}
+
+    def test_parallel_collect_drains_gracefully(self):
+        report = run_trials(_interrupting_trial, 12, workers=2,
+                            chunk_size=1, on_error="collect")
+        assert report.interrupted is True
+        # The interrupting trial never produced a value.
+        assert report.values[INTERRUPT_AT] is None
+        cancelled = {f.index for f in report.failures}
+        assert INTERRUPT_AT in cancelled
+        for failure in report.failures:
+            assert failure.error.startswith("CancelledError")
+        # Whatever completed before the drain is intact and correctly
+        # indexed; completed + cancelled covers every trial.
+        completed = {i for i, v in enumerate(report.values)
+                     if v is not None}
+        assert all(report.values[i] == i * 10 for i in completed)
+        assert completed | cancelled == set(range(12))
+        assert not completed & cancelled
+
+    def test_parallel_raise_reraises_the_interrupt(self):
+        with pytest.raises(KeyboardInterrupt):
+            run_trials(_interrupting_trial, 12, workers=2, chunk_size=1,
+                       on_error="raise")

@@ -1,0 +1,193 @@
+"""Versioned snapshot serialization: bit-identical round-trips.
+
+The service layer's checkpoint store persists ``MachineSnapshot``
+artifacts to disk and restores them in other worker threads and other
+*processes*, so ``to_bytes``/``from_bytes`` must be an exact inverse
+pair and every malformed input must fail loudly as a
+:class:`SnapshotFormatError` -- never a silent wrong restore.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import Machine, RAPTOR_LAKE, SKYLAKE
+from repro.cpu.machine import MachineSnapshot
+from repro.cpu.serialize import (
+    MAGIC,
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotFormatError,
+    snapshot_from_bytes,
+    snapshot_to_bytes,
+)
+from repro.utils.rng import DeterministicRng
+
+
+def _train(machine: Machine, seed: int, branches: int = 120) -> None:
+    """Drive a pseudo-random workload through every stateful component."""
+    rng = DeterministicRng(seed)
+    for index in range(branches):
+        pc = 0x400000 + 0x40 * rng.integer(0, 31)
+        target = pc + 0x100 + 0x40 * rng.integer(0, 3)
+        machine.observe_conditional(pc, target, rng.coin())
+        if index % 7 == 0:
+            machine.cache.access(0x2000_0000 + 0x1000 * rng.integer(0, 63))
+        if index % 11 == 0:
+            machine.btb.update(pc, target)
+        if index % 13 == 0:
+            machine.ibp.update(pc, machine.phr(), target)
+
+
+def _trained_snapshot(seed: int = 0xC0DE,
+                      config=RAPTOR_LAKE) -> MachineSnapshot:
+    machine = Machine(config)
+    _train(machine, seed)
+    return machine.snapshot()
+
+
+class TestRoundTrip:
+    def test_fresh_machine_round_trips(self):
+        snapshot = Machine(RAPTOR_LAKE).snapshot()
+        assert snapshot_from_bytes(snapshot_to_bytes(snapshot)) == snapshot
+
+    def test_trained_machine_round_trips(self):
+        snapshot = _trained_snapshot()
+        assert MachineSnapshot.from_bytes(snapshot.to_bytes()) == snapshot
+
+    def test_round_trip_restores_forward_behavior(self):
+        machine = Machine(RAPTOR_LAKE)
+        _train(machine, seed=7)
+        snapshot = machine.snapshot()
+        clone = Machine(RAPTOR_LAKE)
+        clone.restore(MachineSnapshot.from_bytes(snapshot.to_bytes()))
+        # Identical predictions on a probe sweep: the deserialized state
+        # drives the machine exactly like the live one.
+        for pc in range(0x400000, 0x400000 + 0x40 * 32, 0x40):
+            assert (machine.cbp.predict(pc, machine.phr()).taken
+                    == clone.cbp.predict(pc, clone.phr()).taken)
+        assert machine.snapshot() == clone.snapshot()
+
+    def test_serialization_is_deterministic(self):
+        snapshot = _trained_snapshot(seed=99)
+        assert snapshot.to_bytes() == snapshot.to_bytes()
+
+    def test_distinct_states_serialize_distinctly(self):
+        assert (_trained_snapshot(seed=1).to_bytes()
+                != _trained_snapshot(seed=2).to_bytes())
+
+    def test_header_layout(self):
+        blob = _trained_snapshot().to_bytes()
+        assert blob[:len(MAGIC)] == MAGIC
+        version = int.from_bytes(blob[len(MAGIC):len(MAGIC) + 2], "big")
+        assert version == SNAPSHOT_FORMAT_VERSION
+
+    def test_cross_process_equality(self, tmp_path: Path):
+        """Bytes written by another interpreter restore bit-identically.
+
+        The child process trains an identical machine (same config, same
+        deterministic workload) and writes its artifact; the parent
+        deserializes it and compares against its own live snapshot --
+        the exact worker-restart path of the service store.
+        """
+        artifact = tmp_path / "child.snap"
+        script = (
+            "import sys\n"
+            "sys.path[:0] = [sys.argv[1], sys.argv[2]]\n"
+            "from test_snapshot_serialize import _trained_snapshot\n"
+            "open(sys.argv[3], 'wb').write("
+            "_trained_snapshot(seed=0xBEEF).to_bytes())\n"
+        )
+        tests_dir = Path(__file__).parent
+        src_dir = tests_dir.parent / "src"
+        subprocess.run(
+            [sys.executable, "-c", script, str(src_dir), str(tests_dir),
+             str(artifact)],
+            check=True)
+        restored = MachineSnapshot.from_bytes(artifact.read_bytes())
+        assert restored == _trained_snapshot(seed=0xBEEF)
+
+
+class TestFormatErrors:
+    def test_rejects_non_bytes(self):
+        with pytest.raises(SnapshotFormatError, match="expected bytes"):
+            snapshot_from_bytes(12345)
+
+    def test_accepts_bytearray_and_memoryview(self):
+        blob = _trained_snapshot().to_bytes()
+        expected = snapshot_from_bytes(blob)
+        assert snapshot_from_bytes(bytearray(blob)) == expected
+        assert snapshot_from_bytes(memoryview(blob)) == expected
+
+    def test_rejects_bad_magic(self):
+        blob = b"NOTASNAP" + _trained_snapshot().to_bytes()[len(MAGIC):]
+        with pytest.raises(SnapshotFormatError, match="magic"):
+            snapshot_from_bytes(blob)
+
+    def test_rejects_empty_and_truncated_header(self):
+        with pytest.raises(SnapshotFormatError):
+            snapshot_from_bytes(b"")
+        with pytest.raises(SnapshotFormatError):
+            snapshot_from_bytes(MAGIC[:4])
+
+    def test_rejects_other_versions(self):
+        blob = _trained_snapshot().to_bytes()
+        future = (MAGIC + (SNAPSHOT_FORMAT_VERSION + 1).to_bytes(2, "big")
+                  + blob[len(MAGIC) + 2:])
+        with pytest.raises(SnapshotFormatError,
+                           match=f"version {SNAPSHOT_FORMAT_VERSION + 1}"):
+            snapshot_from_bytes(future)
+
+    def test_rejects_truncated_payload(self):
+        blob = _trained_snapshot().to_bytes()
+        with pytest.raises(SnapshotFormatError, match="failed to decode"):
+            snapshot_from_bytes(blob[:len(blob) // 2])
+
+    def test_rejects_non_mapping_payload(self):
+        import pickle
+        header = MAGIC + SNAPSHOT_FORMAT_VERSION.to_bytes(2, "big")
+        blob = header + pickle.dumps(["not", "a", "dict"], protocol=4)
+        with pytest.raises(SnapshotFormatError, match="expected a field"):
+            snapshot_from_bytes(blob)
+
+    def test_rejects_wrong_field_set(self):
+        import pickle
+        header = MAGIC + SNAPSHOT_FORMAT_VERSION.to_bytes(2, "big")
+        blob = header + pickle.dumps({"cbp": (), "bogus": 1}, protocol=4)
+        with pytest.raises(SnapshotFormatError, match="wrong fields"):
+            snapshot_from_bytes(blob)
+
+    def test_rejects_unbuildable_perf_counters(self):
+        import pickle
+        good = _trained_snapshot()
+        payload = {
+            "cbp": good.cbp, "btb": good.btb, "ibp": good.ibp,
+            "cache": good.cache, "perf": {"no_such_counter": 1},
+            "threads": good.threads, "ibrs_enabled": good.ibrs_enabled,
+            "phr_capacity": good.phr_capacity,
+        }
+        header = MAGIC + SNAPSHOT_FORMAT_VERSION.to_bytes(2, "big")
+        with pytest.raises(SnapshotFormatError, match="perf counters"):
+            snapshot_from_bytes(header + pickle.dumps(payload, protocol=4))
+
+
+class TestRoundTripProperty:
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=200),
+           st.sampled_from([RAPTOR_LAKE, SKYLAKE]))
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_trained_states_round_trip(self, seed, branches,
+                                                 config):
+        machine = Machine(config)
+        _train(machine, seed, branches=branches)
+        snapshot = machine.snapshot()
+        restored = MachineSnapshot.from_bytes(snapshot.to_bytes())
+        assert restored == snapshot
+        # Restoring the deserialized snapshot reproduces the fingerprint.
+        clone = Machine(config)
+        clone.restore(restored)
+        assert clone.snapshot() == snapshot
