@@ -118,6 +118,35 @@ class AesVictimSpec:
     key: bytes
     config: MachineConfig = RAPTOR_LAKE
     data_path: str = "fast"
+    #: Route batched sweeps through the process-global architectural
+    #: trace cache: per-plaintext flows that repeat (a second sweep over
+    #: the same plaintexts, retries) skip phase-1 interpretation
+    #: entirely and replay the captured trace.
+    use_trace_cache: bool = False
+
+
+#: One trace cache per worker process, shared across contexts so cache
+#: warmth survives successive sweeps against the same spec.
+_TRACE_CACHE = None
+
+#: Process-global ``(spec, width) -> (BatchMachine, pristine snapshot)``
+#: cache.  Building a BatchMachine allocates per-replica shadow
+#: components (O(width * sets)); successive sweeps against the same
+#: frozen spec -- the benchmark's scalar/cold/warm arms, repeated
+#: service jobs -- reuse one engine instead of rebuilding per
+#: ``run_trials`` call.  Safe because every batch call restores the
+#: pristine snapshot first.
+_BATCH_MACHINES: Dict[tuple, tuple] = {}
+
+
+def victim_trace_cache():
+    """The process-global :class:`repro.service.TraceCache` (lazy)."""
+    global _TRACE_CACHE
+    if _TRACE_CACHE is None:
+        from repro.service.store import TraceCache
+
+        _TRACE_CACHE = TraceCache()
+    return _TRACE_CACHE
 
 
 class VictimTrialContext:
@@ -136,18 +165,34 @@ class VictimTrialContext:
         self.victim = AesVictim(spec.key, data_path=spec.data_path)
         self.entry = self.victim.program.address_of("aes_encrypt")
         self.machine = Machine(spec.config)
-        self.checkpoint = self.machine.snapshot()
+        # A shard worker may have a checkpoint broadcast to it through a
+        # shared-memory slab (see repro.batch.shard); adopting it skips
+        # re-deriving the pristine state and keeps every shard restoring
+        # from the exact same bits.
+        from repro.batch.shard import current_snapshot
+
+        broadcast = current_snapshot()
+        if (broadcast is not None
+                and broadcast.phr_capacity == spec.config.phr_capacity):
+            self.machine.restore(broadcast)
+            self.checkpoint = broadcast
+        else:
+            self.checkpoint = self.machine.snapshot()
         self._batches: Dict[int, tuple] = {}
 
     def batch_for(self, width: int) -> tuple:
         """A ``(BatchMachine, pristine BatchSnapshot)`` pair of ``width``."""
         cached = self._batches.get(width)
         if cached is None:
-            from repro.batch import BatchMachine
+            key = (self.spec, width)
+            cached = _BATCH_MACHINES.get(key)
+            if cached is None:
+                from repro.batch import BatchMachine
 
-            batch = BatchMachine.from_snapshot(self.spec.config,
-                                               self.checkpoint, width)
-            cached = (batch, batch.snapshot())
+                batch = BatchMachine.from_snapshot(self.spec.config,
+                                                   self.checkpoint, width)
+                cached = (batch, batch.snapshot())
+                _BATCH_MACHINES[key] = cached
             self._batches[width] = cached
         return cached
 
@@ -200,8 +245,10 @@ def victim_signature_batch(context: VictimTrialContext, indices: List[int],
         memory = Memory()
         context.victim.provision(memory, rng.bytes(16))
         memories.append(memory)
+    cache = victim_trace_cache() if context.spec.use_trace_cache else None
     results = batch.run_batch(context.victim.program, memories,
-                              entry=context.entry, trace="none")
+                              entry=context.entry, trace="none",
+                              trace_cache=cache)
     return [_signature(result, context.victim, memory)
             for result, memory in zip(results, memories)]
 
@@ -214,12 +261,18 @@ def run_victim_signatures(
     chunk_size: Optional[int] = None,
     seed: int = DEFAULT_SEED,
     vectorize: Optional[int] = None,
+    shard_workers: Optional[int] = None,
+    shard_state=None,
 ) -> TrialReport:
     """Fan per-plaintext victim runs out, optionally batch-vectorized.
 
     ``vectorize=N`` routes blocks of N trials through
     :func:`victim_signature_batch`; the report is bit-identical to the
-    scalar sweep either way.
+    scalar sweep either way.  ``shard_workers=W`` additionally splits
+    every vectorize block across W fork workers (see
+    :func:`repro.harness.run_trials`); pass a pristine
+    :class:`~repro.cpu.machine.MachineSnapshot` as ``shard_state`` to
+    broadcast the checkpoint to the shards through shared memory.
     """
     return run_trials(
         victim_signature_trial, count,
@@ -227,6 +280,7 @@ def run_victim_signatures(
         seed=seed, workers=workers, chunk_size=chunk_size,
         vectorize=vectorize,
         batch_trial=victim_signature_batch if vectorize else None,
+        shard_workers=shard_workers, shard_state=shard_state,
     )
 
 

@@ -14,12 +14,18 @@ from repro.batch.engine import (
     BatchMachine,
     BatchRunResult,
     BatchSnapshot,
+    BatchStateError,
     supports_config,
 )
+from repro.batch.shard import SnapshotSlab, current_snapshot, shard_ranges
 
 __all__ = [
     "BatchMachine",
     "BatchRunResult",
     "BatchSnapshot",
+    "BatchStateError",
+    "SnapshotSlab",
+    "current_snapshot",
+    "shard_ranges",
     "supports_config",
 ]

@@ -85,6 +85,19 @@ from repro.isa.interpreter import (
 )
 from repro.isa.memory import Memory
 from repro.isa.program import Program
+from repro.isa.trace import (
+    KIND_CALL,
+    KIND_CODES,
+    KIND_COND,
+    KIND_INDIRECT,
+    KIND_RET,
+    ArchTrace,
+    cache_digest,
+    capture_trace,
+    input_digest,
+    program_fingerprint,
+    trace_key,
+)
 from repro.utils.bits import fold_schedule
 
 #: Pending branch events folded into the shadows automatically once the
@@ -95,6 +108,21 @@ PENDING_FOLD_LIMIT = 8192
 #: Event-stream columns replayed per vectorization block in run_batch
 #: (bounds the (N, T) working set for long programs).
 REPLAY_COLUMNS = 2048
+
+#: Distinguishes "no shared input" from "shared input of None" (fresh
+#: state/memory) in :meth:`BatchMachine.run_batch`.
+_UNSET = object()
+
+
+class BatchStateError(RuntimeError):
+    """The batch was left mid-update by a failed :meth:`run_batch`.
+
+    A replica that raises inside ``run_batch`` (an instruction-budget
+    overrun under ``on_limit='raise'``, a decode fault) aborts the run
+    with some replicas committed and others not; every later state-
+    touching call raises this until :meth:`BatchMachine.restore` or
+    :meth:`BatchMachine.load_snapshot` re-establishes a known state.
+    """
 
 
 def supports_config(config: MachineConfig) -> bool:
@@ -194,7 +222,11 @@ class _ReplayHooks(CpuHooks):
     def __init__(self, phr: PathHistoryRegister, cache: DataCache,
                  perf: PerfCounters, ras: ReturnAddressStack,
                  ibp: IndirectBranchPredictor):
-        self.events: List[Tuple[int, int, int, int]] = []
+        #: ``(kind, pc, target, taken, next_pc)`` per committed branch --
+        #: the :mod:`repro.isa.trace` event shape.  Phase-2 replay only
+        #: reads the first four columns; the kind codes and return
+        #: address feed the trace walk of cached/shared replays.
+        self.events: List[Tuple[int, int, int, int, int]] = []
         self.phr = phr
         self.cache = cache
         self.perf = perf
@@ -203,14 +235,15 @@ class _ReplayHooks(CpuHooks):
 
     def conditional_branch(self, pc: int, target: int, fallthrough: int,
                            taken: bool, resolve_latency: int) -> None:
-        self.events.append((1, pc, target, 1 if taken else 0))
+        self.events.append((KIND_COND, pc, target, 1 if taken else 0, 0))
         if taken:
             self.phr.update(pc, target)
 
     def unconditional_branch(self, pc: int, target: int,
                              kind: BranchKind, next_pc: int) -> None:
+        return_address = pc + 4 if next_pc is None else next_pc
         if kind is BranchKind.CALL:
-            self.ras.push(pc + 4 if next_pc is None else next_pc)
+            self.ras.push(return_address)
         elif kind is BranchKind.RET:
             predicted = self.ras.pop()
             self.perf.returns += 1
@@ -225,7 +258,8 @@ class _ReplayHooks(CpuHooks):
             if predicted != target:
                 self.perf.indirect_mispredictions += 1
             self.ibp.update(pc, self.phr, target)
-        self.events.append((0, pc, target, 1))
+        self.events.append((KIND_CODES[kind], pc, target, 1,
+                            return_address))
         self.phr.update(pc, target)
 
     def load(self, address: int, width: int) -> int:
@@ -239,6 +273,37 @@ class _ReplayHooks(CpuHooks):
 
     def instruction_retired(self, pc: int) -> None:
         self.perf.instructions += 1
+
+
+class _CaptureHooks(_ReplayHooks):
+    """Phase-1 hooks that additionally record the cache-access stream.
+
+    The extra ``accesses`` list is what lets a captured run stand in for
+    other replicas: replaying it through a replica's own cache
+    reproduces the fills, evictions, and hit/miss counters the replica's
+    own phase 1 would have produced (the address stream is architectural
+    and identical across replicas under ``speculate=False``).
+    """
+
+    __slots__ = ("accesses",)
+
+    def __init__(self, phr: PathHistoryRegister, cache: DataCache,
+                 perf: PerfCounters, ras: ReturnAddressStack,
+                 ibp: IndirectBranchPredictor):
+        super().__init__(phr, cache, perf, ras, ibp)
+        self.accesses: List[int] = []
+
+    def load(self, address: int, width: int) -> int:
+        self.accesses.append(address)
+        return self.cache.access(address)
+
+    def transient_load(self, address: int, width: int) -> int:
+        self.accesses.append(address)
+        return self.cache.access(address)
+
+    def store(self, address: int, width: int) -> None:
+        self.accesses.append(address)
+        self.cache.access(address)
 
 
 class BatchMachine:
@@ -262,6 +327,9 @@ class BatchMachine:
         self.n = n
         self.config = config
         self._epoch = 0
+        #: Set when a run_batch aborts mid-update (see BatchStateError);
+        #: cleared by restore()/load_snapshot().
+        self._poisoned = False
 
         counter_bits = config.counter_bits
         self._cmax = (1 << counter_bits) - 1
@@ -404,6 +472,13 @@ class BatchMachine:
         batch.load_snapshot(snap)
         return batch
 
+    def _check_poisoned(self) -> None:
+        if self._poisoned:
+            raise BatchStateError(
+                "a previous run_batch aborted mid-update and left replica "
+                "state inconsistent; restore() a snapshot (or "
+                "load_snapshot() a scalar one) before reusing this batch")
+
     def load_snapshot(self, snap: MachineSnapshot) -> None:
         """Broadcast one scalar machine snapshot into every replica."""
         if snap.phr_capacity and snap.phr_capacity != self.config.phr_capacity:
@@ -411,6 +486,7 @@ class BatchMachine:
                 f"snapshot is for a {snap.phr_capacity}-doublet PHR, "
                 f"this batch has {self.config.phr_capacity}"
             )
+        self._poisoned = False
         self._epoch += 1
         base_snap, table_snaps = snap.cbp
         values, populated = base_snapshot_to_dense(
@@ -832,6 +908,7 @@ class BatchMachine:
         branches in one step.  Returns the ``(n,)`` misprediction mask
         (False for replicas excluded by ``mask``).
         """
+        self._check_poisoned()
         rows = self._rows_of(mask)
         result = np.zeros(self.n, dtype=bool)
         if rows.size == 0:
@@ -855,6 +932,7 @@ class BatchMachine:
             raise ValueError(
                 "batch record_taken_branch does not model INDIRECT "
                 "branches; run them through run_batch")
+        self._check_poisoned()
         rows = self._rows_of(mask)
         if rows.size == 0:
             return
@@ -941,6 +1019,7 @@ class BatchMachine:
 
     def snapshot(self) -> BatchSnapshot:
         """Checkpoint the whole batch (arrays copied, shadows sparse)."""
+        self._check_poisoned()
         self.sync()
         arrays = {
             "base_val": self._base_val.copy(),
@@ -975,6 +1054,7 @@ class BatchMachine:
             raise ValueError(
                 f"snapshot is for {snap.n} replicas, this batch has "
                 f"{self.n}")
+        self._poisoned = False
         arrays = snap.arrays
         np.copyto(self._base_val, arrays["base_val"])
         np.copyto(self._base_pop, arrays["base_pop"])
@@ -1011,6 +1091,7 @@ class BatchMachine:
         """
         if not 0 <= i < self.n:
             raise IndexError(f"replica index out of range: {i}")
+        self._check_poisoned()
         self.sync()
         base_snap = base_snapshot_from_dense(self._base_val[i],
                                              self._base_pop[i])
@@ -1046,6 +1127,8 @@ class BatchMachine:
         speculate: bool = False,
         trace: str = "branches",
         on_limit: str = "raise",
+        shared_input=_UNSET,
+        trace_cache=None,
     ) -> List[BatchRunResult]:
         """Run ``program`` once per replica; return per-replica results.
 
@@ -1057,33 +1140,68 @@ class BatchMachine:
         why -- and results are pinned bit-identical to per-replica
         ``Machine.run(..., speculate=False)``.  If a replica raises
         (e.g. the instruction budget under ``on_limit='raise'``), the
-        batch state is left mid-update; reload from a snapshot before
-        reusing it.
+        batch is left mid-update and poisoned: every later state-touching
+        call raises :class:`BatchStateError` until a
+        :meth:`restore`/:meth:`load_snapshot`.
+
+        **Shared-trace mode** (``shared_input=...``, exclusive with
+        ``inputs``/``trace_cache``): every replica runs the *same*
+        architectural input, so phase 1 -- the serial interpreter walk
+        that dominates batch wall-clock -- executes exactly once, on
+        replica 0, capturing the committed branch-event and cache-access
+        streams.  The other replicas replay the capture through their own
+        shadows and phase 2 broadcasts the one event stream batch-wide.
+        ``shared_input`` takes one input in the per-replica item shape
+        (``None``, a :class:`Memory`, or a ``(state, memory)`` pair); the
+        single state/memory is mutated by the one real run and every
+        result carries its own copy of the final register state.
+        Replicas must start from the same data-cache state (the
+        load_snapshot/restore broadcast idiom guarantees it): load
+        latencies recorded in the final ``reg_latency`` are taken from
+        replica 0's cache.
+
+        **Cached-trace mode** (``trace_cache=...``, a
+        :class:`repro.service.TraceCache` or any object with its
+        ``get``/``put`` shape): for input-*dependent* sweeps that revisit
+        the same inputs (the AES per-plaintext trials).  Each replica's
+        phase 1 is keyed by program + entry + trace mode + full
+        architectural input + starting cache state; a hit replays the
+        stored :class:`~repro.isa.trace.ArchTrace` instead of
+        re-interpreting, a miss captures and stores (halted runs only).
+        Divergence detection in the cache degrades any damaged entry to
+        a miss.
         """
         if speculate:
             raise ValueError(
                 "the batch engine cannot model speculation; run "
                 "speculative workloads on the scalar Machine")
-        pairs = self._normalize_inputs(inputs)
+        shared = shared_input is not _UNSET
+        if shared and inputs is not None:
+            raise ValueError(
+                "shared_input and inputs are mutually exclusive: shared-"
+                "trace mode runs one input on every replica")
+        if shared and trace_cache is not None:
+            raise ValueError(
+                "shared_input and trace_cache are mutually exclusive: a "
+                "shared run is already captured exactly once")
+        self._check_poisoned()
         self.sync()
         self._epoch += 1
         perf_before = [self._perf[i].snapshot() for i in range(self.n)]
-        executions: List[ExecutionResult] = []
-        events: List[List[tuple]] = []
-        for i, (state, memory) in enumerate(pairs):
-            shadow_phr = PathHistoryRegister(self.config.phr_capacity,
-                                             self.phr_value(i))
-            hooks = _ReplayHooks(shadow_phr, self._cache[i], self._perf[i],
-                                 self._ras[i], self._ibp[i])
-            interpreter = Interpreter(program, hooks)
-            execution = interpreter.run(
-                state=state, memory=memory, entry=entry,
-                max_instructions=max_instructions, trace=trace,
-                on_limit=on_limit)
-            executions.append(execution)
-            events.append(hooks.events)
-        self._replay_events(events)
-        self.sync()
+        try:
+            if shared:
+                executions, events = self._phase1_shared(
+                    program, shared_input, entry, max_instructions, trace,
+                    on_limit)
+            else:
+                executions, events = self._phase1_per_replica(
+                    program, inputs, entry, max_instructions, trace,
+                    on_limit, trace_cache)
+            self._replay_events(events)
+            self.sync()
+        except BaseException:
+            self._poisoned = True
+            raise
         return [
             BatchRunResult(
                 execution=executions[i],
@@ -1093,23 +1211,202 @@ class BatchMachine:
             for i in range(self.n)
         ]
 
+    def _phase1_per_replica(
+        self, program: Program, inputs, entry: Optional[int],
+        max_instructions: int, trace: str, on_limit: str, trace_cache,
+    ) -> Tuple[List[ExecutionResult], List[List[tuple]]]:
+        """Phase 1, one interpretation (or trace replay) per replica."""
+        pairs = self._normalize_inputs(inputs)
+        caching = trace_cache is not None
+        if caching:
+            program_fp = program_fingerprint(program)
+            entry_resolved = entry if entry is not None else program.entry
+            # The cache geometry and latencies shape the captured run
+            # (miss patterns, reg_latency), so they join the cache-state
+            # digest in the key -- config changes must never share traces.
+            config = self.config
+            cache_profile = (
+                f"{config.cache_sets}:{config.cache_ways}:"
+                f"{config.cache_line_size}:{config.cache_hit_latency}:"
+                f"{config.cache_miss_latency}:")
+        executions: List[ExecutionResult] = []
+        events: List[List[tuple]] = []
+        for i, (state, memory) in enumerate(pairs):
+            key = None
+            if caching:
+                key = trace_key(
+                    program_fp, entry_resolved, trace,
+                    input_digest(state, memory),
+                    cache_profile + cache_digest(self._cache[i]))
+                cached = trace_cache.get(key)
+                if (cached is not None and cached.halted
+                        and cached.instructions <= max_instructions):
+                    executions.append(
+                        self._replay_trace(i, cached, state, memory))
+                    events.append(cached.events)
+                    continue
+                initial_memory = dict(memory._bytes)
+            shadow_phr = PathHistoryRegister(self.config.phr_capacity,
+                                             self.phr_value(i))
+            hook_type = _CaptureHooks if caching else _ReplayHooks
+            hooks = hook_type(shadow_phr, self._cache[i], self._perf[i],
+                              self._ras[i], self._ibp[i])
+            interpreter = Interpreter(program, hooks)
+            execution = interpreter.run(
+                state=state, memory=memory, entry=entry,
+                max_instructions=max_instructions, trace=trace,
+                on_limit=on_limit)
+            executions.append(execution)
+            events.append(hooks.events)
+            if caching and execution.halted:
+                trace_cache.put(key, capture_trace(
+                    key, hooks.events, hooks.accesses, execution,
+                    initial_memory, memory, trace))
+        return executions, events
+
+    def _phase1_shared(
+        self, program: Program, shared_input, entry: Optional[int],
+        max_instructions: int, trace: str, on_limit: str,
+    ) -> Tuple[List[ExecutionResult], List[List[tuple]]]:
+        """Phase 1, shared-trace mode: interpret once, walk N-1 times."""
+        state, memory = self._normalize_one(shared_input)
+        shadow_phr = PathHistoryRegister(self.config.phr_capacity,
+                                         self.phr_value(0))
+        hooks = _CaptureHooks(shadow_phr, self._cache[0], self._perf[0],
+                              self._ras[0], self._ibp[0])
+        interpreter = Interpreter(program, hooks)
+        execution = interpreter.run(
+            state=state, memory=memory, entry=entry,
+            max_instructions=max_instructions, trace=trace,
+            on_limit=on_limit)
+        captured = ArchTrace(
+            key="0" * 64,  # never cached; identity is this call only
+            events=hooks.events,
+            accesses=hooks.accesses,
+            instructions=execution.instructions,
+            records=execution.trace,
+            trace_mode=trace,
+            final_state=execution.state,
+            memory_delta={},
+            halted=execution.halted,
+        )
+        executions: List[ExecutionResult] = [execution]
+        for i in range(1, self.n):
+            self._walk_trace(i, captured)
+            executions.append(ExecutionResult(
+                trace=execution.trace,
+                instructions=execution.instructions,
+                state=execution.state.copy(),
+                halted=execution.halted,
+                next_pc=execution.next_pc,
+            ))
+        return executions, [hooks.events] * self.n
+
+    def _replay_trace(self, i: int, cached: ArchTrace, state: CpuState,
+                      memory: Memory) -> ExecutionResult:
+        """Serve replica ``i``'s phase 1 from a cached trace.
+
+        Walks the shadows, applies the captured memory delta (the input
+        digest pinned the starting memory equal to the capture's, so
+        final memory is exactly ``initial + delta``), and rewrites the
+        caller's state in place to the captured final state.
+        """
+        self._walk_trace(i, cached)
+        memory._bytes.update(cached.memory_delta)
+        final = cached.final_state
+        state.regs = dict(final.regs)
+        state.flags = final.flags
+        state.call_stack = list(final.call_stack)
+        state.reg_latency = dict(final.reg_latency)
+        state.flags_latency = final.flags_latency
+        return ExecutionResult(
+            trace=cached.records,
+            instructions=cached.instructions,
+            state=state,
+            halted=True,
+            next_pc=None,
+        )
+
+    def _walk_trace(self, i: int, captured: ArchTrace) -> None:
+        """Replay a captured run's shadow effects onto replica ``i``.
+
+        Reproduces exactly what replica ``i``'s own phase 1 would have
+        done: the cache-access stream (fills, LRU movement, hit/miss
+        counters), retired-instruction count, RAS traffic and return
+        accounting, and IBP traffic.  The scalar shadow PHR -- needed
+        only to hash indirect branches -- is materialized (and the
+        conditional bulk of the event stream walked) only when the trace
+        actually contains an indirect branch.
+        """
+        cache = self._cache[i]
+        if captured.accesses:
+            resolved = getattr(captured, "_resolved", None)
+            if resolved is None:
+                # Same key => same cache geometry, so the (line, set)
+                # resolution is shared across replicas and replays.
+                resolved = cache.resolve_lines(captured.accesses)
+                captured._resolved = resolved
+            cache.access_resolved(resolved)
+        perf = self._perf[i]
+        perf.instructions += captured.instructions
+        ras = self._ras[i]
+        if captured.has_indirect:
+            ibp = self._ibp[i]
+            phr = PathHistoryRegister(self.config.phr_capacity,
+                                      self.phr_value(i))
+            for kind, pc, target, taken, next_pc in captured.events:
+                if kind == KIND_COND:
+                    if taken:
+                        phr.update(pc, target)
+                    continue
+                if kind == KIND_CALL:
+                    ras.push(next_pc)
+                elif kind == KIND_RET:
+                    predicted = ras.pop()
+                    perf.returns += 1
+                    if predicted is None:
+                        perf.ras_underflows += 1
+                        perf.indirect_mispredictions += 1
+                    elif predicted != target:
+                        perf.indirect_mispredictions += 1
+                elif kind == KIND_INDIRECT:
+                    predicted = ibp.predict(pc, phr)
+                    perf.indirect_branches += 1
+                    if predicted != target:
+                        perf.indirect_mispredictions += 1
+                    ibp.update(pc, phr, target)
+                phr.update(pc, target)
+        else:
+            for kind, pc, target, taken, next_pc in captured.jump_events:
+                if kind == KIND_CALL:
+                    ras.push(next_pc)
+                elif kind == KIND_RET:
+                    predicted = ras.pop()
+                    perf.returns += 1
+                    if predicted is None:
+                        perf.ras_underflows += 1
+                        perf.indirect_mispredictions += 1
+                    elif predicted != target:
+                        perf.indirect_mispredictions += 1
+
     def _normalize_inputs(self, inputs) -> List[Tuple[CpuState, Memory]]:
         if inputs is None:
             inputs = [None] * self.n
         if len(inputs) != self.n:
             raise ValueError(
                 f"expected {self.n} inputs, got {len(inputs)}")
-        pairs = []
-        for item in inputs:
-            if item is None:
-                state, memory = None, None
-            elif isinstance(item, Memory):
-                state, memory = None, item
-            else:
-                state, memory = item
-            pairs.append((state if state is not None else CpuState(),
-                          memory if memory is not None else Memory()))
-        return pairs
+        return [self._normalize_one(item) for item in inputs]
+
+    @staticmethod
+    def _normalize_one(item) -> Tuple[CpuState, Memory]:
+        if item is None:
+            state, memory = None, None
+        elif isinstance(item, Memory):
+            state, memory = None, item
+        else:
+            state, memory = item
+        return (state if state is not None else CpuState(),
+                memory if memory is not None else Memory())
 
     def _replay_events(self, events: List[List[tuple]]) -> None:
         """Phase 2: lockstep vectorized replay of recorded branch streams."""
@@ -1137,8 +1434,10 @@ class BatchMachine:
             for t in range(span):
                 active = lengths > (start + t)
                 column = kind[:, t]
-                cond_rows = np.flatnonzero(active & (column == 1))
-                jump_rows = np.flatnonzero(active & (column == 0))
+                # Any non-conditional kind (JUMP/CALL/RET/INDIRECT) is a
+                # committed taken jump to the vectorized predictor.
+                cond_rows = np.flatnonzero(active & (column == KIND_COND))
+                jump_rows = np.flatnonzero(active & (column != KIND_COND))
                 if cond_rows.size:
                     self._observe_rows(cond_rows, pc[cond_rows, t],
                                        target[cond_rows, t],

@@ -1,0 +1,185 @@
+"""Process-shard plumbing for batch execution (ARCHITECTURE.md §12).
+
+Phase 1 of :meth:`BatchMachine.run_batch` is serial Python per replica,
+so a vectorize-N block gains from splitting its replicas across W fork
+workers.  Two pieces make that cheap:
+
+* :func:`shard_ranges` -- the contiguous replica split, deterministic so
+  W workers reproduce exactly the replica order one worker would run;
+* :class:`SnapshotSlab` -- a ``multiprocessing.shared_memory`` block
+  holding one serialized :class:`~repro.cpu.machine.MachineSnapshot`.
+  The parent writes ``MachineSnapshot.to_bytes()`` once; every worker
+  attaches and deserializes from the same physical pages, so the
+  (potentially large, trained) snapshot is never pickled per task or
+  per worker.
+
+Workers receive the slab *name* (a short string) through their
+initializer and publish the decoded snapshot process-globally via
+:func:`current_snapshot`; consumers that build machines inside workers
+(:class:`repro.aes.trials.VictimTrialContext`) consult it instead of
+re-provisioning from scratch.
+
+Platforms without POSIX shared memory degrade gracefully: the harness
+falls back to inline (unsharded) execution, never to a crash.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cpu.machine import MachineSnapshot
+
+try:  # pragma: no cover - import succeeds on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+__all__ = [
+    "SnapshotSlab",
+    "current_snapshot",
+    "set_current_snapshot",
+    "shard_ranges",
+    "slabs_supported",
+]
+
+
+def slabs_supported() -> bool:
+    """Whether this platform can back slabs with shared memory."""
+    return _shared_memory is not None
+
+
+def shard_ranges(n: int, workers: int) -> List[Tuple[int, int]]:
+    """Split ``n`` replicas into ``workers`` contiguous ``(start, stop)``.
+
+    Deterministic and order-preserving: concatenating the ranges yields
+    ``0..n``, which is what makes W-sharded execution replica-for-replica
+    identical to unsharded execution.  Earlier shards get the remainder;
+    empty shards are dropped (``workers > n``).
+    """
+    if n < 0:
+        raise ValueError(f"replica count must be >= 0, got {n}")
+    if workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {workers}")
+    base, extra = divmod(n, workers)
+    ranges = []
+    start = 0
+    for w in range(workers):
+        size = base + (1 if w < extra else 0)
+        if size == 0:
+            break
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+class SnapshotSlab:
+    """One machine snapshot in a shared-memory block.
+
+    Create in the parent (:meth:`create`), ship ``slab.name`` to the
+    workers, attach there (:meth:`attach`).  The creator owns the
+    block's lifetime: :meth:`close` detaches a mapping, :meth:`unlink`
+    (creator only) frees the pages.  Snapshot decoding happens lazily
+    and is memoized per mapping.
+    """
+
+    def __init__(self, shm, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self._snapshot: Optional[MachineSnapshot] = None
+
+    @classmethod
+    def create(cls, snapshot: MachineSnapshot) -> "SnapshotSlab":
+        """Serialize ``snapshot`` into a fresh shared-memory block."""
+        if _shared_memory is None:
+            raise RuntimeError(
+                "multiprocessing.shared_memory is unavailable on this "
+                "platform; check slabs_supported() first")
+        payload = snapshot.to_bytes()
+        shm = _shared_memory.SharedMemory(create=True, size=len(payload))
+        shm.buf[: len(payload)] = payload
+        slab = cls(shm, owner=True)
+        slab._snapshot = snapshot
+        return slab
+
+    @classmethod
+    def attach(cls, name: str) -> "SnapshotSlab":
+        """Map an existing slab by name (worker side)."""
+        if _shared_memory is None:
+            raise RuntimeError(
+                "multiprocessing.shared_memory is unavailable on this "
+                "platform; check slabs_supported() first")
+        return cls(_shared_memory.SharedMemory(name=name), owner=False)
+
+    @property
+    def name(self) -> str:
+        """The block name workers attach by."""
+        return self._shm.name
+
+    @property
+    def size(self) -> int:
+        """Mapped size in bytes (may exceed the payload: page rounding)."""
+        return self._shm.size
+
+    def snapshot(self) -> MachineSnapshot:
+        """Decode (once) and return the stored snapshot.
+
+        The serialized form is self-delimiting, so page-rounding slack
+        after the payload is ignored by the decoder.
+        """
+        if self._snapshot is None:
+            self._snapshot = MachineSnapshot.from_bytes(
+                bytes(self._shm.buf))
+        return self._snapshot
+
+    def close(self) -> None:
+        """Detach this process's mapping (idempotent)."""
+        try:
+            self._shm.close()
+        except (OSError, ValueError):  # pragma: no cover - teardown race
+            pass
+
+    def unlink(self) -> None:
+        """Free the shared pages (creator only, after workers detach)."""
+        if not self._owner:
+            return
+        try:
+            self._shm.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "SnapshotSlab":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        if self._owner:
+            self.unlink()
+
+
+#: The snapshot broadcast to this worker process, if any.
+_CURRENT_SNAPSHOT: Optional[MachineSnapshot] = None
+_CURRENT_SLAB: Optional[SnapshotSlab] = None
+
+
+def set_current_snapshot(slab_name: Optional[str]) -> None:
+    """Worker-side: attach ``slab_name`` and publish its snapshot.
+
+    ``None`` clears the broadcast.  Called by the harness's shard-worker
+    initializer; trial contexts pick the snapshot up through
+    :func:`current_snapshot`.
+    """
+    global _CURRENT_SNAPSHOT, _CURRENT_SLAB
+    if _CURRENT_SLAB is not None:
+        _CURRENT_SLAB.close()
+        _CURRENT_SLAB = None
+    _CURRENT_SNAPSHOT = None
+    if slab_name is None:
+        return
+    slab = SnapshotSlab.attach(slab_name)
+    _CURRENT_SNAPSHOT = slab.snapshot()
+    _CURRENT_SLAB = slab
+
+
+def current_snapshot() -> Optional[MachineSnapshot]:
+    """The snapshot broadcast to this process, or ``None``."""
+    return _CURRENT_SNAPSHOT

@@ -42,6 +42,15 @@ class BranchTargetBuffer:
         self._tag_mask = mask(tag_bits)
         self.hits = 0
         self.misses = 0
+        #: Mutation epoch (see :attr:`DataCache.mutations`): bumped by
+        #: every state-changing method, including :meth:`predict`, whose
+        #: LRU move and hit/miss accounting are snapshot-visible state.
+        self.mutations = 0
+        #: Dirty-set tracking for fast consecutive restores from the
+        #: same snapshot object (see :meth:`DataCache.restore`).
+        self._dirty: set = set()
+        self._dirty_all = True
+        self._restore_source = None
 
     def _index(self, pc: int) -> int:
         return (pc >> self.index_low_bit) & self._index_mask
@@ -51,8 +60,11 @@ class BranchTargetBuffer:
 
     def predict(self, pc: int) -> Optional[int]:
         """Predicted target of the branch at ``pc``, or None on a miss."""
+        self.mutations += 1
         wanted = self._tag(pc)
-        ways = self._sets[self._index(pc)]
+        index = self._index(pc)
+        self._dirty.add(index)
+        ways = self._sets[index]
         for position, entry in enumerate(ways):
             if entry.tag == wanted:
                 # Move to MRU position.
@@ -65,8 +77,10 @@ class BranchTargetBuffer:
     def update(self, pc: int, target: int) -> None:
         """Record the resolved target for the branch at ``pc``."""
         # _index/_tag inlined: update runs on every committed taken branch.
+        self.mutations += 1
         index = (pc >> self.index_low_bit) & self._index_mask
         wanted = ((pc >> self._tag_shift) & self._tag_mask) ^ (pc & 0b11111)
+        self._dirty.add(index)
         ways = self._sets[index]
         for position, entry in enumerate(ways):
             if entry.tag == wanted:
@@ -79,6 +93,8 @@ class BranchTargetBuffer:
 
     def flush(self) -> None:
         """Drop all entries."""
+        self.mutations += 1
+        self._dirty_all = True
         self._sets = [[] for _ in range(self.sets)]
 
     def populated_entries(self) -> int:
@@ -96,9 +112,20 @@ class BranchTargetBuffer:
         return entries, self.hits, self.misses
 
     def restore(self, snap: tuple) -> None:
-        """Restore a :meth:`snapshot`; only diverged sets are rebuilt."""
+        """Restore a :meth:`snapshot`; only diverged sets are rebuilt.
+
+        Restoring the *same snapshot object* consecutively visits only
+        the sets mutated since the previous restore (see
+        :meth:`DataCache.restore`).
+        """
+        self.mutations += 1
         entries, self.hits, self.misses = snap
-        for index, ways in enumerate(self._sets):
+        if snap is self._restore_source and not self._dirty_all:
+            indices = tuple(self._dirty)
+        else:
+            indices = range(self.sets)
+        for index in indices:
+            ways = self._sets[index]
             wanted = entries.get(index)
             if wanted is None:
                 if ways:
@@ -111,3 +138,6 @@ class BranchTargetBuffer:
                 continue
             self._sets[index] = [BtbEntry(tag=tag, target=target)
                                  for tag, target in wanted]
+        self._restore_source = snap
+        self._dirty_all = False
+        self._dirty.clear()

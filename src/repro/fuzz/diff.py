@@ -276,6 +276,7 @@ def check_program(
     divergences += _check_prefix_replay(fuzz_program, fast, machine_mutator,
                                         oracle_stride)
     divergences += _check_batch_twin(fuzz_program, machine_mutator)
+    divergences += _check_shared_trace(fuzz_program, machine_mutator)
     return divergences
 
 
@@ -340,6 +341,112 @@ def _check_batch_twin(
               dict(scalar_result.state.regs))
         check("memory", memories[i].snapshot(), scalar_memory.snapshot())
         check("snapshot", batch.extract(i), scalar_snap)
+    return divergences
+
+
+def _check_shared_trace(
+    fuzz_program: FuzzProgram,
+    machine_mutator: Optional[MachineMutator],
+) -> List[Divergence]:
+    """Trace-once/replay-many against scalar twins, bit for bit.
+
+    Two sub-arms of the phase-1 elision machinery:
+
+    * ``shared-trace[i]`` -- ``run_batch(shared_input=...)`` runs phase 1
+      once and replays the committed event stream into every replica;
+      each replica must still match a fresh scalar ``speculate=False``
+      run on identically-provisioned memory.
+    * ``cached-trace[i]`` -- the same batch run twice through one
+      :class:`~repro.service.store.TraceCache`: the warm pass (every
+      replica a cache hit, phase 1 fully skipped) must match the scalar
+      twins just as exactly, and the cache must report zero divergences.
+    """
+    if machine_mutator is not None:
+        return []  # mutators perturb scalar machines only
+    try:
+        from repro.batch import BatchMachine, supports_config
+    except ImportError:
+        return []  # numpy not available: the batch engine is optional
+    from repro.service.store import TraceCache
+
+    config = fuzz_program.machine_config
+    if not supports_config(config):
+        return []
+
+    n = 2
+    divergences: List[Divergence] = []
+
+    def compare(arm: str, got, result_memory, scalar) -> None:
+        scalar_result, scalar_memory, scalar_snap = scalar
+
+        def check(kind: str, left, right) -> None:
+            if left != right:
+                divergences.append(
+                    Divergence(arm, kind, f"{left!r} != {right!r}"))
+
+        check("trace", tuple(got.trace), tuple(scalar_result.trace))
+        check("perf", got.perf, scalar_result.perf)
+        check("phr", got.phr_value, scalar_result.phr_value)
+        check("instructions", got.execution.instructions,
+              scalar_result.execution.instructions)
+        check("registers", dict(got.state.regs),
+              dict(scalar_result.state.regs))
+        check("memory", result_memory.snapshot(), scalar_memory.snapshot())
+
+    def scalar_run():
+        machine = Machine(config)
+        memory = _provision_memory(fuzz_program)
+        result = machine.run(
+            fuzz_program.program, memory=memory,
+            max_instructions=fuzz_program.max_instructions,
+            speculate=False, trace="full")
+        return result, memory, machine.snapshot()
+
+    scalars = [scalar_run() for _ in range(n)]
+
+    # Sub-arm 1: one phase-1 run broadcast to every replica.
+    batch = BatchMachine(n, config)
+    shared_memory = _provision_memory(fuzz_program)
+    results = batch.run_batch(
+        fuzz_program.program,
+        max_instructions=fuzz_program.max_instructions, trace="full",
+        shared_input=shared_memory)
+    for i in range(n):
+        compare(f"shared-trace[{i}]", results[i], shared_memory, scalars[i])
+        snap = batch.extract(i)
+        if snap != scalars[i][2]:
+            divergences.append(Divergence(
+                f"shared-trace[{i}]", "snapshot",
+                "extracted snapshot differs from scalar twin"))
+
+    # Sub-arm 2: cold capture then warm replay through the trace cache.
+    cache = TraceCache()
+    for label in ("cold", "warm"):
+        batch = BatchMachine(n, config)
+        memories = [_provision_memory(fuzz_program) for _ in range(n)]
+        try:
+            results = batch.run_batch(
+                fuzz_program.program, memories,
+                max_instructions=fuzz_program.max_instructions,
+                trace="full", trace_cache=cache)
+        except Exception as exc:  # noqa: BLE001 -- arm must not crash fuzz
+            divergences.append(Divergence(
+                f"cached-trace-{label}", "crash",
+                f"{type(exc).__name__}: {exc}"))
+            return divergences
+        for i in range(n):
+            compare(f"cached-trace-{label}[{i}]", results[i], memories[i],
+                    scalars[i])
+            snap = batch.extract(i)
+            if snap != scalars[i][2]:
+                divergences.append(Divergence(
+                    f"cached-trace-{label}[{i}]", "snapshot",
+                    "extracted snapshot differs from scalar twin"))
+    if cache.stats.divergences:
+        divergences.append(Divergence(
+            "cached-trace", "cache",
+            f"trace cache reported {cache.stats.divergences} "
+            f"divergent entries"))
     return divergences
 
 

@@ -1,0 +1,289 @@
+"""Architectural trace capture and replay (ARCHITECTURE.md §12).
+
+Under ``speculate=False`` a program's architectural path depends only on
+its inputs -- the program text, the entry point, the starting register
+state, and memory.  That means one interpretation of a given input can
+stand in for *every* interpretation of that input: capture the committed
+event stream once, then replay it into any number of machine replicas
+without touching the interpreter again.  :class:`ArchTrace` is that
+captured artifact, and the batch engine's shared-trace and cached-trace
+modes (``BatchMachine.run_batch(shared_input=...)`` /
+``run_batch(trace_cache=...)``) are its consumers.
+
+What a trace must carry to be a faithful stand-in:
+
+* the committed branch events, in order, with enough kind information to
+  replay CALL/RET through a replica's RAS and INDIRECT through its IBP;
+* the committed cache-access address stream (loads and stores both fold
+  into :meth:`DataCache.access`);
+* the final architectural state -- register file and the *delta* of
+  memory bytes the run wrote -- so a replaying replica lands on the same
+  ``(CpuState, Memory)`` the interpreter would have produced;
+* the retired-instruction count, for perf-counter parity.
+
+Safety is content addressing plus divergence detection.  A trace's
+:attr:`key` digests the program text, entry, trace mode, the full input
+(registers, flags, call stack, latencies, memory bytes) *and* the
+starting data-cache state -- load latencies flow into
+``CpuState.reg_latency``, so two runs from different cache contents are
+different runs.  :attr:`branch_stream_hash` fingerprints the recorded
+event stream; :meth:`ArchTrace.verify` recomputes it, and a keyed cache
+that finds a mismatch must treat the entry as poisoned
+(:class:`TraceDivergenceError` names the failure) rather than replay it.
+A stale or corrupted trace therefore degrades to a cache miss and a
+fresh capture, never to silently wrong results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.isa.interpreter import BranchKind, CpuState
+from repro.isa.memory import Memory
+from repro.isa.program import Program
+
+__all__ = [
+    "KIND_CODES",
+    "ArchTrace",
+    "TraceDivergenceError",
+    "cache_digest",
+    "capture_trace",
+    "input_digest",
+    "program_fingerprint",
+    "trace_key",
+]
+
+#: Event kind codes.  Phase-2 predictor replay only distinguishes
+#: conditional (1) from taken-jump (everything else); the trace walk
+#: additionally needs CALL/RET (RAS traffic) and INDIRECT (IBP traffic).
+KIND_JUMP = 0
+KIND_COND = 1
+KIND_CALL = 2
+KIND_RET = 3
+KIND_INDIRECT = 4
+
+KIND_CODES = {
+    BranchKind.JUMP: KIND_JUMP,
+    BranchKind.CALL: KIND_CALL,
+    BranchKind.RET: KIND_RET,
+    BranchKind.INDIRECT: KIND_INDIRECT,
+}
+
+
+class TraceDivergenceError(RuntimeError):
+    """A cached trace no longer matches its recorded identity.
+
+    Raised (or counted, by caches that degrade to a miss) when a trace's
+    recomputed branch-stream hash or content key disagrees with what was
+    stored -- the signal that replaying it would corrupt results.
+    """
+
+
+# ----------------------------------------------------------------------
+# content identity
+# ----------------------------------------------------------------------
+
+def program_fingerprint(program: Program) -> str:
+    """Content identity of an assembled program (text + labels + entry).
+
+    Mirrors the service store's ``program_digest`` (this module sits
+    below :mod:`repro.service` and cannot import it): two programs with
+    identical layout fingerprint equal regardless of how they were
+    built.
+    """
+    digest = hashlib.sha256()
+    for address, instruction in program.items():
+        digest.update(f"{address}:{instruction!r};".encode("utf-8"))
+    for label, address in sorted(program.labels.items()):
+        digest.update(f"L{label}={address};".encode("utf-8"))
+    digest.update(f"E{program.entry}".encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _digest_memory(digest, memory: Memory) -> None:
+    """Fold a memory's populated bytes into ``digest``.
+
+    Bytes are folded in dict-insertion order: deterministic provisioning
+    produces a deterministic order, and including the addresses means an
+    equal digest implies equal content.  Two memories holding the same
+    bytes written in a different order digest *differently* -- a spurious
+    cache miss, which is safe; a false hit is not possible.
+    """
+    data = memory._bytes
+    count = len(data)
+    digest.update(count.to_bytes(8, "little"))
+    if not count:
+        return
+    addresses = np.fromiter(data.keys(), dtype=np.int64, count=count)
+    values = np.fromiter(data.values(), dtype=np.uint8, count=count)
+    digest.update(addresses.tobytes())
+    digest.update(values.tobytes())
+
+
+def input_digest(state: Optional[CpuState], memory: Memory) -> str:
+    """Content identity of one architectural input ``(state, memory)``.
+
+    Covers every field the interpreter reads or carries through --
+    registers, flags, the call stack, both latency trackers, and the
+    populated memory bytes.  Latencies matter because the captured final
+    state carries them verbatim.
+    """
+    digest = hashlib.sha256()
+    if state is None:
+        digest.update(b"S-")
+    else:
+        digest.update(repr(sorted(state.regs.items())).encode("utf-8"))
+        digest.update(repr(state.flags).encode("utf-8"))
+        digest.update(repr(state.call_stack).encode("utf-8"))
+        digest.update(repr(sorted(state.reg_latency.items())).encode("utf-8"))
+        digest.update(repr(state.flags_latency).encode("utf-8"))
+    _digest_memory(digest, memory)
+    return digest.hexdigest()
+
+
+def cache_digest(cache) -> str:
+    """Content identity of a data cache's current state.
+
+    Load latencies (hit vs miss) land in ``CpuState.reg_latency``, so a
+    trace captured against one cache state is only valid for replicas in
+    the same cache state.  The digest is memoized against the cache's
+    mutation counter, so the common trial-loop shape -- restore to a
+    pristine (usually empty) cache before every block -- pays the hash
+    once per restore, not once per replica.
+    """
+    epoch = getattr(cache, "mutations", None)
+    if epoch is not None:
+        memo = getattr(cache, "_digest_memo", None)
+        if memo is not None and memo[0] == epoch:
+            return memo[1]
+        # Right after a restore the state equals the restored snapshot's
+        # state, so the digest only depends on the snapshot object --
+        # the restore-per-trial loop hashes it once, not once per trial.
+        if getattr(cache, "_restored_epoch", None) == epoch:
+            source_memo = getattr(cache, "_source_digest_memo", None)
+            if (source_memo is not None
+                    and source_memo[0] is cache._restore_source):
+                value = source_memo[1]
+                cache._digest_memo = (epoch, value)
+                return value
+    lines, hits, misses = cache.snapshot()
+    digest = hashlib.sha256()
+    digest.update(f"{hits}:{misses};".encode("utf-8"))
+    for index in sorted(lines):
+        digest.update(f"{index}={lines[index]};".encode("utf-8"))
+    value = digest.hexdigest()
+    if epoch is not None:
+        cache._digest_memo = (epoch, value)
+        if getattr(cache, "_restored_epoch", None) == epoch:
+            cache._source_digest_memo = (cache._restore_source, value)
+    return value
+
+
+def trace_key(program_fp: str, entry: Optional[int], trace_mode: str,
+              inputs: str, cache_state: str) -> str:
+    """The content address a cached :class:`ArchTrace` lives under."""
+    text = f"arch-trace:{program_fp}:{entry}:{trace_mode}:{inputs}:" \
+           f"{cache_state}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _hash_events(events: List[Tuple[int, int, int, int, int]]) -> str:
+    """SHA-256 fingerprint of a committed branch-event stream."""
+    digest = hashlib.sha256()
+    digest.update(len(events).to_bytes(8, "little"))
+    if events:
+        digest.update(np.asarray(events, dtype=np.int64).tobytes())
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# the trace artifact
+# ----------------------------------------------------------------------
+
+@dataclass
+class ArchTrace:
+    """One captured architectural execution, ready for replay.
+
+    ``events`` are ``(kind, pc, target, taken, next_pc)`` committed
+    branch events (kind codes above); ``accesses`` is the committed
+    cache-access address stream; ``memory_delta`` holds exactly the
+    bytes the run changed relative to its starting memory (applying it
+    to an identical starting memory reproduces the final memory, which
+    the content key guarantees).  ``records`` is the materialized
+    :class:`BranchRecord` trace for the capture's ``trace_mode`` --
+    replayed results share it, so callers must treat run traces as
+    read-only (they already do; results are value objects).
+    """
+
+    key: str
+    events: List[Tuple[int, int, int, int, int]]
+    accesses: List[int]
+    instructions: int
+    records: list
+    trace_mode: str
+    final_state: CpuState
+    memory_delta: Dict[int, int]
+    halted: bool
+    branch_stream_hash: str = ""
+    #: Events that touch a replay shadow (everything non-conditional);
+    #: precomputed so an indirect-free trace walk skips the conditional
+    #: bulk entirely.
+    jump_events: list = field(default_factory=list, repr=False)
+    has_indirect: bool = False
+
+    def __post_init__(self):
+        if not self.branch_stream_hash:
+            self.branch_stream_hash = _hash_events(self.events)
+        if not self.jump_events:
+            self.jump_events = [event for event in self.events
+                                if event[0] != KIND_COND]
+        self.has_indirect = any(event[0] == KIND_INDIRECT
+                                for event in self.jump_events)
+
+    def verify(self, key: Optional[str] = None) -> None:
+        """Check this trace against its recorded identity.
+
+        Raises :class:`TraceDivergenceError` when the recomputed branch
+        stream hash no longer matches, or when ``key`` (the address a
+        cache is serving it under) disagrees with the trace's own.
+        """
+        if key is not None and key != self.key:
+            raise TraceDivergenceError(
+                f"trace keyed {self.key[:12]}... served under "
+                f"{key[:12]}...")
+        recomputed = _hash_events(self.events)
+        if recomputed != self.branch_stream_hash:
+            raise TraceDivergenceError(
+                "branch stream diverged from its recorded hash "
+                f"({recomputed[:12]}... != "
+                f"{self.branch_stream_hash[:12]}...)")
+
+
+def capture_trace(key: str, events: list, accesses: list, execution,
+                  initial_memory: Dict[int, int], memory: Memory,
+                  trace_mode: str) -> ArchTrace:
+    """Build an :class:`ArchTrace` from a completed interpretation.
+
+    ``initial_memory`` is the memory snapshot taken *before* the run;
+    only bytes that changed are stored (memory never deletes keys, so
+    the final state is exactly ``initial + delta``).
+    """
+    final = memory._bytes
+    get = initial_memory.get
+    delta = {address: value for address, value in final.items()
+             if get(address) != value}
+    return ArchTrace(
+        key=key,
+        events=events,
+        accesses=accesses,
+        instructions=execution.instructions,
+        records=execution.trace,
+        trace_mode=trace_mode,
+        final_state=execution.state.copy(),
+        memory_delta=delta,
+        halted=execution.halted,
+    )

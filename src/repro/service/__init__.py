@@ -36,6 +36,8 @@ from repro.service.store import (
     SnapshotStore,
     StoreError,
     StoreStats,
+    TraceCache,
+    TraceCacheStats,
     content_key,
     machine_digest,
     profile_digest,
@@ -55,6 +57,8 @@ __all__ = [
     "SnapshotStore",
     "StoreError",
     "StoreStats",
+    "TraceCache",
+    "TraceCacheStats",
     "VictimProgramSpec",
     "WorkerContext",
     "content_key",

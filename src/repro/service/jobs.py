@@ -375,6 +375,61 @@ def _handle_image_recovery(ctx, params: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _handle_aes_victim_signatures(ctx,
+                                  params: Dict[str, Any]) -> Dict[str, Any]:
+    """Batched per-plaintext victim signatures, trace-cache accelerated.
+
+    The service twin of :func:`repro.aes.trials.run_victim_signatures`:
+    the bare looped AES victim runs once per plaintext on a
+    :class:`~repro.batch.BatchMachine` seeded from the worker's pristine
+    snapshot.  When the service carries a shared trace cache, plaintexts
+    the cache has seen (repeat sweeps, retried jobs, other workers of
+    the same shard) replay their captured architectural traces instead
+    of re-interpreting phase 1.
+    """
+    from repro.aes.victim import AesVictim
+    from repro.batch import BatchMachine, supports_config
+    from repro.isa.memory import Memory
+
+    key = bytes(_require(params, "key"))
+    plaintexts = [bytes(p) for p in _require(params, "plaintexts")]
+    if any(len(p) != 16 for p in plaintexts):
+        raise ServiceError("plaintexts must be 16 bytes each")
+    width = params.get("vectorize", 16)
+    if not isinstance(width, int) or isinstance(width, bool) or width < 1:
+        raise ServiceError(f"vectorize must be a positive integer, "
+                           f"got {width!r}")
+    machine = ctx.fresh_machine()
+    if not supports_config(machine.config):
+        raise ServiceError(
+            "machine profile is unsupported by the batch engine")
+    victim = AesVictim(key, data_path=params.get("data_path", "fast"))
+    entry = victim.program.address_of("aes_encrypt")
+    pristine = machine.snapshot()
+    cache = getattr(ctx, "trace_cache", None)
+    signatures = []
+    for low in range(0, len(plaintexts), width):
+        block = plaintexts[low:low + width]
+        batch = BatchMachine.from_snapshot(machine.config, pristine,
+                                           len(block))
+        memories = []
+        for plaintext in block:
+            memory = Memory()
+            victim.provision(memory, plaintext)
+            memories.append(memory)
+        results = batch.run_batch(victim.program, memories, entry=entry,
+                                  trace="none", trace_cache=cache)
+        signatures.extend(
+            [victim.read_ciphertext(memory).hex(),
+             result.perf.conditional_branches,
+             result.perf.conditional_mispredictions]
+            for result, memory in zip(results, memories))
+    return {
+        "signatures": signatures,
+        "trace_cache": cache.stats.as_dict() if cache is not None else None,
+    }
+
+
 HANDLERS: Dict[str, Callable[[Any, Dict[str, Any]], Any]] = {
     "read_phr": _handle_read_phr,
     "extended_read": _handle_extended_read,
@@ -382,6 +437,7 @@ HANDLERS: Dict[str, Callable[[Any, Dict[str, Any]], Any]] = {
     "read_pht": _handle_read_pht,
     "write_pht": _handle_write_pht,
     "aes_key_recovery": _handle_aes_key_recovery,
+    "aes_victim_signatures": _handle_aes_victim_signatures,
     "image_recovery": _handle_image_recovery,
 }
 

@@ -61,10 +61,15 @@ class WorkerContext:
     so handlers get fresh-machine semantics without fresh-machine cost.
     """
 
-    def __init__(self, name: str, spec: MachineSpec, store) -> None:
+    def __init__(self, name: str, spec: MachineSpec, store,
+                 trace_cache=None) -> None:
         self.name = name
         self.spec = spec
         self.store = store
+        #: Shared :class:`~repro.service.store.TraceCache` (or None):
+        #: batched handlers pass it to ``run_batch`` so repeated control
+        #: flows replay captured traces instead of re-interpreting.
+        self.trace_cache = trace_cache
         self.machine = spec.build()
         self._pristine = self.machine.snapshot()
         #: Jobs this worker completed (results + failures), for the
@@ -211,7 +216,7 @@ class _Shard:
         for index in range(workers):
             context = WorkerContext(
                 name=f"{digest[:8]}/w{index}", spec=spec,
-                store=service.store)
+                store=service.store, trace_cache=service.trace_cache)
             slot = _WorkerSlot(context)
             slot.thread = threading.Thread(
                 target=service._worker_loop, args=(slot,),
@@ -237,7 +242,7 @@ class AttackService:
     """
 
     def __init__(self, store=None, workers_per_profile: int = 2,
-                 max_profiles: int = 8) -> None:
+                 max_profiles: int = 8, trace_cache=None) -> None:
         if workers_per_profile < 1:
             raise ServiceError(
                 f"workers_per_profile must be >= 1, "
@@ -246,6 +251,9 @@ class AttackService:
             raise ServiceError(f"max_profiles must be >= 1, "
                                f"got {max_profiles}")
         self.store = store
+        #: Shared architectural trace cache handed to every worker
+        #: context; GIL-bound thread workers can share it without locks.
+        self.trace_cache = trace_cache
         self.workers_per_profile = workers_per_profile
         self.max_profiles = max_profiles
         self._shards: Dict[str, _Shard] = {}
@@ -423,6 +431,8 @@ class AttackService:
             }
         if self.store is not None:
             data["store"] = self.store.stats.as_dict()
+        if self.trace_cache is not None:
+            data["trace_cache"] = self.trace_cache.stats.as_dict()
         return data
 
 

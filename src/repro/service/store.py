@@ -119,8 +119,23 @@ def machine_digest(machine) -> str:
     divergence -- however small -- separates them.  Used as the root-state
     component of replay store scopes: checkpoints built from different
     starting states must never share a content address.
+
+    Memoized against :attr:`Machine.state_epoch`: service request loops
+    digest the same untouched machine once per job, and serializing a
+    full trained snapshot for every call was the store's hottest single
+    line.  Any state mutation moves the epoch and forces a recompute;
+    machines without an epoch (duck-typed stand-ins, machines whose
+    predictors were swapped out) always take the full recompute path.
     """
-    return hashlib.sha256(machine.snapshot().to_bytes()).hexdigest()
+    epoch = getattr(machine, "state_epoch", None)
+    if epoch is not None:
+        memo = getattr(machine, "_digest_cache", None)
+        if memo is not None and memo[0] == epoch:
+            return memo[1]
+    value = hashlib.sha256(machine.snapshot().to_bytes()).hexdigest()
+    if epoch is not None:
+        machine._digest_cache = (epoch, value)
+    return value
 
 
 # ----------------------------------------------------------------------
@@ -476,3 +491,127 @@ class SnapshotStore:
             total -= size
             if total <= self.disk_budget_bytes:
                 break
+
+
+# ----------------------------------------------------------------------
+# the trace cache
+# ----------------------------------------------------------------------
+
+@dataclass
+class TraceCacheStats:
+    """Counters for the trace cache's behaviour tests and benchmarks."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    #: Entries that failed divergence verification on lookup and were
+    #: evicted (each one degraded to a miss, counted separately above).
+    divergences: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "divergences": self.divergences,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def reset(self) -> None:
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, 0)
+
+
+class TraceCache:
+    """Content-addressed LRU cache of :class:`~repro.isa.trace.ArchTrace`.
+
+    The batch engine's cached-trace mode
+    (``BatchMachine.run_batch(trace_cache=...)``) keys captured
+    architectural traces by program + entry + input + starting cache
+    state and replays a hit instead of re-interpreting -- the
+    trace-once/replay-many economy for input-dependent sweeps (the AES
+    per-plaintext trials above all).
+
+    Every :meth:`get` re-verifies the entry against its identity: the
+    stored trace's own key must match the requested address, and its
+    branch-event stream must still hash to the recorded
+    ``branch_stream_hash``.  A mismatch -- a mutated event list, an
+    entry stored under the wrong address -- evicts the entry, counts a
+    divergence, and returns ``None``: the caller re-captures, so a
+    poisoned cache self-heals into misses, never wrong replays.
+
+    Memory-only by design (traces hold live interpreter record objects,
+    not serialized artifacts) and thread-safe like the snapshot store.
+    """
+
+    def __init__(self, memory_entries: int = 256):
+        if memory_entries < 1:
+            raise StoreError(
+                f"memory_entries must be >= 1, got {memory_entries}")
+        self.memory_entries = memory_entries
+        self.stats = TraceCacheStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+
+    def get(self, key: str):
+        """The verified trace stored under ``key``, or ``None``."""
+        from repro.isa.trace import TraceDivergenceError
+
+        _check_key(key)
+        with self._lock:
+            trace = self._entries.get(key)
+            if trace is None:
+                self.stats.misses += 1
+                return None
+            try:
+                trace.verify(key=key)
+            except TraceDivergenceError:
+                del self._entries[key]
+                self.stats.divergences += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return trace
+
+    def put(self, key: str, trace) -> None:
+        """Store ``trace`` under content address ``key``.
+
+        The trace must already identify as ``key`` (and pass its own
+        stream-hash check); storing a mismatched trace is a caller bug
+        and raises immediately rather than planting a poisoned entry.
+        """
+        _check_key(key)
+        trace.verify(key=key)
+        with self._lock:
+            self._entries[key] = trace
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.memory_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            self.stats.puts += 1
+
+    def __contains__(self, key: str) -> bool:
+        _check_key(key)
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (stats survive)."""
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,129 @@
+"""Unit tests for the CI speedup-regression gate.
+
+``benchmarks/check_regression.py`` compares the newest trajectory
+record against the previous same-mode record and fails on a >threshold
+drop of any shared ``speedups`` key.  These tests exercise the
+comparison rules (mode matching, missing keys, thresholds, corrupt
+files) through both the library functions and the CLI entry point.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+from check_regression import (check_results, compare_speedups, latest_pair,
+                              load_trajectory, main)
+
+
+def _record(quick=True, **speedups):
+    return {"bench": "test", "quick": quick,
+            "speedups": {key: float(value)
+                         for key, value in speedups.items()}}
+
+
+# ----------------------------------------------------------------------
+# pair selection
+# ----------------------------------------------------------------------
+
+def test_latest_pair_needs_two_records():
+    assert latest_pair([]) is None
+    assert latest_pair([_record()]) is None
+
+
+def test_latest_pair_matches_mode():
+    quick_old = _record(quick=True, batch_speedup=5.0)
+    full = _record(quick=False, batch_speedup=9.0)
+    quick_new = _record(quick=True, batch_speedup=4.9)
+    pair = latest_pair([quick_old, full, quick_new])
+    assert pair == (quick_old, quick_new)
+    # A mode flip with no earlier same-mode record: nothing to compare.
+    assert latest_pair([quick_old, _record(quick=False)]) is None
+
+
+# ----------------------------------------------------------------------
+# comparison rules
+# ----------------------------------------------------------------------
+
+def test_drop_beyond_threshold_fails():
+    failures = compare_speedups(_record(batch_speedup=5.0),
+                                _record(batch_speedup=3.9), 0.20)
+    assert len(failures) == 1
+    assert "batch_speedup" in failures[0]
+
+
+def test_drop_at_threshold_passes():
+    assert compare_speedups(_record(batch_speedup=5.0),
+                            _record(batch_speedup=4.0), 0.20) == []
+
+
+def test_improvements_and_new_keys_pass():
+    previous = _record(batch_speedup=5.0)
+    newest = _record(batch_speedup=7.5, aes_batch_speedup=4.0)
+    assert compare_speedups(previous, newest, 0.20) == []
+    # Retired keys are ignored too (only shared keys compare).
+    retired = _record(batch_speedup=5.0, old_speedup=9.0)
+    assert compare_speedups(retired, _record(batch_speedup=5.0), 0.20) == []
+
+
+def test_non_numeric_and_nonpositive_values_are_skipped():
+    previous = {"speedups": {"a_speedup": "fast", "b_speedup": 0.0,
+                             "c_speedup": 4.0}}
+    newest = {"speedups": {"a_speedup": 1.0, "b_speedup": 9.0,
+                           "c_speedup": 1.0}}
+    failures = compare_speedups(previous, newest, 0.20)
+    assert len(failures) == 1
+    assert "c_speedup" in failures[0]
+
+
+# ----------------------------------------------------------------------
+# directory walk + CLI
+# ----------------------------------------------------------------------
+
+def _write(directory: Path, name: str, records):
+    (directory / name).write_text(json.dumps(records))
+
+
+def test_check_results_clean_and_failing(tmp_path):
+    _write(tmp_path, "good.json",
+           [_record(batch_speedup=5.0), _record(batch_speedup=5.2)])
+    assert check_results(tmp_path) == 0
+
+    _write(tmp_path, "bad.json",
+           [_record(aes_batch_speedup=4.0), _record(aes_batch_speedup=2.0)])
+    assert check_results(tmp_path) == 1
+
+
+def test_check_results_skips_single_and_corrupt(tmp_path):
+    _write(tmp_path, "single.json", [_record(batch_speedup=5.0)])
+    (tmp_path / "corrupt.json").write_text("{not json")
+    (tmp_path / "dict.json").write_text(json.dumps({"quick": True}))
+    assert check_results(tmp_path) == 0
+
+
+def test_check_results_missing_directory(tmp_path):
+    assert check_results(tmp_path / "nowhere") == 0
+
+
+def test_load_trajectory_filters_non_dict_entries(tmp_path):
+    path = tmp_path / "mixed.json"
+    path.write_text(json.dumps([_record(), "noise", 42, _record()]))
+    assert len(load_trajectory(path)) == 2
+
+
+def test_main_threshold_flag(tmp_path):
+    _write(tmp_path, "wobble.json",
+           [_record(batch_speedup=5.0), _record(batch_speedup=3.8)])
+    # 24% drop: fails at the default 20%, passes at 30%.
+    assert main(["--results-dir", str(tmp_path)]) == 1
+    assert main(["--results-dir", str(tmp_path), "--threshold", "0.3"]) == 0
+
+
+def test_main_rejects_bad_threshold(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["--results-dir", str(tmp_path), "--threshold", "1.5"])

@@ -100,7 +100,8 @@ class TestJobValidation:
         kinds = job_kinds()
         assert kinds == tuple(sorted(HANDLERS))
         assert "read_phr" in kinds and "aes_key_recovery" in kinds
-        assert len(kinds) == 7
+        assert "aes_victim_signatures" in kinds
+        assert len(kinds) == 8
 
     def test_retry_budget_validated(self):
         with pytest.raises(ServiceError, match="retry budget"):
