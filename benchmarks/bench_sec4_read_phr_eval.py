@@ -19,9 +19,10 @@ The two must agree bit for bit; quick mode asserts the >=3x floor.
 
 import time
 
-from repro.cpu import Machine, RAPTOR_LAKE
+from repro.cpu import Machine, PREDICTOR_LAB_MACHINES, RAPTOR_LAKE
 from repro.isa import ProgramBuilder
 from repro.primitives import PhrMacros, PhrReader, VictimHandle
+from repro.primitives.matrix import measure_read_primitive
 from repro.utils.rng import DeterministicRng
 
 from conftest import BENCH_QUICK, operation_count, print_table
@@ -162,3 +163,45 @@ def test_sec4_read_phr_replay_speedup(benchmark):
         "doublets": REPLAY_DOUBLETS,
         "victim_commits": REPLAY_LOOP_ITERATIONS,
     })
+
+
+# ----------------------------------------------------------------------
+# cross-architecture backend matrix (sec4 read channel, all families)
+# ----------------------------------------------------------------------
+
+MATRIX_TRAIN_ROUNDS = operation_count(24, 10)
+MATRIX_TEST_ROUNDS = operation_count(8, 4)
+
+
+def run_backend_matrix():
+    return [
+        measure_read_primitive(config,
+                               train_rounds=MATRIX_TRAIN_ROUNDS,
+                               test_rounds=MATRIX_TEST_ROUNDS)
+        for config in PREDICTOR_LAB_MACHINES
+    ]
+
+
+def test_sec4_read_primitive_backend_matrix(benchmark):
+    """The read channel's enabling property, measured on every family.
+
+    The full Read_PHR protocol above is Intel-specific; the property it
+    exploits -- the predictor disambiguates branch history -- is not.
+    This arm scores that property on every registered backend and emits
+    the per-backend matrix record.
+    """
+    results = benchmark.pedantic(run_backend_matrix, rounds=1, iterations=1)
+    print_table(
+        "Section 4 read primitive -- per-backend history disambiguation",
+        ["backend", "accuracy", "blind floor", "contrast"],
+        [[r.model_id, f"{r.accuracy:.3f}", f"{r.blind_floor:.3f}",
+          f"{r.contrast:+.3f}"] for r in results],
+    )
+    assert sorted(r.model_id for r in results) == sorted(
+        c.predictor_model for c in PREDICTOR_LAB_MACHINES)
+    for result in results:
+        assert result.contrast >= 0.3, (
+            f"{result.model_id}: no usable read channel "
+            f"(accuracy {result.accuracy:.3f} vs floor "
+            f"{result.blind_floor:.3f})")
+    benchmark.extra_info["backend_matrix"] = [r.as_row() for r in results]

@@ -117,14 +117,13 @@ class SimulatedKernel:
         """Run one syscall's branches through the machine's predictors."""
         if name not in self._body_streams:
             raise KeyError(f"unknown syscall {name!r}")
-        context = machine.thread(thread)
-        context.domain = "kernel"
+        machine.set_domain(thread, "kernel")
         entry_taken = machine.inject_branch_sequence(self._entry, thread)
         body_taken = machine.inject_branch_sequence(
             self._body_streams[name], thread
         )
         exit_taken = machine.inject_branch_sequence(self._exit, thread)
-        context.domain = "user"
+        machine.set_domain(thread, "user")
         return SyscallResult(
             name=name,
             entry_taken=entry_taken,

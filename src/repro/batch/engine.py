@@ -128,13 +128,15 @@ class BatchStateError(RuntimeError):
 def supports_config(config: MachineConfig) -> bool:
     """Whether the batch engine can represent ``config`` exactly.
 
-    The vectorized tables assume the production geometry: 512 sets (the
-    scalar table's 9-bit index constant), tags that fit int16 arrays, and
-    history windows inside the PHR.  Exotic configs fall back to the
-    scalar engine.
+    The vectorized tables assume the production geometry: the
+    ``intel-cbp`` predictor family (other families' tables and history
+    disciplines are scalar-only), 512 sets (the scalar table's 9-bit
+    index constant), tags that fit int16 arrays, and history windows
+    inside the PHR.  Exotic configs fall back to the scalar engine.
     """
     return (
-        config.pht_sets == (1 << INDEX_BITS)
+        config.predictor_model == "intel-cbp"
+        and config.pht_sets == (1 << INDEX_BITS)
         and 1 <= config.counter_bits <= 7
         and 1 <= config.pht_tag_bits <= 15
         and len(config.pht_history_lengths) >= 1
@@ -1111,6 +1113,7 @@ class BatchMachine:
             threads=threads,
             ibrs_enabled=self._ibrs,
             phr_capacity=self.config.phr_capacity,
+            predictor_model=self.config.predictor_model,
         )
 
     # ------------------------------------------------------------------

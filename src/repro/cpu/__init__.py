@@ -1,4 +1,4 @@
-"""Functional simulator of the Intel branch prediction unit.
+"""Functional simulator of the paper's branch prediction unit.
 
 This package implements the reverse-engineered CBP model the paper builds
 its attacks on (Section 2): the 194-doublet path history register with the
@@ -6,20 +6,37 @@ Figure 2 footprint function, the base predictor plus three tagged pattern
 history tables of Figure 3 with 3-bit saturating counters (Observation 2),
 and the surrounding machine model -- data cache, speculation, SMT threads,
 protection domains -- needed by the attack case studies.
+
+The direction predictor and history register are pluggable *predictor
+families* (:mod:`repro.cpu.model`, ARCHITECTURE.md §13): the paper's
+Intel CBP is the default ``intel-cbp`` family; ``m1-phr``
+(:mod:`repro.cpu.m1`) and ``gshare-tournament``
+(:mod:`repro.cpu.tournament`) provide the cross-architecture comparison
+points, selected through :attr:`MachineConfig.predictor_model`.
 """
 
 from repro.cpu.config import (
     ALDER_LAKE,
+    FIRESTORM_M1,
     MachineConfig,
+    PREDICTOR_LAB_MACHINES,
     RAPTOR_LAKE,
     SKYLAKE,
     TARGET_MACHINES,
+    TOURNAMENT_BASELINE,
 )
 from repro.cpu.footprint import branch_footprint, footprint_doublet
 from repro.cpu.phr import PathHistoryRegister
 from repro.cpu.saturating import SaturatingCounter
 from repro.cpu.cbp import ConditionalBranchPredictor, Prediction
 from repro.cpu.cache import DataCache
+from repro.cpu.model import (
+    PredictorModel,
+    UnknownPredictorModelError,
+    build_model,
+    model_ids,
+    resolve_model,
+)
 from repro.cpu.perf import PerfCounters
 from repro.cpu.machine import Machine, MachineRunResult, MachineSnapshot
 from repro.cpu.serialize import SNAPSHOT_FORMAT_VERSION, SnapshotFormatError
@@ -30,17 +47,25 @@ __all__ = [
     "ALDER_LAKE",
     "ConditionalBranchPredictor",
     "DataCache",
+    "FIRESTORM_M1",
     "Machine",
     "MachineConfig",
     "MachineRunResult",
     "MachineSnapshot",
+    "PREDICTOR_LAB_MACHINES",
     "PathHistoryRegister",
     "PerfCounters",
     "Prediction",
+    "PredictorModel",
     "RAPTOR_LAKE",
     "SKYLAKE",
     "SaturatingCounter",
     "TARGET_MACHINES",
+    "TOURNAMENT_BASELINE",
+    "UnknownPredictorModelError",
     "branch_footprint",
+    "build_model",
     "footprint_doublet",
+    "model_ids",
+    "resolve_model",
 ]

@@ -28,6 +28,13 @@ class MachineConfig:
     name: str
     model_name: str
     microarchitecture: str
+    #: Predictor family backend (a :mod:`repro.cpu.model` registry id).
+    #: ``intel-cbp`` is the paper's reverse-engineered CBP and the
+    #: default; ``m1-phr`` and ``gshare-tournament`` select the other
+    #: built-in families.  Every profile digest and snapshot artifact
+    #: carries this id, so configs differing only here never share
+    #: checkpoints or worker shards.
+    predictor_model: str = "intel-cbp"
     #: Taken branches the PHR records (doublets).
     phr_capacity: int = 194
     #: History window (in doublets) of each tagged PHT.
@@ -97,3 +104,34 @@ SKYLAKE = _config("machine 3", "Core i7-6770HQ", "Skylake", 93, 4)
 
 #: All Table 1 targets, in paper order.
 TARGET_MACHINES: Tuple[MachineConfig, ...] = (RAPTOR_LAKE, ALDER_LAKE, SKYLAKE)
+
+#: The M1 Firestorm-style lab machine (arXiv 2502.10719 family; see
+#: :mod:`repro.cpu.m1` for the modeling notes).  86 doublets: the M1
+#: register records both directions, so it fills roughly twice as fast
+#: per retired conditional as the Intel PHR.
+FIRESTORM_M1 = MachineConfig(
+    name="lab M1",
+    model_name="Apple M1 (Firestorm)",
+    microarchitecture="Firestorm",
+    predictor_model="m1-phr",
+    phr_capacity=86,
+    pht_history_lengths=default_history_lengths(86),
+    pc_index_bit=5,
+)
+
+#: The gshare/tournament baseline lab machine (Assassyn-CPU family; see
+#: :mod:`repro.cpu.tournament`).  The PHR-geometry fields are inert for
+#: this family -- its history is a 16-bit GHR of direction bits.
+TOURNAMENT_BASELINE = MachineConfig(
+    name="lab tournament",
+    model_name="Assassyn tournament core",
+    microarchitecture="tournament baseline",
+    predictor_model="gshare-tournament",
+)
+
+#: One representative machine per predictor family -- the backend axis
+#: of the cross-architecture result matrix (benchmarks, conformance
+#: suite, per-backend fuzz arms).
+PREDICTOR_LAB_MACHINES: Tuple[MachineConfig, ...] = (
+    RAPTOR_LAKE, FIRESTORM_M1, TOURNAMENT_BASELINE,
+)

@@ -83,29 +83,35 @@ def branch_footprint_reference(branch_address: int,
     return footprint
 
 
-def _footprint_luts() -> Tuple[List[int], List[int]]:
-    """Build the two footprint lookup tables from ``_FOOTPRINT_LAYOUT``.
+def _footprint_luts(
+    layout: Tuple[Tuple[int, int], ...] = _FOOTPRINT_LAYOUT,
+    branch_bits: int = 16,
+    target_bits: int = 6,
+) -> Tuple[List[int], List[int]]:
+    """Build the two footprint lookup tables from a layout table.
 
     The footprint is GF(2)-linear in the address bits, so it splits into
-    independent contributions of ``branch_address[15:0]`` (a 65536-entry
-    table) and ``target[5:0]`` (a 64-entry table) that XOR together.  Both
-    tables are filled by subset-DP over the per-bit contributions -- one
-    XOR per entry -- keeping the layout tuple the single source of truth.
+    independent contributions of ``branch_address[branch_bits-1:0]`` and
+    ``target[target_bits-1:0]`` that XOR together.  Both tables are
+    filled by subset-DP over the per-bit contributions -- one XOR per
+    entry -- keeping the layout tuple the single source of truth.  The
+    same builder serves every register family's layout (the Intel
+    Figure 2 table above, the M1-style table below).
     """
-    branch_contribution = [0] * 16
-    target_contribution = [0] * 6
-    for position, (b_index, t_index) in enumerate(_FOOTPRINT_LAYOUT):
+    branch_contribution = [0] * branch_bits
+    target_contribution = [0] * target_bits
+    for position, (b_index, t_index) in enumerate(layout):
         placed = 1 << (FOOTPRINT_BITS - 1 - position)
         branch_contribution[b_index] ^= placed
         if t_index >= 0:
             target_contribution[t_index] ^= placed
 
-    branch_lut = [0] * (1 << 16)
+    branch_lut = [0] * (1 << branch_bits)
     for index, contribution in enumerate(branch_contribution):
         size = 1 << index
         for prefix in range(size):
             branch_lut[size | prefix] = branch_lut[prefix] ^ contribution
-    target_lut = [0] * (1 << 6)
+    target_lut = [0] * (1 << target_bits)
     for index, contribution in enumerate(target_contribution):
         size = 1 << index
         for prefix in range(size):
@@ -136,6 +142,68 @@ def footprint_doublet(branch_address: int, target_address: int,
         raise ValueError(f"footprint doublet index out of range: {index}")
     footprint = branch_footprint(branch_address, target_address)
     return (footprint >> (2 * index)) & 0b11
+
+
+# ----------------------------------------------------------------------
+# the M1-style footprint (arXiv 2502.10719)
+# ----------------------------------------------------------------------
+#
+# The Firestorm reverse engineering reports a PHR-like history whose
+# per-branch hash mixes *more target bits* than Intel's and whose update
+# rule records conditional branches of both directions.  The exact bit
+# placement is not published at Figure 2 fidelity, so this layout is a
+# documented model (DESIGN.md discipline: state the assumption, preserve
+# the properties attacks rely on):
+#
+# * 16 branch-address bits B15..B0 and 8 target bits T7..T0 contribute,
+#   each exactly once, so the hash stays GF(2)-linear and LUT-friendly;
+# * a branch with zero B15..B0 and zero T7..T0 has an all-zero footprint
+#   (the Shift_PHR property holds for this family too);
+# * T0/T1 land alone in the low doublet (the Write_PHR property).
+
+#: (branch_address_bit, target_address_bit_or_None) per footprint bit,
+#: f15 down to f0, for the M1-style register family.
+M1_FOOTPRINT_LAYOUT: Tuple[Tuple[int, int], ...] = (
+    (15, 7),
+    (14, 6),
+    (13, -1),
+    (12, -1),
+    (11, 5),
+    (10, 4),
+    (9, -1),
+    (8, -1),
+    (7, 3),
+    (6, 2),
+    (5, -1),
+    (0, -1),
+    (1, -1),
+    (2, -1),
+    (3, 1),
+    (4, 0),
+)
+
+#: Footprint contribution of ``branch_address[15:0]`` / ``target[7:0]``
+#: under the M1-style layout.
+_M1_BRANCH_LUT, _M1_TARGET_LUT = _footprint_luts(
+    M1_FOOTPRINT_LAYOUT, branch_bits=16, target_bits=8)
+
+
+def m1_branch_footprint(branch_address: int, target_address: int) -> int:
+    """The 16-bit M1-style footprint of a *taken* conditional branch."""
+    return (_M1_BRANCH_LUT[branch_address & 0xFFFF]
+            ^ _M1_TARGET_LUT[target_address & 0xFF])
+
+
+def m1_fallthrough_footprint(branch_address: int) -> int:
+    """The M1-style footprint of a *not-taken* conditional branch.
+
+    Modeled per the arXiv 2502.10719 finding that Firestorm's history
+    distinguishes branch direction: the not-taken record hashes the
+    branch address only (there is no taken target to mix), so a taken
+    and a not-taken commit of the same branch write different doublets
+    and the history disambiguates direction patterns, not just paths.
+    """
+    return _M1_BRANCH_LUT[branch_address & 0xFFFF]
 
 
 def footprint_bit_sources() -> List[str]:

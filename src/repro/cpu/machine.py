@@ -1,16 +1,24 @@
 """The simulated machine: BPU + cache + speculation + protection domains.
 
 A :class:`Machine` owns one physical core's shared predictor state (the
-CBP's base predictor and PHTs, the BTB, the IBP) and per-logical-thread
-state (the PHR and the RAS) -- the sharing granularity the paper
-establishes in Section 7.3: *"the PHR is not shared between two SMT
-threads ... the PHTs are indeed shared"*.
+direction predictor's tables, the BTB, the IBP) and per-logical-thread
+state (the history register and the RAS) -- the sharing granularity the
+paper establishes in Section 7.3: *"the PHR is not shared between two
+SMT threads ... the PHTs are indeed shared"*.
+
+The conditional direction predictor and the history register are built
+by a pluggable :class:`~repro.cpu.model.PredictorModel` family selected
+through :attr:`MachineConfig.predictor_model` (ARCHITECTURE.md §13); the
+machine itself is family-agnostic glue.  With the default ``intel-cbp``
+family this is exactly the paper's machine -- CBP + 194-doublet PHR --
+pinned bit-identical to the pre-interface behaviour by golden hashes.
 
 Programs run through :meth:`Machine.run`, which wires the architectural
 interpreter to microarchitectural hooks: every conditional branch is
-predicted by the CBP, mispredictions trigger bounded wrong-path
-(transient) execution whose loads perturb the data cache, and every taken
-branch folds its footprint into the running thread's PHR.
+predicted by the direction predictor, mispredictions trigger bounded
+wrong-path (transient) execution whose loads perturb the data cache, and
+every committed branch updates the running thread's history register
+under the family's update discipline.
 
 The machine also exposes the *functional* entry points the attack
 primitives use on their fast path (`observe_conditional`,
@@ -21,16 +29,16 @@ the equivalent instructions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.cpu.btb import BranchTargetBuffer
 from repro.cpu.cache import DataCache
-from repro.cpu.cbp import ConditionalBranchPredictor
 from repro.cpu.config import MachineConfig, RAPTOR_LAKE
 from repro.cpu.ibp import IndirectBranchPredictor
+from repro.cpu.model import build_model
 from repro.cpu.perf import PerfCounters
-from repro.cpu.phr import PathHistoryRegister
 from repro.cpu.ras import ReturnAddressStack
+from repro.cpu.serialize import SnapshotFormatError
 from repro.isa.interpreter import (
     BranchKind,
     CpuHooks,
@@ -47,7 +55,12 @@ class ThreadContext:
     """Per-logical-thread (SMT) microarchitectural state."""
 
     thread_id: int
-    phr: PathHistoryRegister
+    #: The thread's branch-history register, built by the machine's
+    #: predictor family (:meth:`repro.cpu.model.PredictorModel.build_history`).
+    #: Named ``phr`` for the paper's register; other families bind their
+    #: own register kind here (e.g. a tournament GHR), all speaking the
+    #: history protocol documented in :mod:`repro.cpu.model`.
+    phr: Any
     ras: ReturnAddressStack
     #: Informational label of the security domain currently executing.
     domain: str = "user"
@@ -74,6 +87,11 @@ class MachineSnapshot:
     ibrs_enabled: bool
     #: PHR capacity (doublets) of the source machine, for restore checks.
     phr_capacity: int = 0
+    #: Predictor-family id of the source machine.  :meth:`Machine.restore`
+    #: rejects a snapshot whose family differs from the restoring
+    #: machine's backend -- the table/history payloads above are
+    #: family-shaped and silently mis-restoring them would corrupt state.
+    predictor_model: str = "intel-cbp"
 
     def to_bytes(self) -> bytes:
         """Serialize to the versioned artifact format.
@@ -168,15 +186,11 @@ class Machine:
 
     def __init__(self, config: MachineConfig = RAPTOR_LAKE):
         self.config = config
-        self.cbp = ConditionalBranchPredictor(
-            history_lengths=config.pht_history_lengths,
-            sets=config.pht_sets,
-            ways=config.pht_ways,
-            counter_bits=config.counter_bits,
-            tag_bits=config.pht_tag_bits,
-            base_index_bits=config.base_index_bits,
-            pc_index_bit=config.pc_index_bit,
-        )
+        #: The predictor family backing this machine (ARCHITECTURE.md §13).
+        self.model = build_model(config)
+        #: The family's direction predictor; the default ``intel-cbp``
+        #: binds a :class:`~repro.cpu.cbp.ConditionalBranchPredictor`.
+        self.cbp = self.model.build_direction_predictor()
         self.btb = BranchTargetBuffer()
         self.ibp = IndirectBranchPredictor()
         self.cache = DataCache(
@@ -190,7 +204,7 @@ class Machine:
         self.threads: List[ThreadContext] = [
             ThreadContext(
                 thread_id=tid,
-                phr=PathHistoryRegister(config.phr_capacity),
+                phr=self.model.build_history(),
                 ras=ReturnAddressStack(),
             )
             for tid in range(config.smt_threads)
@@ -262,8 +276,8 @@ class Machine:
     # state access
     # ------------------------------------------------------------------
 
-    def phr(self, thread: int = 0) -> PathHistoryRegister:
-        """The PHR of logical thread ``thread``."""
+    def phr(self, thread: int = 0) -> Any:
+        """The history register of logical thread ``thread``."""
         return self.threads[thread].phr
 
     def thread(self, thread: int = 0) -> ThreadContext:
@@ -298,6 +312,7 @@ class Machine:
             ),
             ibrs_enabled=self.ibrs_enabled,
             phr_capacity=self.config.phr_capacity,
+            predictor_model=self.model.model_id,
         )
 
     def restore(self, snap: MachineSnapshot) -> None:
@@ -311,6 +326,12 @@ class Machine:
         machine reset through here instead of re-provisioning and
         re-profiling from scratch.
         """
+        if snap.predictor_model != self.model.model_id:
+            raise SnapshotFormatError(
+                f"snapshot is for predictor model "
+                f"{snap.predictor_model!r}, this machine runs "
+                f"{self.model.model_id!r}"
+            )
         if len(snap.threads) != len(self.threads):
             raise ValueError(
                 "snapshot is for a machine with a different thread count"
@@ -353,7 +374,7 @@ class Machine:
             if predicted != target:
                 self.perf.indirect_mispredictions += 1
             self.ibp.update(pc, context.phr, target)
-        context.phr.update(pc, target)
+        context.phr.on_taken(pc, target)
         self.perf.taken_branches += 1
         observer = self.branch_observer
         if observer is not None:
@@ -397,8 +418,12 @@ class Machine:
         self.cbp.update(pc, context.phr, taken, prediction)
         if taken:
             self.btb.update(pc, target)
-            context.phr.update(pc, target)
             self.perf.taken_branches += 1
+        # The family's history discipline decides what a committed
+        # conditional records (Intel: taken only; M1: both directions;
+        # tournament GHR: the direction bit) -- after the predictor has
+        # trained on the lookup-time history, before the observer fires.
+        context.phr.on_conditional(pc, target, taken)
         observer = self.branch_observer
         if observer is not None:
             observer(pc, BranchKind.CONDITIONAL, taken)
@@ -529,6 +554,25 @@ class Machine:
             if taken:
                 taken_count += 1
         return taken_count
+
+    def set_domain(self, thread: int, domain: str) -> None:
+        """Switch logical thread ``thread`` into security domain ``domain``.
+
+        The domain label is informational on the paper's machines (the
+        whole point of Section 7 is that the CBP carries state *across*
+        user/kernel and user/SGX transitions), but the predictor family
+        gets a veto:
+        :meth:`repro.cpu.model.PredictorModel.on_domain_switch` runs on
+        every actual transition, letting a family model
+        domain-partitioned or domain-flushed predictor state.  All
+        built-in families inherit the no-op default.
+        """
+        context = self.threads[thread]
+        old_domain = context.domain
+        if domain == old_domain:
+            return
+        context.domain = domain
+        self.model.on_domain_switch(self, context, old_domain, domain)
 
     def ibpb(self) -> None:
         """Indirect Branch Predictor Barrier.

@@ -37,6 +37,12 @@ class PathHistoryRegister:
     forcing those consumers to lazily recompute.
     """
 
+    #: The footprint function of this register family.  Subclasses (the
+    #: M1-style register of :mod:`repro.cpu.m1`) override it; the tagged
+    #: tables and the step journal are footprint-agnostic, so the whole
+    #: folded-history machinery carries over unchanged.
+    footprint = staticmethod(branch_footprint)
+
     def __init__(self, capacity: int = 194, value: int = 0):
         # Hardware PHRs are always wide enough to hold a footprint, but
         # the register math is well defined for any positive width; the
@@ -92,11 +98,48 @@ class PathHistoryRegister:
 
     def update(self, branch_address: int, target_address: int) -> None:
         """Record one taken branch (shift one doublet, XOR footprint)."""
-        footprint = branch_footprint(branch_address, target_address)
+        footprint = self.footprint(branch_address, target_address)
         value = self._value
         self._steps.append((value, footprint))
         self._value = ((value << 2) ^ footprint) & self._mask
         self.version += 1
+
+    def inject(self, footprint: int) -> None:
+        """Shift one doublet and XOR a precomputed ``footprint``.
+
+        The journalled core of :meth:`update`, exposed for register
+        families whose commit rules inject footprints :meth:`update`
+        cannot express (the M1-style register folds one for *not-taken*
+        conditionals too).  Journal semantics match :meth:`update`, so
+        folded-history consumers stay O(1) across these steps as well.
+        """
+        value = self._value
+        self._steps.append((value, footprint))
+        self._value = ((value << 2) ^ footprint) & self._mask
+        self.version += 1
+
+    # ----- machine commit hooks (the PredictorModel history protocol) -----
+
+    def on_conditional(self, branch_address: int, target_address: int,
+                       taken: bool) -> None:
+        """Commit hook for a resolved conditional branch.
+
+        Intel semantics (paper Section 2.2.1): only *taken* branches
+        touch the PHR; a not-taken conditional leaves it untouched.
+        Other register families override this -- the family's history
+        update discipline lives here, not in :class:`Machine`.
+        """
+        if taken:
+            self.update(branch_address, target_address)
+
+    def on_taken(self, branch_address: int, target_address: int) -> None:
+        """Commit hook for a taken non-conditional branch.
+
+        Intel semantics: every taken branch folds its footprint,
+        conditional or not -- the property the ``Shift_PHR`` macro and
+        the Section 10 PHR-flush mitigation both rely on.
+        """
+        self.update(branch_address, target_address)
 
     def steps_since(self, version: int) -> Optional[Tuple[Tuple[int, int], ...]]:
         """The journalled ``(previous_value, footprint)`` taken-branch steps
@@ -155,8 +198,8 @@ class PathHistoryRegister:
         self._invalidate()
 
     def copy(self) -> "PathHistoryRegister":
-        """An independent copy."""
-        return PathHistoryRegister(self.capacity, self._value)
+        """An independent copy (of the same register family)."""
+        return type(self)(self.capacity, self._value)
 
     # ----- array export / import ---------------------------------------------
 
@@ -226,7 +269,7 @@ class PathHistoryRegister:
         raw value surgery, and a stale-but-matching version must never let
         a folded-history cache survive such a sequence.
         """
-        footprint = branch_footprint(branch_address, target_address)
+        footprint = self.footprint(branch_address, target_address)
         previous = ((self._value ^ footprint) >> 2) & mask(2 * (self.capacity - 1))
         self._invalidate()
         return previous, self.capacity - 1

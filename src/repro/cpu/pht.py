@@ -122,9 +122,16 @@ class BasePredictor:
     # ----- checkpointing ------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Sparse value checkpoint ``{index: counter value}``."""
+        """Sparse value checkpoint ``{index: counter value}``.
+
+        Keys are emitted in sorted order so equal predictor state always
+        yields byte-identical serialized snapshots -- ``_populated`` is a
+        set whose iteration order depends on insertion history, and the
+        content digests of :mod:`repro.service.store` hash the pickled
+        payload, not the dict's value equality.
+        """
         counters = self._counters
-        return {idx: counters[idx].value for idx in self._populated}
+        return {idx: counters[idx].value for idx in sorted(self._populated)}
 
     def restore(self, snap: dict) -> None:
         """Restore a :meth:`snapshot` in O(live + changed) work.
@@ -449,10 +456,11 @@ class TaggedTable:
         state (they re-key lazily off the PHR version).
         """
         sets = self._sets
+        # Sorted for canonical bytes (see BasePredictor.snapshot).
         return {
             index: tuple((entry.tag, entry.counter.value, entry.useful)
                          for entry in sets[index])
-            for index in self._populated
+            for index in sorted(self._populated)
         }
 
     def restore(self, snap: dict) -> None:

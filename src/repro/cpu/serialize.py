@@ -34,7 +34,12 @@ MAGIC = b"RPROSNAP"
 #: artifacts from any other version -- a checkpoint silently restored
 #: into the wrong field layout would corrupt every measurement built on
 #: top of it.
-SNAPSHOT_FORMAT_VERSION = 1
+#:
+#: Version history: 1 = original eight-field payload; 2 = added
+#: ``predictor_model`` (the predictor-family id, ARCHITECTURE.md §13),
+#: making the family an explicit part of every persisted artifact so a
+#: checkpoint can never be restored into a machine of another family.
+SNAPSHOT_FORMAT_VERSION = 2
 
 _HEADER_LEN = len(MAGIC) + 2
 
@@ -54,6 +59,7 @@ def snapshot_to_bytes(snapshot) -> bytes:
         "threads": snapshot.threads,
         "ibrs_enabled": snapshot.ibrs_enabled,
         "phr_capacity": snapshot.phr_capacity,
+        "predictor_model": snapshot.predictor_model,
     }
     header = MAGIC + SNAPSHOT_FORMAT_VERSION.to_bytes(2, "big")
     return header + pickle.dumps(payload, protocol=4)
@@ -93,7 +99,7 @@ def snapshot_from_bytes(data: bytes):
             f"snapshot payload decoded to {type(payload).__name__}, "
             f"expected a field mapping")
     expected = {"cbp", "btb", "ibp", "cache", "perf", "threads",
-                "ibrs_enabled", "phr_capacity"}
+                "ibrs_enabled", "phr_capacity", "predictor_model"}
     if set(payload) != expected:
         missing = expected - set(payload)
         extra = set(payload) - expected
@@ -114,4 +120,5 @@ def snapshot_from_bytes(data: bytes):
         threads=payload["threads"],
         ibrs_enabled=payload["ibrs_enabled"],
         phr_capacity=payload["phr_capacity"],
+        predictor_model=payload["predictor_model"],
     )

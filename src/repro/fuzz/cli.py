@@ -33,6 +33,7 @@ from repro.fuzz.diff import (
     DEFAULT_ORACLE_STRIDE,
     check_aes_data_paths,
     check_program,
+    check_program_backends,
 )
 from repro.fuzz.generator import PROFILES, generate_program
 from repro.fuzz.shrink import shrink
@@ -48,6 +49,22 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _resolve_backends(text: Optional[str]) -> Optional[Tuple[str, ...]]:
+    """Parse ``--backends``: None, 'all', or comma-separated model ids."""
+    if text is None:
+        return None
+    from repro.cpu.model import model_ids, resolve_model
+
+    if text.strip().lower() == "all":
+        return tuple(model_ids())
+    requested = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not requested:
+        raise ValueError("--backends given but no model ids parsed")
+    for model_id in requested:
+        resolve_model(model_id)  # raises on unknown ids
+    return requested
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,6 +103,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--mutate", default=None, metavar="NAME",
                         help="install a named fast-arm mutator "
                              f"(self-test mode; one of {sorted(mutations.MUTATORS)})")
+    parser.add_argument("--backends", default=None, metavar="IDS",
+                        help="also run the family-generic arms per "
+                             "predictor backend: a comma-separated list "
+                             "of model ids, or 'all' for every "
+                             "registered family")
     parser.add_argument("--oracle-stride", type=int,
                         default=DEFAULT_ORACLE_STRIDE, metavar="N",
                         help="structural invariant walk every N commits "
@@ -121,6 +143,11 @@ def _fuzz_trial(context: dict, index: int, rng: Any) -> Tuple[int, List[str]]:
                                     profile=context["profile"])
     divergences = check_program(fuzz_program, machine_mutator=mutator,
                                 oracle_stride=context["oracle_stride"])
+    backends = context.get("backends")
+    if backends:
+        divergences += check_program_backends(
+            fuzz_program, backends=backends, machine_mutator=mutator,
+            oracle_stride=context["oracle_stride"])
     lines = [str(d) for d in divergences]
     aes_every = context["aes_every"]
     if aes_every and index % aes_every == 0:
@@ -132,13 +159,22 @@ def _fuzz_trial(context: dict, index: int, rng: Any) -> Tuple[int, List[str]]:
 def _shrink_and_persist(seed: int, index: int, profile: str,
                         mutator_name: Optional[str], oracle_stride: int,
                         corpus_dir: Optional[str],
+                        backends: Optional[Tuple[str, ...]] = None,
                         out=sys.stdout) -> None:
     """Shrink one failing program and (optionally) write its reproducer."""
     mutator = mutations.get_mutator(mutator_name)
 
+    def check_all(candidate) -> List:
+        divergences = check_program(candidate, machine_mutator=mutator,
+                                    oracle_stride=oracle_stride)
+        if backends:
+            divergences += check_program_backends(
+                candidate, backends=backends, machine_mutator=mutator,
+                oracle_stride=oracle_stride)
+        return divergences
+
     def fails(candidate) -> bool:
-        return bool(check_program(candidate, machine_mutator=mutator,
-                                  oracle_stride=oracle_stride))
+        return bool(check_all(candidate))
 
     full = generate_program(seed, index, profile=profile)
     if not fails(full):
@@ -146,8 +182,7 @@ def _shrink_and_persist(seed: int, index: int, profile: str,
               f"(nondeterminism bug!)", file=out)
         return
     minimal = shrink(full, fails)
-    divergences = check_program(minimal, machine_mutator=mutator,
-                                oracle_stride=oracle_stride)
+    divergences = check_all(minimal)
     print(f"  program {index}: shrunk {len(full.program)} -> "
           f"{len(minimal.program)} instructions "
           f"({len(full.shapes)} -> {len(minimal.shapes)} shapes)", file=out)
@@ -168,6 +203,7 @@ def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
     try:
         workers = resolve_workers(args.workers)
         mutations.get_mutator(args.mutate)  # validate the name up front
+        args.backends = _resolve_backends(args.backends)
     except ValueError as exc:
         parser.error(str(exc))
     if not args.profile:
@@ -202,6 +238,7 @@ def _campaign(args, workers: int, out) -> int:
         "mutator": args.mutate,
         "oracle_stride": args.oracle_stride,
         "aes_every": args.aes_every,
+        "backends": args.backends,
     }
 
     for low in range(0, len(indices), BATCH):
@@ -238,7 +275,8 @@ def _campaign(args, workers: int, out) -> int:
             print(f"  {line}", file=out)
     for index, _ in failures[:args.shrink_limit]:
         _shrink_and_persist(args.seed, index, profile, args.mutate,
-                            args.oracle_stride, corpus_dir, out=out)
+                            args.oracle_stride, corpus_dir,
+                            backends=args.backends, out=out)
     if len(failures) > args.shrink_limit:
         print(f"({len(failures) - args.shrink_limit} further failures "
               f"not shrunk; raise --shrink-limit)", file=out)

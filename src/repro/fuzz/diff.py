@@ -90,9 +90,20 @@ class ArmDigest:
     oracle_violation: Optional[str] = None
 
 
+#: Component names of a :func:`machine_fingerprint` tuple, in order
+#: (used to label which component diverged).
+FINGERPRINT_NAMES = ("model", "cbp", "btb", "ibp", "cache", "perf",
+                     "threads", "ibrs")
+
+
 def machine_fingerprint(machine: Machine) -> tuple:
-    """A deep structural digest of all snapshot-covered machine state."""
-    cbp = machine.cbp
+    """A deep structural digest of all snapshot-covered machine state.
+
+    Family-generic: the direction predictor contributes through its
+    ``snapshot()`` (sparse tables for every built-in family) and the
+    predictor-family id leads the tuple, so machines of different
+    families can never fingerprint equal.
+    """
     perf = machine.perf.snapshot()
     perf_digest = tuple(
         sorted((name, tuple(sorted(value.items()))
@@ -100,8 +111,8 @@ def machine_fingerprint(machine: Machine) -> tuple:
                for name, value in vars(perf).items())
     )
     return (
-        cbp.base.snapshot(),
-        tuple(table.snapshot() for table in cbp.tables),
+        machine.model.model_id,
+        machine.cbp.snapshot(),
         machine.btb.snapshot(),
         machine.ibp.snapshot(),
         machine.cache.snapshot(),
@@ -227,9 +238,8 @@ def _compare(arm: str, baseline: ArmDigest, candidate: ArmDigest,
     if compare_trace:
         check("trace", baseline.trace, candidate.trace, sequence=True)
     if baseline.fingerprint != candidate.fingerprint:
-        names = ("cbp.base", "cbp.tables", "btb", "ibp", "cache", "perf",
-                 "threads", "ibrs")
-        for name, left, right in zip(names, baseline.fingerprint,
+        for name, left, right in zip(FINGERPRINT_NAMES,
+                                     baseline.fingerprint,
                                      candidate.fingerprint):
             if left != right:
                 out.append(Divergence(arm, f"machine.{name}",
@@ -277,6 +287,50 @@ def check_program(
                                         oracle_stride)
     divergences += _check_batch_twin(fuzz_program, machine_mutator)
     divergences += _check_shared_trace(fuzz_program, machine_mutator)
+    return divergences
+
+
+def check_program_backends(
+    fuzz_program: FuzzProgram,
+    backends: Optional[Tuple[str, ...]] = None,
+    machine_mutator: Optional[MachineMutator] = None,
+    oracle_stride: int = DEFAULT_ORACLE_STRIDE,
+) -> List[Divergence]:
+    """Run the core twin arms once per non-default predictor family.
+
+    The full :func:`check_program` battery runs on the program's preset
+    (the ``intel-cbp`` family).  This pass rebuilds the same program
+    with each requested family
+    (:meth:`~repro.fuzz.generator.FuzzProgram.with_predictor_model`) and
+    repeats the arms that are family-generic: reference-vs-fast engine
+    equivalence, snapshot/restore replay, and snapshot wire-format
+    round-trip -- each with the invariant oracle riding along.  Arm
+    labels are prefixed ``<model-id>:`` so a corpus reproducer names the
+    family it failed under.  ``backends=None`` runs every registered
+    family except the program's own.
+    """
+    from repro.cpu.model import model_ids
+
+    if backends is None:
+        backends = tuple(model_ids())
+    own = fuzz_program.machine_config.predictor_model
+    divergences: List[Divergence] = []
+    for model_id in backends:
+        if model_id == own:
+            continue
+        variant = fuzz_program.with_predictor_model(model_id)
+        prefix = f"{model_id}:"
+        reference = run_arm(variant, engine="reference",
+                            oracle_stride=oracle_stride)
+        fast = run_arm(variant, engine="fast", trace="full",
+                       machine_mutator=machine_mutator,
+                       oracle_stride=oracle_stride)
+        divergences += _compare(f"{prefix}fast-vs-reference",
+                                reference, fast)
+        divergences += _check_snapshot_replay(
+            variant, machine_mutator, oracle_stride, arm_prefix=prefix)
+        divergences += _check_snapshot_serialization(
+            variant, machine_mutator, arm_prefix=prefix)
     return divergences
 
 
@@ -454,6 +508,7 @@ def _check_snapshot_replay(
     fuzz_program: FuzzProgram,
     machine_mutator: Optional[MachineMutator],
     oracle_stride: int,
+    arm_prefix: str = "",
 ) -> List[Divergence]:
     """Train, checkpoint, replay twice around a restore; arms must match."""
     machine = Machine(fuzz_program.machine_config)
@@ -469,12 +524,14 @@ def _check_snapshot_replay(
     machine.restore(snap)
     second = run_arm(fuzz_program, engine="fast", trace="none",
                      oracle_stride=oracle_stride, machine=machine)
-    return _compare("snapshot-replay", first, second, compare_trace=False)
+    return _compare(f"{arm_prefix}snapshot-replay", first, second,
+                    compare_trace=False)
 
 
 def _check_snapshot_serialization(
     fuzz_program: FuzzProgram,
     machine_mutator: Optional[MachineMutator],
+    arm_prefix: str = "",
 ) -> List[Divergence]:
     """The versioned snapshot wire format, against fuzz-trained state.
 
@@ -498,7 +555,7 @@ def _check_snapshot_serialization(
                 max_instructions=fuzz_program.max_instructions,
                 trace="none")
     snap = machine.snapshot()
-    arm = "snapshot-serialization"
+    arm = f"{arm_prefix}snapshot-serialization"
     try:
         restored = MachineSnapshot.from_bytes(snap.to_bytes())
     except SnapshotFormatError as exc:
@@ -513,10 +570,8 @@ def _check_snapshot_serialization(
     right = machine_fingerprint(twin)
     if left == right:
         return []
-    names = ("cbp.base", "cbp.tables", "btb", "ibp", "cache", "perf",
-             "threads", "ibrs")
     return [Divergence(arm, f"machine.{name}", f"{a!r} != {b!r}")
-            for name, a, b in zip(names, left, right) if a != b]
+            for name, a, b in zip(FINGERPRINT_NAMES, left, right) if a != b]
 
 
 def _check_prefix_replay(

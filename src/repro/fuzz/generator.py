@@ -196,10 +196,23 @@ class FuzzProgram:
     initial_memory: Tuple[Tuple[int, int], ...]
     max_instructions: int
     kept: Optional[Tuple[int, ...]] = None
+    #: Predictor-family override (a :mod:`repro.cpu.model` registry id);
+    #: ``None`` keeps the preset's family.  The per-backend fuzz arms
+    #: (:func:`repro.fuzz.diff.check_program_backends`) rebuild the same
+    #: program with this set to run every family over one corpus.
+    predictor_model: Optional[str] = None
 
     @property
     def machine_config(self) -> MachineConfig:
-        return MACHINE_PRESETS[self.machine_name]
+        config = MACHINE_PRESETS[self.machine_name]
+        if (self.predictor_model is not None
+                and self.predictor_model != config.predictor_model):
+            config = replace(config, predictor_model=self.predictor_model)
+        return config
+
+    def with_predictor_model(self, model_id: str) -> "FuzzProgram":
+        """The same program pinned to predictor family ``model_id``."""
+        return replace(self, predictor_model=model_id)
 
     @property
     def static_instructions(self) -> int:

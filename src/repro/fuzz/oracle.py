@@ -5,12 +5,15 @@ catch a bug both twins share.  This oracle therefore asserts properties
 the hardware model must satisfy by construction, from the paper's
 reverse-engineered structure alone:
 
-* the PHR never exceeds its ``2 * capacity``-bit width (Section 2.2.1);
+* the history register never exceeds its advertised bit width (for the
+  paper's PHR: ``2 * capacity`` bits, Section 2.2.1);
 * every base-predictor and tagged-table counter stays inside its n-bit
   saturating range (Observation 2: n = 3), with bookkeeping (`_populated`)
   matching the live entries;
 * tagged sets respect associativity, hold no duplicate tags, and keep
-  useful bits inside the 2-bit TAGE range;
+  useful bits inside the 2-bit TAGE range (predictor families without
+  TAGE-shaped tables supply their own walk through a
+  ``structural_violations(deep)`` method, e.g. the tournament family);
 * the RAS live count matches its occupied slots and never leaves
   ``[0, depth]``;
 * perf counters stay mutually consistent (mispredictions never exceed
@@ -40,10 +43,12 @@ def check_fast_invariants(machine: Machine) -> List[str]:
     violations: List[str] = []
     for context in machine.threads:
         phr = context.phr
-        if phr.value >> (2 * phr.capacity):
+        # Every history family advertises its width via `bits` (PHR:
+        # 2 * capacity doublet bits, GHR: capacity direction bits).
+        if phr.value >> phr.bits:
             violations.append(
-                f"thread {context.thread_id}: PHR value {phr.value:#x} "
-                f"exceeds {phr.capacity} doublets"
+                f"thread {context.thread_id}: history value {phr.value:#x} "
+                f"exceeds its {phr.bits}-bit width"
             )
         ras = context.ras
         live_slots = sum(1 for entry in ras._entries if entry is not None)
@@ -91,6 +96,16 @@ def check_structural_invariants(machine: Machine,
     """Walk populated predictor state; ``deep`` adds full-array scans."""
     violations = check_fast_invariants(machine)
     cbp = machine.cbp
+
+    # Predictor families whose tables are not TAGE-shaped (the
+    # tournament's three bimodal arrays) supply their own walk; the
+    # built-in walk below covers every ConditionalBranchPredictor-backed
+    # family (intel-cbp, m1-phr).
+    structural = getattr(cbp, "structural_violations", None)
+    if structural is not None:
+        violations.extend(structural(deep=deep))
+        violations.extend(_check_perf_consistency(machine))
+        return violations
 
     base = cbp.base
     maximum = (1 << base.counter_bits) - 1
@@ -152,6 +167,13 @@ def check_structural_invariants(machine: Machine,
                 f"{len(nonempty ^ table._populated)} stray sets"
             )
 
+    violations.extend(_check_perf_consistency(machine))
+    return violations
+
+
+def _check_perf_consistency(machine: Machine) -> List[str]:
+    """Cross-check the perf tallies against each other and the RAS."""
+    violations: List[str] = []
     perf = machine.perf
     executed = sum(perf.per_pc_executions.values())
     if executed != perf.conditional_branches:

@@ -22,6 +22,7 @@ timing and attempt accounting, so callers can aggregate them with
 
 from __future__ import annotations
 
+import dataclasses
 import traceback as _traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -51,13 +52,27 @@ class MachineSpec:
     """
 
     config: MachineConfig = SKYLAKE
+    #: Predictor-family override (a :mod:`repro.cpu.model` registry id);
+    #: ``None`` keeps ``config.predictor_model``.  Lets a client sweep
+    #: the backend axis without restating the whole machine config; the
+    #: override participates in the digest through the effective config,
+    #: so per-family jobs shard and checkpoint separately.
+    predictor_model: Optional[str] = None
+
+    def effective_config(self) -> MachineConfig:
+        """The config with any predictor-family override applied."""
+        if (self.predictor_model is None
+                or self.predictor_model == self.config.predictor_model):
+            return self.config
+        return dataclasses.replace(self.config,
+                                   predictor_model=self.predictor_model)
 
     def digest(self) -> str:
         from repro.service.store import profile_digest
-        return profile_digest(self.config)
+        return profile_digest(self.effective_config())
 
     def build(self) -> Machine:
-        return Machine(self.config)
+        return Machine(self.effective_config())
 
 
 @dataclass(frozen=True)
@@ -319,7 +334,6 @@ def _handle_read_pht(ctx, params: Dict[str, Any]) -> Dict[str, Any]:
 
 def _handle_write_pht(ctx, params: Dict[str, Any]) -> Dict[str, Any]:
     """Plant a prediction at one (PC, PHR) coordinate (Primitive 2)."""
-    from repro.cpu.phr import PathHistoryRegister
     from repro.primitives import PhtWriter
 
     pc = _require(params, "pc")
@@ -327,7 +341,9 @@ def _handle_write_pht(ctx, params: Dict[str, Any]) -> Dict[str, Any]:
     taken = bool(_require(params, "taken"))
     machine = ctx.fresh_machine()
     PhtWriter(machine).write(pc, phr_value, taken=taken)
-    phr = PathHistoryRegister(machine.config.phr_capacity, phr_value)
+    # Probe with the machine's own history family at the planted value.
+    phr = machine.model.build_history()
+    phr.set_value(phr_value)
     prediction = machine.cbp.predict(pc, phr)
     return {
         "predicted_taken": prediction.taken,

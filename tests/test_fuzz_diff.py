@@ -105,7 +105,7 @@ class TestOracle:
         phr = machine.thread().phr
         phr._value = 1 << (2 * phr.capacity + 3)
         violations = check_fast_invariants(machine)
-        assert any("PHR" in v for v in violations)
+        assert any("history value" in v for v in violations)
 
     def test_detects_counter_escape(self, machine):
         machine.observe_conditional(0x400000, 0x400100, True)

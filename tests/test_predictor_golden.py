@@ -1,0 +1,184 @@
+"""Regression pin: the Intel CBP backend is bit-identical to the
+pre-refactor machine.
+
+The golden hashes in ``tests/golden/intel_cbp_golden.json`` were
+captured on the tree *before* the :mod:`repro.cpu.model` interface
+extraction landed (PR "pluggable predictor-family backends"), by
+running this module as a script::
+
+    PYTHONPATH=src python tests/test_predictor_golden.py --capture
+
+Each case runs a deterministic workload on a fresh machine and digests
+every snapshot-visible observable -- the per-commit branch-resolution
+stream, the final CBP/BTB/IBP/cache checkpoints, the perf counters, and
+every thread's PHR/RAS/domain -- through a canonical ``repr`` into
+SHA-256.  The digest deliberately uses only Machine-level APIs that
+predate the backend interface, so the same function ran unchanged on
+both sides of the refactor: equal hashes mean the default backend still
+produces the exact branch streams and predictor state it did before the
+``PredictorModel`` seam existed.
+
+Do NOT regenerate these hashes to make a failure pass; a mismatch means
+the Intel model changed behaviour, which is exactly what this test
+exists to catch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.cpu.config import RAPTOR_LAKE, SKYLAKE
+from repro.cpu.machine import Machine
+from repro.fuzz.generator import generate_program
+from repro.isa.memory import Memory
+
+GOLDEN_PATH = (pathlib.Path(__file__).parent
+               / "golden" / "intel_cbp_golden.json")
+
+#: Seed of the golden fuzz-program corpus (arbitrary, fixed forever).
+GOLDEN_SEED = 0x90_1D
+#: Program indices of the corpus; the generator picks the machine preset
+#: per index, so the corpus spans Raptor Lake and Skylake profiles.
+GOLDEN_INDICES = tuple(range(12))
+
+
+def _canonical(value) -> str:
+    """A stable text form of builtins-only snapshot state."""
+    if isinstance(value, dict):
+        return ("{" + ",".join(f"{_canonical(k)}:{_canonical(v)}"
+                               for k, v in sorted(value.items(),
+                                                  key=lambda kv: repr(kv[0])))
+                + "}")
+    if isinstance(value, (list, tuple)):
+        return "(" + ",".join(_canonical(part) for part in value) + ")"
+    return repr(value)
+
+
+def machine_state_digest(machine: Machine, commits) -> str:
+    """SHA-256 over the commit stream and all snapshot-visible state.
+
+    Uses component snapshots directly (not ``Machine.snapshot()``), so
+    the digest's shape cannot drift when :class:`MachineSnapshot` gains
+    fields.
+    """
+    perf = machine.perf.snapshot()
+    perf_state = {name: value for name, value in vars(perf).items()}
+    payload = (
+        tuple(commits),
+        machine.cbp.snapshot(),
+        machine.btb.snapshot(),
+        machine.ibp.snapshot(),
+        machine.cache.snapshot(),
+        perf_state,
+        tuple((context.phr.value, context.ras.snapshot(), context.domain)
+              for context in machine.threads),
+        machine.ibrs_enabled,
+    )
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+def _observe_commits(machine: Machine):
+    commits = []
+    thread = machine.threads[0]
+    perf = machine.perf
+
+    def observer(pc: int, kind, taken: bool) -> None:
+        commits.append((pc, kind.value, taken, thread.phr.value,
+                        perf.conditional_mispredictions))
+
+    machine.branch_observer = observer
+    return commits
+
+
+def _fuzz_case(index: int) -> str:
+    fuzz_program = generate_program(GOLDEN_SEED, index, profile="smoke")
+    machine = Machine(fuzz_program.machine_config)
+    commits = _observe_commits(machine)
+    memory = Memory()
+    for address, value in fuzz_program.initial_memory:
+        memory.write(address, 1, value)
+    try:
+        machine.run(fuzz_program.program, memory=memory,
+                    max_instructions=fuzz_program.max_instructions,
+                    trace="none")
+    finally:
+        machine.branch_observer = None
+    return machine_state_digest(machine, commits)
+
+
+def _functional_case(config) -> str:
+    """A canned functional branch stream through the fast entry points."""
+    machine = Machine(config)
+    commits = _observe_commits(machine)
+    try:
+        for round_index in range(3):
+            for step in range(40):
+                pc = 0x40_1000 + 4 * step
+                taken = bool((step * 2654435761 + round_index) & 1)
+                machine.observe_conditional(pc, pc + 64, taken)
+                if step % 5 == 0:
+                    machine.record_taken_branch(0x40_8000 + 8 * step,
+                                                0x40_9000 + 16 * step)
+        machine.clear_phr()
+        for step in range(40):
+            pc = 0x40_2000 + 4 * step
+            machine.observe_conditional(pc, pc + 32, taken=(step % 3 == 0))
+    finally:
+        machine.branch_observer = None
+    return machine_state_digest(machine, commits)
+
+
+def compute_golden() -> dict:
+    """Every golden case name -> digest, freshly computed."""
+    cases = {f"fuzz_{index:02d}": _fuzz_case(index)
+             for index in GOLDEN_INDICES}
+    cases["functional_raptor_lake"] = _functional_case(RAPTOR_LAKE)
+    cases["functional_skylake"] = _functional_case(SKYLAKE)
+    return cases
+
+
+def _load_golden() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing; capture it with "
+        f"PYTHONPATH=src python {__file__} --capture")
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+GOLDEN_CASE_NAMES = tuple(
+    [f"fuzz_{index:02d}" for index in GOLDEN_INDICES]
+    + ["functional_raptor_lake", "functional_skylake"]
+)
+
+
+class TestIntelGoldenPin:
+    @pytest.fixture(scope="class")
+    def fresh(self) -> dict:
+        return compute_golden()
+
+    @pytest.fixture(scope="class")
+    def golden(self) -> dict:
+        return _load_golden()
+
+    def test_golden_file_covers_all_cases(self, golden):
+        assert sorted(golden) == sorted(GOLDEN_CASE_NAMES)
+
+    @pytest.mark.parametrize("case", GOLDEN_CASE_NAMES)
+    def test_case_matches_pre_refactor_hash(self, case, fresh, golden):
+        assert fresh[case] == golden[case], (
+            f"{case}: the intel-cbp backend diverged from its "
+            f"pre-refactor behaviour")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--capture" not in sys.argv:
+        sys.exit("usage: python tests/test_predictor_golden.py --capture")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(compute_golden(), indent=2,
+                                      sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")

@@ -169,6 +169,7 @@ class TestFormatErrors:
             "cache": good.cache, "perf": {"no_such_counter": 1},
             "threads": good.threads, "ibrs_enabled": good.ibrs_enabled,
             "phr_capacity": good.phr_capacity,
+            "predictor_model": good.predictor_model,
         }
         header = MAGIC + SNAPSHOT_FORMAT_VERSION.to_bytes(2, "big")
         with pytest.raises(SnapshotFormatError, match="perf counters"):
