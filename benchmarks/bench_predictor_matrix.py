@@ -19,11 +19,23 @@ Reproduction-level facts asserted:
 
 The per-family rows land under ``extra.matrix`` in the results record
 (EXPERIMENTS.md, cross-architecture matrix).
+
+The third arm sweeps the read primitive through the vectorized batch
+engine (:func:`repro.primitives.matrix.measure_read_primitive_batch`)
+for *every* registered family -- the per-family batch backends of
+:mod:`repro.batch.backends` -- pins the per-replica accuracies
+bit-identical to the scalar sweep, and gates each family >= 3x over
+scalar.  The per-family ``*_read_batch_speedup`` keys land in the
+results record's ``speedups`` dict, where
+``benchmarks/check_regression.py`` tracks them across runs.
 """
+
+import time
 
 from repro.cpu import PREDICTOR_LAB_MACHINES
 from repro.primitives.matrix import (
     measure_read_primitive,
+    measure_read_primitive_batch,
     measure_write_primitive,
 )
 
@@ -34,6 +46,10 @@ READ_TRAIN_ROUNDS = operation_count(24, 10)
 READ_TEST_ROUNDS = operation_count(8, 4)
 WRITE_PLANTS = operation_count(16, 6)
 WRITE_PROBES = operation_count(16, 8)
+#: Replica count for the batch-vs-scalar read sweep.
+BATCH_REPLICAS = operation_count(128, 96)
+#: Floor asserted on every family's batch-over-scalar speedup.
+BATCH_SPEEDUP_FLOOR = 3.0
 
 
 def run_read_matrix():
@@ -91,3 +107,71 @@ def test_predictor_matrix_write_primitive(benchmark):
             f"{result.specificity:.3f}")
     benchmark.extra_info["matrix"] = {
         "write_primitive": [r.as_row() for r in results]}
+
+
+def _best_of_two(fn):
+    """(best wall-clock seconds, last return value) over two runs."""
+    best = float("inf")
+    value = None
+    for _ in range(2):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, value
+
+
+def run_batch_speedup_matrix():
+    """Per-family (scalar seconds, batch seconds, results) sweep."""
+    rows = []
+    for config in PREDICTOR_LAB_MACHINES:
+        scalar_s, scalar_results = _best_of_two(lambda: [
+            measure_read_primitive(config,
+                                   train_rounds=READ_TRAIN_ROUNDS,
+                                   test_rounds=READ_TEST_ROUNDS,
+                                   seed=0x5EC4 + r)
+            for r in range(BATCH_REPLICAS)
+        ])
+        batch_s, batch_results = _best_of_two(
+            lambda: measure_read_primitive_batch(
+                config, BATCH_REPLICAS,
+                train_rounds=READ_TRAIN_ROUNDS,
+                test_rounds=READ_TEST_ROUNDS))
+        rows.append((config, scalar_s, batch_s, scalar_results,
+                     batch_results))
+    return rows
+
+
+def test_predictor_matrix_batch_speedup(benchmark):
+    rows = benchmark.pedantic(run_batch_speedup_matrix,
+                              rounds=1, iterations=1)
+    table = []
+    for config, scalar_s, batch_s, scalar_results, batch_results in rows:
+        model_id = config.predictor_model
+        # The batch sweep must be the scalar sweep, only faster: replica
+        # r of the batch is pinned bit-identical to the scalar run
+        # seeded ``0x5EC4 + r``.
+        assert len(batch_results) == BATCH_REPLICAS
+        for r, (scalar_r, batch_r) in enumerate(
+                zip(scalar_results, batch_results)):
+            assert batch_r.accuracy == scalar_r.accuracy, (
+                f"{model_id} replica {r} diverged from scalar: "
+                f"batch={batch_r.accuracy:.4f} "
+                f"scalar={scalar_r.accuracy:.4f}")
+        speedup = scalar_s / batch_s
+        key = f"{model_id.replace('-', '_')}_read_batch_speedup"
+        benchmark.extra_info[key] = speedup
+        table.append([model_id, f"{scalar_s * 1e3:.1f}",
+                      f"{batch_s * 1e3:.1f}", f"{speedup:.2f}x"])
+    print_table(
+        f"Cross-architecture matrix -- batch vs scalar read sweep "
+        f"(n={BATCH_REPLICAS})",
+        ["backend", "scalar ms", "batch ms", "speedup"],
+        table,
+    )
+    for config, scalar_s, batch_s, _, _ in rows:
+        speedup = scalar_s / batch_s
+        assert speedup >= BATCH_SPEEDUP_FLOOR, (
+            f"{config.predictor_model} batch backend is only "
+            f"{speedup:.2f}x over scalar "
+            f"(floor {BATCH_SPEEDUP_FLOOR:.1f}x)")

@@ -3,10 +3,12 @@
 Every passing benchmark appends one record to
 ``benchmarks/results/<name>.json`` (see ``conftest.append_result``);
 each record carries a ``speedups`` dict of every ``extra_info`` key
-ending in ``_speedup``.  This script compares the newest record of each
-trajectory against the previous record *with the same quick/full mode*
-and fails (exit 1) when any shared speedup key dropped by more than the
-threshold (default 20%).
+ending in ``_speedup``.  A bench module with several tests interleaves
+their records in one trajectory file, so records are first grouped into
+per-test series by their ``bench`` field; this script compares the
+newest record of each series against the previous record *with the same
+quick/full mode* and fails (exit 1) when any shared speedup key dropped
+by more than the threshold (default 20%).
 
 CI runs it right after the quick-mode bench sweep, so a change that
 quietly halves the batch engine's throughput fails the build even while
@@ -14,11 +16,16 @@ the absolute >=3x floor assertions still pass.
 
 Rules:
 
-* Trajectories with fewer than two same-mode records are skipped (first
-  run on a fresh checkout, or first run after a mode flip).
+* Series with fewer than two same-mode records are skipped (first run
+  on a fresh checkout, or first run after a mode flip).
 * Speedup keys present in only one of the two records are ignored --
   adding or retiring an arm is not a regression.
 * Improvements and small wobbles are reported but never fail.
+* ``REQUIRED_KEYS`` pins trajectories that must keep reporting specific
+  speedup keys: the newest records of ``predictor_matrix.json`` must
+  carry every per-family ``*_read_batch_speedup`` key, so silently
+  dropping a family from the batch sweep fails the build even with no
+  prior record to regress against.
 
 Usage::
 
@@ -38,6 +45,18 @@ from typing import Dict, List, Optional, Tuple
 DEFAULT_RESULTS_DIR = Path(__file__).parent / "results"
 DEFAULT_THRESHOLD = 0.20
 
+#: Speedup keys the newest records of a trajectory must collectively
+#: report.  One key per registered batch predictor family -- the matrix
+#: benchmark's batch sweep covers every family, so a missing key means
+#: a family silently fell out of the gate.
+REQUIRED_KEYS: Dict[str, Tuple[str, ...]] = {
+    "predictor_matrix.json": (
+        "intel_cbp_read_batch_speedup",
+        "m1_phr_read_batch_speedup",
+        "gshare_tournament_read_batch_speedup",
+    ),
+}
+
 
 def load_trajectory(path: Path) -> list:
     """The record list in ``path``; bad files read as empty (skipped)."""
@@ -48,6 +67,21 @@ def load_trajectory(path: Path) -> list:
     if not isinstance(trajectory, list):
         return []
     return [record for record in trajectory if isinstance(record, dict)]
+
+
+def bench_series(trajectory: list) -> "Dict[object, list]":
+    """Records grouped into per-test series by their ``bench`` field.
+
+    A bench module with several tests appends all of their records to
+    the same trajectory file, interleaved run after run; comparing
+    neighbouring records would pair up different tests.  Legacy records
+    without a ``bench`` field group under ``None``.  Insertion order
+    (and therefore each series' own order) is preserved.
+    """
+    series: Dict[object, list] = {}
+    for record in trajectory:
+        series.setdefault(record.get("bench"), []).append(record)
+    return series
 
 
 def latest_pair(trajectory: list) -> Optional[Tuple[dict, dict]]:
@@ -65,6 +99,24 @@ def latest_pair(trajectory: list) -> Optional[Tuple[dict, dict]]:
         if record.get("quick") == mode:
             return record, newest
     return None
+
+
+def missing_required_keys(name: str, series: "Dict[object, list]",
+                          ) -> List[str]:
+    """Required speedup keys absent from the newest records of ``name``.
+
+    The requirement is satisfied when the *union* of the newest record
+    of every per-test series carries the key -- each key is reported by
+    whichever test owns that arm.
+    """
+    required = REQUIRED_KEYS.get(name)
+    if not required:
+        return []
+    reported: set = set()
+    for records in series.values():
+        if records:
+            reported.update(records[-1].get("speedups") or {})
+    return [key for key in required if key not in reported]
 
 
 def compare_speedups(previous: dict, newest: dict,
@@ -103,26 +155,34 @@ def check_results(results_dir: Path,
     failed = False
     for path in trajectories:
         trajectory = load_trajectory(path)
-        pair = latest_pair(trajectory)
-        if pair is None:
-            print(f"{path.name}: {len(trajectory)} comparable record(s), "
-                  "skipping")
-            continue
-        previous, newest = pair
-        failures = compare_speedups(previous, newest, threshold)
-        mode = "quick" if newest.get("quick") else "full"
-        if failures:
+        series = bench_series(trajectory)
+        missing = missing_required_keys(path.name, series)
+        if missing:
             failed = True
-            print(f"{path.name} ({mode}): REGRESSION")
-            for message in failures:
-                print(f"  {message}")
-        else:
-            shared = sorted(set(previous.get("speedups") or {})
-                            & set(newest.get("speedups") or {}))
-            detail = ", ".join(
-                f"{key}={float((newest['speedups'])[key]):.2f}x"
-                for key in shared) or "no shared speedup keys"
-            print(f"{path.name} ({mode}): ok ({detail})")
+            print(f"{path.name}: MISSING required speedup keys: "
+                  + ", ".join(missing))
+        for bench, records in series.items():
+            label = path.name if bench is None else f"{path.name}[{bench}]"
+            pair = latest_pair(records)
+            if pair is None:
+                print(f"{label}: {len(records)} comparable record(s), "
+                      "skipping")
+                continue
+            previous, newest = pair
+            failures = compare_speedups(previous, newest, threshold)
+            mode = "quick" if newest.get("quick") else "full"
+            if failures:
+                failed = True
+                print(f"{label} ({mode}): REGRESSION")
+                for message in failures:
+                    print(f"  {message}")
+            else:
+                shared = sorted(set(previous.get("speedups") or {})
+                                & set(newest.get("speedups") or {}))
+                detail = ", ".join(
+                    f"{key}={float((newest['speedups'])[key]):.2f}x"
+                    for key in shared) or "no shared speedup keys"
+                print(f"{label} ({mode}): ok ({detail})")
     return 1 if failed else 0
 
 

@@ -5,18 +5,17 @@ second, and profiles show the scalar hot path is the conditional branch
 predictor: one :meth:`Machine.observe_conditional` costs ~13us of fold
 arithmetic, table probes and counter updates.  None of that work depends
 on *which* replica it happens in, so this module steps N machine replicas
-in lockstep with all predictor state held as numpy arrays:
+in lockstep with all predictor state held as numpy arrays.
 
-* base predictor: ``(N, 2^index_bits)`` counter values plus a populated
-  mask (the scalar predictor materialises counters lazily and predicts
-  not-taken for absent ones -- the mask preserves that exactly);
-* each tagged table: ``(N, sets, ways)`` tags / counters / useful bits
-  plus an ``(N, sets)`` occupancy vector (ways pack from 0, mirroring the
-  scalar append-order storage);
-* PHR: an ``(N, 2*capacity)`` LSB-first bit array, advanced by a column
-  shift plus a footprint-bit XOR;
-* folded-history registers: ``(N,)`` integer arrays per tagged table,
-  advanced with the same O(1) TAGE recurrence the scalar tables use.
+The arrays themselves are family property: each predictor family from
+the scalar registry (``repro.cpu.model``) has a vector twin in
+:mod:`repro.batch.backends` -- ``intel-cbp`` and ``m1-phr`` run stacked
+tagged tables over a moving-origin PHR bit buffer with O(1) fold
+registers, ``gshare-tournament`` runs stacked counter planes over a
+direction-bit GHR.  ``BatchMachine`` resolves the backend from
+``MachineConfig.predictor_model`` and owns everything family-agnostic:
+the two-phase execution model, deferred deltas and the pending event
+log, and the per-replica scalar shadow components.
 
 One committed branch across the batch is then a fixed number of numpy
 gathers/scatters, independent of N.
@@ -60,22 +59,15 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.batch.backends import batch_backend_for, batch_backend_ids
 from repro.cpu.btb import BranchTargetBuffer
 from repro.cpu.cache import DataCache
 from repro.cpu.config import MachineConfig, RAPTOR_LAKE
-from repro.cpu.footprint import _BRANCH_LUT, _TARGET_LUT
 from repro.cpu.ibp import IndirectBranchPredictor
 from repro.cpu.machine import MachineSnapshot
 from repro.cpu.perf import PerfCounters
-from repro.cpu.pht import (
-    INDEX_BITS,
-    base_snapshot_from_dense,
-    base_snapshot_to_dense,
-    table_snapshot_from_dense,
-    table_snapshot_to_dense,
-)
-from repro.cpu.phr import PathHistoryRegister
 from repro.cpu.ras import ReturnAddressStack
+from repro.cpu.serialize import SnapshotFormatError
 from repro.isa.interpreter import (
     BranchKind,
     CpuHooks,
@@ -98,7 +90,6 @@ from repro.isa.trace import (
     program_fingerprint,
     trace_key,
 )
-from repro.utils.bits import fold_schedule
 
 #: Pending branch events folded into the shadows automatically once the
 #: log grows past this many append blocks (bounds memory on long
@@ -128,41 +119,16 @@ class BatchStateError(RuntimeError):
 def supports_config(config: MachineConfig) -> bool:
     """Whether the batch engine can represent ``config`` exactly.
 
-    The vectorized tables assume the production geometry: the
-    ``intel-cbp`` predictor family (other families' tables and history
-    disciplines are scalar-only), 512 sets (the scalar table's 9-bit
+    True when ``config.predictor_model`` has a registered vectorized
+    backend (see :mod:`repro.batch.backends`) *and* that backend's
+    capability check accepts the config's geometry -- e.g. the
+    TAGE-shaped families require 512 sets (the scalar table's 9-bit
     index constant), tags that fit int16 arrays, and history windows
-    inside the PHR.  Exotic configs fall back to the scalar engine.
+    inside the PHR.  Unknown families and exotic geometries fall back to
+    the scalar engine.
     """
-    return (
-        config.predictor_model == "intel-cbp"
-        and config.pht_sets == (1 << INDEX_BITS)
-        and 1 <= config.counter_bits <= 7
-        and 1 <= config.pht_tag_bits <= 15
-        and len(config.pht_history_lengths) >= 1
-        and max(config.pht_history_lengths) <= config.phr_capacity
-        and config.phr_capacity >= 1
-    )
-
-
-class _TableMeta:
-    """Static per-table constants mirroring ``TaggedTable``'s fold setup."""
-
-    __slots__ = (
-        "window", "tag_bits", "tag_mask", "hi_width", "can_advance",
-        "index_evict", "tag_evict", "hi_evict",
-    )
-
-    def __init__(self, history_doublets: int, tag_bits: int):
-        window = 2 * history_doublets
-        self.window = window
-        self.tag_bits = tag_bits
-        self.tag_mask = (1 << tag_bits) - 1
-        self.hi_width = max(window - 3, 1)
-        self.can_advance = tag_bits >= 8 and window >= 20
-        self.index_evict = window % (INDEX_BITS - 1)
-        self.tag_evict = window % tag_bits
-        self.hi_evict = self.hi_width % tag_bits
+    backend = batch_backend_for(config.predictor_model)
+    return backend is not None and backend.supports(config)
 
 
 @dataclass
@@ -213,15 +179,16 @@ class _ReplayHooks(CpuHooks):
     """Phase-1 hooks: eager shadow updates plus branch-event recording.
 
     Mirrors ``_MachineHooks`` minus everything the vectorized phase 2
-    owns (CBP, PHR bit array, BTB, branch perf counters).  The scalar
-    shadow PHR exists only so the IBP hashes indirect branches against
-    the same history the scalar machine would; the vector PHR replays the
+    owns (CBP, vector history state, BTB, branch perf counters).  The
+    scalar shadow history register (whatever family the backend builds)
+    exists only so the IBP hashes indirect branches against the same
+    history the scalar machine would; the vector history replays the
     identical update sequence in phase 2.
     """
 
     __slots__ = ("events", "phr", "cache", "perf", "ras", "ibp")
 
-    def __init__(self, phr: PathHistoryRegister, cache: DataCache,
+    def __init__(self, phr, cache: DataCache,
                  perf: PerfCounters, ras: ReturnAddressStack,
                  ibp: IndirectBranchPredictor):
         #: ``(kind, pc, target, taken, next_pc)`` per committed branch --
@@ -238,8 +205,7 @@ class _ReplayHooks(CpuHooks):
     def conditional_branch(self, pc: int, target: int, fallthrough: int,
                            taken: bool, resolve_latency: int) -> None:
         self.events.append((KIND_COND, pc, target, 1 if taken else 0, 0))
-        if taken:
-            self.phr.update(pc, target)
+        self.phr.on_conditional(pc, target, taken)
 
     def unconditional_branch(self, pc: int, target: int,
                              kind: BranchKind, next_pc: int) -> None:
@@ -262,7 +228,7 @@ class _ReplayHooks(CpuHooks):
             self.ibp.update(pc, self.phr, target)
         self.events.append((KIND_CODES[kind], pc, target, 1,
                             return_address))
-        self.phr.update(pc, target)
+        self.phr.on_taken(pc, target)
 
     def load(self, address: int, width: int) -> int:
         return self.cache.access(address)
@@ -289,7 +255,7 @@ class _CaptureHooks(_ReplayHooks):
 
     __slots__ = ("accesses",)
 
-    def __init__(self, phr: PathHistoryRegister, cache: DataCache,
+    def __init__(self, phr, cache: DataCache,
                  perf: PerfCounters, ras: ReturnAddressStack,
                  ibp: IndirectBranchPredictor):
         super().__init__(phr, cache, perf, ras, ibp)
@@ -308,6 +274,31 @@ class _CaptureHooks(_ReplayHooks):
         self.cache.access(address)
 
 
+class _LazyShadowList(list):
+    """Per-replica shadow components, constructed on first access.
+
+    Building N data caches (1024 set lists each), BTBs and IBPs up
+    front costs more than an entire functional sweep at realistic batch
+    sizes, and the functional entry points never touch the shadows --
+    only :meth:`BatchMachine.sync`, checkpointing and :meth:`run_batch`
+    do.  Indexing materialises the replica's component on demand;
+    everything else behaves like the eager list it replaces.
+    """
+
+    __slots__ = ("_factory",)
+
+    def __init__(self, factory: Callable[[], Any], n: int):
+        super().__init__([None] * n)
+        self._factory = factory
+
+    def __getitem__(self, i):
+        item = list.__getitem__(self, i)
+        if item is None:
+            item = self._factory()
+            list.__setitem__(self, i, item)
+        return item
+
+
 class BatchMachine:
     """N machine replicas stepping in lockstep over numpy array state.
 
@@ -321,10 +312,19 @@ class BatchMachine:
     def __init__(self, n: int, config: MachineConfig = RAPTOR_LAKE):
         if n < 1:
             raise ValueError(f"replica count must be >= 1, got {n}")
-        if not supports_config(config):
+        backend_cls = batch_backend_for(config.predictor_model)
+        if backend_cls is None:
             raise ValueError(
-                f"config {config.name!r} is outside the batch engine's "
-                "supported geometry (see repro.batch.supports_config)"
+                f"no vectorized batch backend is registered for predictor "
+                f"family {config.predictor_model!r}; registered batch "
+                f"families: {', '.join(batch_backend_ids())}"
+            )
+        if not backend_cls.supports(config):
+            raise ValueError(
+                f"config {config.name!r} has unsupported geometry for the "
+                f"{config.predictor_model!r} batch backend "
+                f"({backend_cls.geometry(config)}); registered batch "
+                f"families: {', '.join(batch_backend_ids())}"
             )
         self.n = n
         self.config = config
@@ -332,100 +332,10 @@ class BatchMachine:
         #: Set when a run_batch aborts mid-update (see BatchStateError);
         #: cleared by restore()/load_snapshot().
         self._poisoned = False
-
-        counter_bits = config.counter_bits
-        self._cmax = (1 << counter_bits) - 1
-        self._cthr = 1 << (counter_bits - 1)
-        self._cinit = self._cthr - 1
-        self._base_size = 1 << config.base_index_bits
-        self._base_mask = self._base_size - 1
-        self._pc_index_bit = config.pc_index_bit
-        self._tag_bits = config.pht_tag_bits
-        self._ways = config.pht_ways
-        self._sets = config.pht_sets
-        self._width = 2 * config.phr_capacity
-        self._fp_width = min(16, self._width)
-
-        self._tables = [_TableMeta(length, self._tag_bits)
-                        for length in config.pht_history_lengths]
-        self._ntables = len(self._tables)
-        self._pc_schedule = fold_schedule(16, self._tag_bits)
-        self._branch_lut = np.asarray(_BRANCH_LUT, dtype=np.int64)
-        self._target_lut = np.asarray(_TARGET_LUT, dtype=np.int64)
-        self._way_range = np.arange(self._ways, dtype=np.int64)
-        self._fp_bit_range = np.arange(self._fp_width, dtype=np.int64)
         self._all_rows = np.arange(n)
-        # Stacked per-table fold constants for the batched O(1) advance
-        # (only meaningful when every table can advance incrementally).
-        self._all_advance = all(m.can_advance for m in self._tables)
-        self._t_col = np.arange(self._ntables, dtype=np.int64)[:, None]
-        self._win_m1 = np.asarray([m.window - 1 for m in self._tables],
-                                  dtype=np.int64)
-        self._win_m2 = self._win_m1 - 1
-        self._idx_evict_col = np.asarray(
-            [m.index_evict for m in self._tables], dtype=np.int64)[:, None]
-        self._tag_evict_col = np.asarray(
-            [m.tag_evict for m in self._tables], dtype=np.int64)[:, None]
-        self._hi_evict_col = np.asarray(
-            [m.hi_evict for m in self._tables], dtype=np.int64)[:, None]
 
-        # ----- vector-owned state ------------------------------------
-        tables = self._ntables
-        self._base_val = np.full((n, self._base_size), self._cinit,
-                                 dtype=np.int16)
-        self._base_pop = np.zeros((n, self._base_size), dtype=bool)
-        self._tags = np.zeros((tables, n, self._sets, self._ways),
-                              dtype=np.int16)
-        self._ctr = np.zeros((tables, n, self._sets, self._ways),
-                             dtype=np.int16)
-        self._useful = np.zeros((tables, n, self._sets, self._ways),
-                                dtype=np.int16)
-        self._occ = np.zeros((tables, n, self._sets), dtype=np.int16)
-        # PHR bits live in a moving-origin circular buffer: replica r's
-        # bit i (LSB first) is ``_phr_buf[r, _phr_org[r] + i]``.  A taken
-        # branch then shifts by *decrementing the origin* and XORing the
-        # 16 footprint bits -- O(footprint) instead of O(width) -- and a
-        # row recopies back to the top of its slack region when its
-        # origin runs out (every ``slack/2`` taken branches).
-        self._phr_slack = 2 * self._width
-        self._phr_buf = np.zeros((n, self._phr_slack + self._width),
-                                 dtype=np.uint8)
-        self._phr_org = np.full(n, self._phr_slack, dtype=np.int64)
-        self._col_range = np.arange(self._width, dtype=np.int64)
-        # Flat-index views and offsets: 1D ``np.take``/scatter on raveled
-        # arrays beats multi-axis fancy indexing ~3x at batch sizes.
-        self._buf_stride = self._phr_buf.shape[1]
-        self._buf_flat = self._phr_buf.reshape(-1)
-        self._t_set_off = (np.arange(self._ntables, dtype=np.int64)
-                           * n * self._sets)[:, None]
-        # The three fold registers (index, tag-lo, tag-hi) live stacked
-        # in one (3, T, n) array so the advance recurrence and the
-        # observe-time gather run as single numpy ops over all planes;
-        # the named attributes are views into it.
-        self._folds = np.zeros((3, tables, n), dtype=np.int64)
-        self._fold_idx = self._folds[0]
-        self._fold_lo = self._folds[1]
-        self._fold_hi = self._folds[2]
-        if self._all_advance:
-            rot = self._tag_bits - 1
-            tag_mask = (1 << self._tag_bits) - 1
-            self._fold_rots = np.asarray(
-                [7, rot, rot], dtype=np.int64)[:, None, None]
-            self._fold_masks = np.asarray(
-                [0xFF, tag_mask, tag_mask], dtype=np.int64)[:, None, None]
-            self._fold_evicts = np.stack([
-                self._idx_evict_col, self._tag_evict_col,
-                self._hi_evict_col])
-            self._win_off = np.concatenate(
-                [self._win_m1, self._win_m2])[:, None]
-        # Raveled views over the stacked arrays for flat-index gathers
-        # (restore() copies into the same storage, so these stay valid).
-        self._tags_by_set = self._tags.reshape(-1, self._ways)
-        self._ctr_flat = self._ctr.reshape(-1)
-        self._useful_flat = self._useful.reshape(-1)
-        self._occ_flat = self._occ.reshape(-1)
-        self._base_val_flat = self._base_val.reshape(-1)
-        self._base_pop_flat = self._base_pop.reshape(-1)
+        # ----- vector-owned predictor + history state ----------------
+        self._backend = backend_cls(n, config)
 
         # ----- deferred deltas + pending event log -------------------
         self._cond_delta = np.zeros(n, dtype=np.int64)
@@ -433,21 +343,21 @@ class BatchMachine:
         self._taken_delta = np.zeros(n, dtype=np.int64)
         self._pending: List[tuple] = []
 
-        # ----- scalar shadow components (one per replica) ------------
-        self._btb = [BranchTargetBuffer() for _ in range(n)]
-        self._ibp = [IndirectBranchPredictor() for _ in range(n)]
-        self._cache = [
-            DataCache(
+        # ----- scalar shadow components (one per replica, lazy) ------
+        self._btb = _LazyShadowList(BranchTargetBuffer, n)
+        self._ibp = _LazyShadowList(IndirectBranchPredictor, n)
+        self._cache = _LazyShadowList(
+            lambda: DataCache(
                 sets=config.cache_sets,
                 ways=config.cache_ways,
                 line_size=config.cache_line_size,
                 hit_latency=config.cache_hit_latency,
                 miss_latency=config.cache_miss_latency,
-            )
-            for _ in range(n)
-        ]
-        self._ras = [ReturnAddressStack() for _ in range(n)]
-        self._perf = [PerfCounters() for _ in range(n)]
+            ),
+            n,
+        )
+        self._ras = _LazyShadowList(ReturnAddressStack, n)
+        self._perf = _LazyShadowList(PerfCounters, n)
         self._domain = ["user"] * n
         self._ibrs = False
         self._other_threads: Tuple[Tuple[int, tuple, str], ...] = tuple(
@@ -483,6 +393,12 @@ class BatchMachine:
 
     def load_snapshot(self, snap: MachineSnapshot) -> None:
         """Broadcast one scalar machine snapshot into every replica."""
+        if (snap.predictor_model
+                and snap.predictor_model != self.config.predictor_model):
+            raise SnapshotFormatError(
+                f"snapshot is for predictor model {snap.predictor_model!r}, "
+                f"this batch runs {self.config.predictor_model!r}"
+            )
         if snap.phr_capacity and snap.phr_capacity != self.config.phr_capacity:
             raise ValueError(
                 f"snapshot is for a {snap.phr_capacity}-doublet PHR, "
@@ -490,25 +406,10 @@ class BatchMachine:
             )
         self._poisoned = False
         self._epoch += 1
-        base_snap, table_snaps = snap.cbp
-        values, populated = base_snapshot_to_dense(
-            base_snap, self.config.base_index_bits, self.config.counter_bits)
-        self._base_val[:] = np.asarray(values, dtype=np.int16)
-        self._base_pop[:] = np.asarray(populated, dtype=bool)
-        for t, table_snap in enumerate(table_snaps):
-            tags, counters, useful, occupancy = table_snapshot_to_dense(
-                table_snap, self._sets, self._ways)
-            self._tags[t][:] = np.asarray(tags, dtype=np.int16)
-            self._ctr[t][:] = np.asarray(counters, dtype=np.int16)
-            self._useful[t][:] = np.asarray(useful, dtype=np.int16)
-            self._occ[t][:] = np.asarray(occupancy, dtype=np.int16)
+        self._backend.load_cbp(snap.cbp)
 
         phr_value, ras_snap, domain = snap.threads[0]
-        self._phr_buf[:] = 0
-        self._phr_org[:] = self._phr_slack
-        self._phr_buf[:, self._phr_slack:] = (
-            self._bits_of_value(phr_value)[None, :])
-        self._refold(self._all_rows)
+        self._backend.load_history(phr_value)
 
         self._cond_delta[:] = 0
         self._mispred_delta[:] = 0
@@ -525,361 +426,34 @@ class BatchMachine:
         self._other_threads = tuple(snap.threads[1:])
 
     # ------------------------------------------------------------------
-    # PHR helpers
+    # history helpers (vector twins of Machine.phr_value / clear_phr)
     # ------------------------------------------------------------------
 
-    def _bits_of_value(self, value: int) -> np.ndarray:
-        raw = (value & ((1 << self._width) - 1)).to_bytes(
-            (self._width + 7) // 8, "little")
-        bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8),
-                             bitorder="little")
-        return bits[: self._width]
-
-    def _phr_row(self, i: int) -> np.ndarray:
-        """Replica ``i``'s width-long bit view (LSB first)."""
-        origin = self._phr_org[i]
-        return self._phr_buf[i, origin:origin + self._width]
-
     def phr_value(self, i: int) -> int:
-        """Replica ``i``'s PHR contents as an integer."""
-        return self._pack_row(self._phr_row(i))
+        """Replica ``i``'s history contents as an integer.
 
-    @staticmethod
-    def _pack_row(row: np.ndarray) -> int:
-        packed = np.packbits(row, bitorder="little")
-        return int.from_bytes(packed.tobytes(), "little")
+        "PHR" for the path-history families, the GHR for
+        ``gshare-tournament`` -- the same value the scalar machine's
+        ``phr_value()`` reports for that family.
+        """
+        return self._backend.history_value(i)
 
     def phr_values(self) -> List[int]:
-        """Every replica's PHR value."""
-        return [self._pack_row(self._phr_row(i)) for i in range(self.n)]
+        """Every replica's history value."""
+        return self._backend.history_values()
 
     def set_phr_values(self, values) -> None:
-        """Force PHR contents: one integer, or a per-replica sequence."""
+        """Force history contents: one integer, or a per-replica sequence."""
         if isinstance(values, int):
             values = [values] * self.n
         if len(values) != self.n:
             raise ValueError(
                 f"expected {self.n} PHR values, got {len(values)}")
-        self._phr_buf[:] = 0
-        self._phr_org[:] = self._phr_slack
-        for i, value in enumerate(values):
-            self._phr_buf[i, self._phr_slack:] = (
-                self._bits_of_value(int(value)))
-        self._refold(self._all_rows)
+        self._backend.set_history_values([int(v) for v in values])
 
     def clear_phr(self) -> None:
-        """Zero every replica's PHR (``Clear_PHR`` semantics)."""
-        self._phr_buf[:] = 0
-        self._phr_org[:] = self._phr_slack
-        self._refold(self._all_rows)
-
-    def _fold_bits(self, rows: np.ndarray, low: int, high: int,
-                   chunk: int) -> np.ndarray:
-        """Chunked XOR fold of PHR bit columns ``[low, high)`` per row.
-
-        Bit-identical to ``fold_xor(value[low:high], high-low, chunk)``:
-        reshape into ``chunk``-wide groups (zero-padded at the top, like
-        the fold's implicit high zeros) and XOR-reduce.
-        """
-        if high <= low:
-            return np.zeros(rows.size, dtype=np.int64)
-        origins = self._phr_org[rows]
-        segment = self._phr_buf[rows[:, None],
-                                origins[:, None] + self._col_range[low:high]]
-        width = segment.shape[1]
-        pad = (-width) % chunk
-        if pad:
-            segment = np.concatenate(
-                [segment,
-                 np.zeros((segment.shape[0], pad), dtype=segment.dtype)],
-                axis=1)
-        segment = segment.reshape(segment.shape[0], -1, chunk)
-        folded = np.bitwise_xor.reduce(segment, axis=1).astype(np.int64)
-        return folded @ (np.int64(1) << np.arange(chunk, dtype=np.int64))
-
-    def _refold(self, rows: np.ndarray) -> None:
-        """From-scratch fold recomputation for ``rows`` (all tables)."""
-        for t, meta in enumerate(self._tables):
-            if not meta.can_advance:
-                continue
-            self._fold_idx[t][rows] = self._fold_bits(
-                rows, 0, meta.window, INDEX_BITS - 1)
-            self._fold_lo[t][rows] = self._fold_bits(
-                rows, 0, meta.window, meta.tag_bits)
-            self._fold_hi[t][rows] = self._fold_bits(
-                rows, 3, meta.window, meta.tag_bits)
-
-    def _advance_rows(self, rows: np.ndarray, pc: np.ndarray,
-                      target: np.ndarray) -> None:
-        """Commit a taken branch on ``rows``: folds, then the bit array.
-
-        The fold recurrence is the vector transcription of
-        ``TaggedTable._advance_step``; the bit-array update is
-        ``PHR' = ((PHR << 2) ^ footprint) & mask`` one bit-plane at a
-        time.
-        """
-        if rows.size == 0:
-            return
-        footprint = (self._branch_lut[pc & 0xFFFF]
-                     ^ self._target_lut[target & 0x3F])
-        buf = self._phr_buf
-        buf_flat = self._buf_flat
-        origins = self._phr_org[rows]
-        bit_flat = rows * self._buf_stride + origins
-        if self._all_advance:
-            # All planes and tables at once: one gather pulls both
-            # evicted bits for every table as (2T, k), one gather pulls
-            # the stacked fold registers as (3, T, k), and the doubled
-            # recurrence runs with per-plane rotation/mask constants and
-            # (3, T, 1) eviction columns -- then a single scatter.
-            evicted = np.take(
-                buf_flat, bit_flat[None, :] + self._win_off).astype(np.int64)
-            tables = len(self._tables)
-            evicted_first = evicted[:tables]
-            evicted_second = evicted[tables:]
-            injected = (footprint >> 3) ^ (
-                (np.take(buf_flat, bit_flat + 2).astype(np.int64) << 1)
-                | np.take(buf_flat, bit_flat + 1))
-
-            chunk = self._tag_bits
-            tag_mask = (1 << chunk) - 1
-            rots = self._fold_rots
-            masks = self._fold_masks
-            evicts = self._fold_evicts
-            folds = self._folds[:, :, rows]
-            folds = ((((folds << 1) | (folds >> rots)) & masks)
-                     ^ (evicted_first << evicts))
-            folds = ((((folds << 1) | (folds >> rots)) & masks)
-                     ^ (evicted_second << evicts))
-            inject = np.stack([
-                (footprint & 0xFF) ^ (footprint >> 8),
-                (footprint & tag_mask) ^ (footprint >> chunk),
-                (injected & tag_mask) ^ (injected >> chunk),
-            ])[:, None, :]
-            self._folds[:, :, rows] = folds ^ inject
-        else:
-            for t, meta in enumerate(self._tables):
-                if not meta.can_advance:
-                    continue
-                window = meta.window
-                evicted_first = np.take(
-                    buf_flat, bit_flat + window - 1).astype(np.int64)
-                evicted_second = np.take(
-                    buf_flat, bit_flat + window - 2).astype(np.int64)
-
-                folded = self._fold_idx[t][rows]
-                evict = meta.index_evict
-                folded = ((((folded << 1) | (folded >> 7)) & 0xFF)
-                          ^ (evicted_first << evict))
-                folded = ((((folded << 1) | (folded >> 7)) & 0xFF)
-                          ^ (evicted_second << evict))
-                self._fold_idx[t][rows] = (folded ^ (footprint & 0xFF)
-                                           ^ (footprint >> 8))
-
-                chunk = meta.tag_bits
-                rot = chunk - 1
-                tag_mask = meta.tag_mask
-                low = self._fold_lo[t][rows]
-                evict = meta.tag_evict
-                low = ((((low << 1) | (low >> rot)) & tag_mask)
-                       ^ (evicted_first << evict))
-                low = ((((low << 1) | (low >> rot)) & tag_mask)
-                       ^ (evicted_second << evict))
-                low ^= (footprint & tag_mask) ^ (footprint >> chunk)
-                self._fold_lo[t][rows] = low
-
-                injected = (footprint >> 3) ^ (
-                    (np.take(buf_flat, bit_flat + 2).astype(np.int64) << 1)
-                    | np.take(buf_flat, bit_flat + 1))
-                high = self._fold_hi[t][rows]
-                evict = meta.hi_evict
-                high = ((((high << 1) | (high >> rot)) & tag_mask)
-                        ^ (evicted_first << evict))
-                high = ((((high << 1) | (high >> rot)) & tag_mask)
-                        ^ (evicted_second << evict))
-                high ^= (injected & tag_mask) ^ (injected >> chunk)
-                self._fold_hi[t][rows] = high
-
-        # The shift itself: decrement each row's origin (new bits 0 and 1
-        # appear at the new origin, zeroed) and XOR the footprint into
-        # the low bits.  Rows whose origin hits the floor first recopy
-        # their live window back to the top of the slack region.
-        wrapped = origins < 2
-        if wrapped.any():
-            w_rows = rows[wrapped]
-            w_origins = origins[wrapped]
-            live = buf[w_rows[:, None], w_origins[:, None] + self._col_range]
-            buf[w_rows] = 0
-            buf[w_rows[:, None],
-                self._phr_slack + self._col_range[None, :]] = live
-            origins = np.where(wrapped, self._phr_slack, origins)
-            bit_flat = rows * self._buf_stride + origins
-        origins -= 2
-        bit_flat = bit_flat - 2
-        self._phr_org[rows] = origins
-        buf_flat[bit_flat] = 0
-        buf_flat[bit_flat + 1] = 0
-        buf_flat[bit_flat[:, None] + self._fp_bit_range] ^= (
-            (footprint[:, None] >> self._fp_bit_range) & 1
-        ).astype(np.uint8)
-
-    # ------------------------------------------------------------------
-    # vectorized CBP
-    # ------------------------------------------------------------------
-
-    def _pc_fold_vec(self, pc: np.ndarray) -> np.ndarray:
-        value = pc & 0xFFFF
-        for cut, cut_mask in self._pc_schedule:
-            value = (value & cut_mask) ^ (value >> cut)
-        return value
-
-    def _base_train(self, base_flat: np.ndarray,
-                    taken: np.ndarray) -> None:
-        if base_flat.size == 0:
-            return
-        value = np.take(self._base_val_flat, base_flat).astype(np.int64)
-        step_up = taken & (value < self._cmax)
-        step_down = (~taken) & (value > 0)
-        self._base_val_flat[base_flat] = (
-            value + step_up - step_down).astype(np.int16)
-        self._base_pop_flat[base_flat] = True
-
-    def _weak(self, taken: np.ndarray) -> np.ndarray:
-        return np.where(taken, self._cthr, self._cthr - 1).astype(np.int16)
-
-    def _allocate(self, t: int, rows: np.ndarray, index: np.ndarray,
-                  tag: np.ndarray, taken: np.ndarray) -> None:
-        """Vector transcription of ``TaggedTable.allocate``."""
-        tags, ctr, useful, occ_arr = (self._tags[t], self._ctr[t],
-                                      self._useful[t], self._occ[t])
-        set_tags = tags[rows, index]
-        occ = occ_arr[rows, index].astype(np.int64)
-        live = self._way_range[None, :] < occ[:, None]
-        duplicate = live & (set_tags == tag[:, None])
-        has_duplicate = duplicate.any(axis=1)
-        if has_duplicate.any():
-            d_rows = rows[has_duplicate]
-            d_index = index[has_duplicate]
-            d_way = duplicate[has_duplicate].argmax(axis=1)
-            ctr[d_rows, d_index, d_way] = self._weak(taken[has_duplicate])
-            useful[d_rows, d_index, d_way] = 0
-        fresh = ~has_duplicate
-        append = fresh & (occ < self._ways)
-        if append.any():
-            a_rows = rows[append]
-            a_index = index[append]
-            a_way = occ[append]
-            tags[a_rows, a_index, a_way] = tag[append].astype(np.int16)
-            ctr[a_rows, a_index, a_way] = self._weak(taken[append])
-            useful[a_rows, a_index, a_way] = 0
-            occ_arr[a_rows, a_index] = (occ[append] + 1).astype(np.int16)
-        evict = fresh & (occ >= self._ways)
-        if evict.any():
-            e_rows = rows[evict]
-            e_index = index[evict]
-            u_set = useful[e_rows, e_index]
-            victim = u_set.argmin(axis=1)
-            decay = ((u_set > 0)
-                     & (self._way_range[None, :] != victim[:, None]))
-            useful[e_rows, e_index] = u_set - decay
-            useful[e_rows, e_index, victim] = 0
-            tags[e_rows, e_index, victim] = tag[evict].astype(np.int16)
-            ctr[e_rows, e_index, victim] = self._weak(taken[evict])
-
-    def _cbp_observe(self, rows: np.ndarray, pc: np.ndarray,
-                     taken: np.ndarray) -> np.ndarray:
-        """Predict + train one conditional branch on ``rows``.
-
-        Returns the per-row misprediction mask.  Semantics transcribe
-        ``ConditionalBranchPredictor.predict``/``update`` exactly (see
-        the scalar source for the policy rationale).
-        """
-        k = rows.size
-        base_index = pc & self._base_mask
-        base_flat = rows * self._base_size + base_index
-        base_pop = np.take(self._base_pop_flat, base_flat)
-        base_val = np.take(self._base_val_flat, base_flat)
-        pred = base_pop & (base_val >= self._cthr)
-        alternate = pred.copy()
-        provider = np.zeros(k, dtype=np.int64)
-        pc_fold = self._pc_fold_vec(pc)
-        pc_bit = ((pc >> self._pc_index_bit) & 1) << (INDEX_BITS - 1)
-        # Probe every table with one stacked gather: (T, k) indices/tags
-        # into the (T, n, sets, ways) arrays.
-        if self._all_advance:
-            folds = self._folds[:, :, rows]
-            fold_index = folds[0]
-            fold_lo = folds[1]
-            fold_hi = folds[2]
-        else:
-            fold_index = np.empty((self._ntables, k), dtype=np.int64)
-            fold_lo = np.empty((self._ntables, k), dtype=np.int64)
-            fold_hi = np.empty((self._ntables, k), dtype=np.int64)
-            for t, meta in enumerate(self._tables):
-                if meta.can_advance:
-                    fold_index[t] = self._fold_idx[t][rows]
-                    fold_lo[t] = self._fold_lo[t][rows]
-                    fold_hi[t] = self._fold_hi[t][rows]
-                else:
-                    fold_index[t] = self._fold_bits(rows, 0, meta.window,
-                                                    INDEX_BITS - 1)
-                    fold_lo[t] = self._fold_bits(rows, 0, meta.window,
-                                                 meta.tag_bits)
-                    fold_hi[t] = self._fold_bits(rows, 3, meta.window,
-                                                 meta.tag_bits)
-        index_by_table = fold_index | pc_bit
-        tag_by_table = fold_lo ^ fold_hi ^ pc_fold
-        set_flat = self._t_set_off + rows * self._sets + index_by_table
-        set_tags = np.take(self._tags_by_set, set_flat, axis=0)
-        occ = np.take(self._occ_flat, set_flat)
-        live = self._way_range[None, None, :] < occ[:, :, None]
-        match = live & (set_tags == tag_by_table[:, :, None])
-        found = match.any(axis=2)
-        way_by_table = np.where(found, match.argmax(axis=2), 0)
-        counter = np.take(self._ctr_flat,
-                          set_flat * self._ways + way_by_table)
-        for t in range(self._ntables):
-            hit = found[t]
-            alternate = np.where(hit, pred, alternate)
-            pred = np.where(hit, counter[t] >= self._cthr, pred)
-            provider = np.where(hit, t + 1, provider)
-        mispredicted = pred != taken
-
-        # Train the provider (tagged tables, then the base fallback).
-        way_flat = set_flat * self._ways + way_by_table
-        for t in range(len(self._tables)):
-            selected = provider == (t + 1)
-            if not selected.any():
-                continue
-            s_flat = way_flat[t][selected]
-            s_taken = taken[selected]
-            counter = np.take(self._ctr_flat, s_flat).astype(np.int64)
-            new_counter = np.where(
-                s_taken,
-                np.minimum(counter + 1, self._cmax),
-                np.maximum(counter - 1, 0),
-            )
-            self._ctr_flat[s_flat] = new_counter.astype(np.int16)
-            use = np.take(self._useful_flat, s_flat)
-            bump = ((pred[selected] == s_taken)
-                    & (pred[selected] != alternate[selected])
-                    & (use < 3))
-            self._useful_flat[s_flat] = use + bump
-            # Base alt-update while the provider counter is unsaturated.
-            weakly = (new_counter != 0) & (new_counter != self._cmax)
-            self._base_train(base_flat[selected][weakly], s_taken[weakly])
-        base_provided = provider == 0
-        if base_provided.any():
-            self._base_train(base_flat[base_provided],
-                             taken[base_provided])
-
-        # Allocate on misprediction in the next-longer table.
-        for t in range(len(self._tables)):
-            selected = mispredicted & (provider == t)
-            if selected.any():
-                self._allocate(t, rows[selected], index_by_table[t][selected],
-                               tag_by_table[t][selected], taken[selected])
-        return mispredicted
+        """Zero every replica's history (``Clear_PHR`` semantics)."""
+        self._backend.clear_history()
 
     # ------------------------------------------------------------------
     # functional branch entry points (vector twins of Machine's)
@@ -911,14 +485,20 @@ class BatchMachine:
         (False for replicas excluded by ``mask``).
         """
         self._check_poisoned()
+        pc = self._broadcast(pc, np.int64)
+        target = self._broadcast(target, np.int64)
+        taken = self._broadcast(taken, bool)
+        if mask is None:
+            # Full-batch fast path: skip the row-gather copies (rows is
+            # the identity) -- this is the hot shape for primitive
+            # sweeps, which commit every replica each step.
+            return self._observe_rows(self._all_rows, pc, target, taken)
         rows = self._rows_of(mask)
         result = np.zeros(self.n, dtype=bool)
         if rows.size == 0:
             return result
-        pc = self._broadcast(pc, np.int64)[rows]
-        target = self._broadcast(target, np.int64)[rows]
-        taken = self._broadcast(taken, bool)[rows]
-        mispredicted = self._observe_rows(rows, pc, target, taken)
+        mispredicted = self._observe_rows(rows, pc[rows], target[rows],
+                                          taken[rows])
         result[rows] = mispredicted
         return result
 
@@ -944,12 +524,11 @@ class BatchMachine:
 
     def _observe_rows(self, rows: np.ndarray, pc: np.ndarray,
                       target: np.ndarray, taken: np.ndarray) -> np.ndarray:
-        mispredicted = self._cbp_observe(rows, pc, taken)
+        mispredicted = self._backend.observe(rows, pc, taken)
         self._cond_delta[rows] += 1
         self._mispred_delta[rows[mispredicted]] += 1
-        taken_rows = rows[taken]
-        self._advance_rows(taken_rows, pc[taken], target[taken])
-        self._taken_delta[taken_rows] += 1
+        self._backend.commit_conditional(rows, pc, target, taken)
+        self._taken_delta[rows[taken]] += 1
         self._pending.append((rows, pc, target, taken, mispredicted, True))
         if len(self._pending) >= PENDING_FOLD_LIMIT:
             self.sync()
@@ -957,7 +536,7 @@ class BatchMachine:
 
     def _record_rows(self, rows: np.ndarray, pc: np.ndarray,
                      target: np.ndarray) -> None:
-        self._advance_rows(rows, pc, target)
+        self._backend.commit_taken(rows, pc, target)
         self._taken_delta[rows] += 1
         self._pending.append((rows, pc, target, None, None, False))
         if len(self._pending) >= PENDING_FOLD_LIMIT:
@@ -1023,17 +602,7 @@ class BatchMachine:
         """Checkpoint the whole batch (arrays copied, shadows sparse)."""
         self._check_poisoned()
         self.sync()
-        arrays = {
-            "base_val": self._base_val.copy(),
-            "base_pop": self._base_pop.copy(),
-            "phr_buf": self._phr_buf.copy(),
-            "phr_org": self._phr_org.copy(),
-            "tags": self._tags.copy(),
-            "ctr": self._ctr.copy(),
-            "useful": self._useful.copy(),
-            "occ": self._occ.copy(),
-            "folds": self._folds.copy(),
-        }
+        arrays = self._backend.state_arrays()
         shadows = tuple(
             (self._btb[i].snapshot(), self._ibp[i].snapshot(),
              self._cache[i].snapshot(), self._ras[i].snapshot(),
@@ -1057,16 +626,7 @@ class BatchMachine:
                 f"snapshot is for {snap.n} replicas, this batch has "
                 f"{self.n}")
         self._poisoned = False
-        arrays = snap.arrays
-        np.copyto(self._base_val, arrays["base_val"])
-        np.copyto(self._base_pop, arrays["base_pop"])
-        np.copyto(self._phr_buf, arrays["phr_buf"])
-        np.copyto(self._phr_org, arrays["phr_org"])
-        np.copyto(self._tags, arrays["tags"])
-        np.copyto(self._ctr, arrays["ctr"])
-        np.copyto(self._useful, arrays["useful"])
-        np.copyto(self._occ, arrays["occ"])
-        np.copyto(self._folds, arrays["folds"])
+        self._backend.restore_arrays(snap.arrays)
         self._cond_delta[:] = 0
         self._mispred_delta[:] = 0
         self._taken_delta[:] = 0
@@ -1095,17 +655,10 @@ class BatchMachine:
             raise IndexError(f"replica index out of range: {i}")
         self._check_poisoned()
         self.sync()
-        base_snap = base_snapshot_from_dense(self._base_val[i],
-                                             self._base_pop[i])
-        table_snaps = tuple(
-            table_snapshot_from_dense(self._tags[t][i], self._ctr[t][i],
-                                      self._useful[t][i], self._occ[t][i])
-            for t in range(len(self._tables))
-        )
         threads = ((self.phr_value(i), self._ras[i].snapshot(),
                     self._domain[i]),) + self._other_threads
         return MachineSnapshot(
-            cbp=(base_snap, table_snaps),
+            cbp=self._backend.extract_cbp(i),
             btb=self._btb[i].snapshot(),
             ibp=self._ibp[i].snapshot(),
             cache=self._cache[i].snapshot(),
@@ -1249,8 +802,7 @@ class BatchMachine:
                     events.append(cached.events)
                     continue
                 initial_memory = dict(memory._bytes)
-            shadow_phr = PathHistoryRegister(self.config.phr_capacity,
-                                             self.phr_value(i))
+            shadow_phr = self._backend.make_history(self.phr_value(i))
             hook_type = _CaptureHooks if caching else _ReplayHooks
             hooks = hook_type(shadow_phr, self._cache[i], self._perf[i],
                               self._ras[i], self._ibp[i])
@@ -1273,8 +825,7 @@ class BatchMachine:
     ) -> Tuple[List[ExecutionResult], List[List[tuple]]]:
         """Phase 1, shared-trace mode: interpret once, walk N-1 times."""
         state, memory = self._normalize_one(shared_input)
-        shadow_phr = PathHistoryRegister(self.config.phr_capacity,
-                                         self.phr_value(0))
+        shadow_phr = self._backend.make_history(self.phr_value(0))
         hooks = _CaptureHooks(shadow_phr, self._cache[0], self._perf[0],
                               self._ras[0], self._ibp[0])
         interpreter = Interpreter(program, hooks)
@@ -1355,12 +906,10 @@ class BatchMachine:
         ras = self._ras[i]
         if captured.has_indirect:
             ibp = self._ibp[i]
-            phr = PathHistoryRegister(self.config.phr_capacity,
-                                      self.phr_value(i))
+            phr = self._backend.make_history(self.phr_value(i))
             for kind, pc, target, taken, next_pc in captured.events:
                 if kind == KIND_COND:
-                    if taken:
-                        phr.update(pc, target)
+                    phr.on_conditional(pc, target, bool(taken))
                     continue
                 if kind == KIND_CALL:
                     ras.push(next_pc)
@@ -1378,7 +927,7 @@ class BatchMachine:
                     if predicted != target:
                         perf.indirect_mispredictions += 1
                     ibp.update(pc, phr, target)
-                phr.update(pc, target)
+                phr.on_taken(pc, target)
         else:
             for kind, pc, target, taken, next_pc in captured.jump_events:
                 if kind == KIND_CALL:

@@ -303,11 +303,13 @@ def check_program_backends(
     with each requested family
     (:meth:`~repro.fuzz.generator.FuzzProgram.with_predictor_model`) and
     repeats the arms that are family-generic: reference-vs-fast engine
-    equivalence, snapshot/restore replay, and snapshot wire-format
-    round-trip -- each with the invariant oracle riding along.  Arm
-    labels are prefixed ``<model-id>:`` so a corpus reproducer names the
-    family it failed under.  ``backends=None`` runs every registered
-    family except the program's own.
+    equivalence, snapshot/restore replay, snapshot wire-format
+    round-trip, and the vectorized batch-twin / shared-trace arms
+    (every registered family has a batch backend, so the bit-identity
+    contract is fuzzed per family) -- each with the invariant oracle
+    riding along.  Arm labels are prefixed ``<model-id>:`` so a corpus
+    reproducer names the family it failed under.  ``backends=None``
+    runs every registered family except the program's own.
     """
     from repro.cpu.model import model_ids
 
@@ -331,12 +333,17 @@ def check_program_backends(
             variant, machine_mutator, oracle_stride, arm_prefix=prefix)
         divergences += _check_snapshot_serialization(
             variant, machine_mutator, arm_prefix=prefix)
+        divergences += _check_batch_twin(
+            variant, machine_mutator, arm_prefix=prefix)
+        divergences += _check_shared_trace(
+            variant, machine_mutator, arm_prefix=prefix)
     return divergences
 
 
 def _check_batch_twin(
     fuzz_program: FuzzProgram,
     machine_mutator: Optional[MachineMutator],
+    arm_prefix: str = "",
 ) -> List[Divergence]:
     """The batch engine against scalar non-speculative twins.
 
@@ -379,7 +386,7 @@ def _check_batch_twin(
     for i in range(n):
         scalar_result, scalar_memory, scalar_snap = scalar_runs[i]
         got = results[i]
-        arm = f"batch-twin[{i}]"
+        arm = f"{arm_prefix}batch-twin[{i}]"
 
         def check(kind: str, left, right, arm=arm) -> None:
             if left != right:
@@ -401,6 +408,7 @@ def _check_batch_twin(
 def _check_shared_trace(
     fuzz_program: FuzzProgram,
     machine_mutator: Optional[MachineMutator],
+    arm_prefix: str = "",
 ) -> List[Divergence]:
     """Trace-once/replay-many against scalar twins, bit for bit.
 
@@ -466,11 +474,12 @@ def _check_shared_trace(
         max_instructions=fuzz_program.max_instructions, trace="full",
         shared_input=shared_memory)
     for i in range(n):
-        compare(f"shared-trace[{i}]", results[i], shared_memory, scalars[i])
+        compare(f"{arm_prefix}shared-trace[{i}]", results[i], shared_memory,
+                scalars[i])
         snap = batch.extract(i)
         if snap != scalars[i][2]:
             divergences.append(Divergence(
-                f"shared-trace[{i}]", "snapshot",
+                f"{arm_prefix}shared-trace[{i}]", "snapshot",
                 "extracted snapshot differs from scalar twin"))
 
     # Sub-arm 2: cold capture then warm replay through the trace cache.
@@ -485,20 +494,20 @@ def _check_shared_trace(
                 trace="full", trace_cache=cache)
         except Exception as exc:  # noqa: BLE001 -- arm must not crash fuzz
             divergences.append(Divergence(
-                f"cached-trace-{label}", "crash",
+                f"{arm_prefix}cached-trace-{label}", "crash",
                 f"{type(exc).__name__}: {exc}"))
             return divergences
         for i in range(n):
-            compare(f"cached-trace-{label}[{i}]", results[i], memories[i],
-                    scalars[i])
+            compare(f"{arm_prefix}cached-trace-{label}[{i}]", results[i],
+                    memories[i], scalars[i])
             snap = batch.extract(i)
             if snap != scalars[i][2]:
                 divergences.append(Divergence(
-                    f"cached-trace-{label}[{i}]", "snapshot",
+                    f"{arm_prefix}cached-trace-{label}[{i}]", "snapshot",
                     "extracted snapshot differs from scalar twin"))
     if cache.stats.divergences:
         divergences.append(Divergence(
-            "cached-trace", "cache",
+            f"{arm_prefix}cached-trace", "cache",
             f"trace cache reported {cache.stats.divergences} "
             f"divergent entries"))
     return divergences

@@ -4,8 +4,10 @@ Style follows ``tests/test_interpreter_equivalence.py``: drive the
 vectorized :class:`BatchMachine` and N scalar :class:`Machine` twins
 through identical randomized workloads and require *exact* state
 equality -- ``extract(i)`` must equal the scalar ``snapshot()`` down to
-every counter, tag, useful bit, PHR bit, BTB ordering and perf
-histogram.
+every counter, tag, useful bit, history bit, BTB ordering and perf
+histogram.  Parametrized over every registered predictor family: two
+Intel geometries plus the M1-style PHR and gshare/tournament presets,
+each served by its own :class:`repro.batch.backends` backend.
 """
 
 from __future__ import annotations
@@ -15,20 +17,28 @@ import pytest
 np = pytest.importorskip("numpy")
 
 from repro.batch import BatchMachine, supports_config
-from repro.cpu.config import RAPTOR_LAKE, SKYLAKE
+from repro.cpu.config import (
+    FIRESTORM_M1,
+    RAPTOR_LAKE,
+    SKYLAKE,
+    TOURNAMENT_BASELINE,
+)
 from repro.cpu.machine import Machine
 from repro.isa.memory import Memory
 from repro.isa.builder import ProgramBuilder
 from repro.utils.rng import DeterministicRng
 
-CONFIGS = [RAPTOR_LAKE, SKYLAKE]
+CONFIGS = [RAPTOR_LAKE, SKYLAKE, FIRESTORM_M1, TOURNAMENT_BASELINE]
 
 
 def _assert_snapshots_equal(batch_snap, scalar_snap, context: str) -> None:
-    assert batch_snap.cbp[0] == scalar_snap.cbp[0], f"{context}: base"
-    for t, (got, want) in enumerate(zip(batch_snap.cbp[1],
-                                        scalar_snap.cbp[1])):
-        assert got == want, f"{context}: table {t}"
+    # The cbp payload shape is per-family (Intel: (base, tables);
+    # tournament: (local, gshare, chooser)); compare part by part so a
+    # mismatch names the offending component.
+    assert len(batch_snap.cbp) == len(scalar_snap.cbp), f"{context}: cbp arity"
+    for part, (got, want) in enumerate(zip(batch_snap.cbp,
+                                           scalar_snap.cbp)):
+        assert got == want, f"{context}: cbp part {part}"
     assert batch_snap.btb == scalar_snap.btb, f"{context}: btb"
     assert batch_snap.ibp == scalar_snap.ibp, f"{context}: ibp"
     assert batch_snap.cache == scalar_snap.cache, f"{context}: cache"
@@ -167,9 +177,9 @@ def test_run_batch_matches_scalar_runs(config):
                                 f"replica {i}")
 
 
-def test_run_batch_from_trained_snapshot():
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_run_batch_from_trained_snapshot(config):
     """Importing a trained scalar snapshot preserves bit-identity."""
-    config = RAPTOR_LAKE
     program = _branchy_program()
     trainer = Machine(config)
     trainer.run(program, memory=_provision(99), speculate=False,
@@ -222,9 +232,9 @@ def test_long_taken_stream_wraps_buffer(config):
                                 f"replica {i}")
 
 
-def test_snapshot_restore_replays_identically():
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_snapshot_restore_replays_identically(config):
     """restore() rewinds to a bit-identical state: same stream, same end."""
-    config = RAPTOR_LAKE
     n = 3
     rng = DeterministicRng(0xD0)
     batch = BatchMachine(n, config)

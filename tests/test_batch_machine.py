@@ -4,6 +4,9 @@ The bit-identity pinning lives in ``tests/test_batch_equivalence.py``;
 this module covers the functional surface: argument validation, masks,
 PHR seeding, snapshot discipline and the error paths the batch contract
 promises (no speculation, no indirect kinds, supported configs only).
+The per-family sections parametrize the capability gates, epoch-stamped
+restores, poisoning-on-failure, chunked replay, and the cross-family
+snapshot guard over every registered batch backend.
 """
 
 from __future__ import annotations
@@ -14,11 +17,26 @@ import pytest
 
 np = pytest.importorskip("numpy")
 
-from repro.batch import BatchMachine, BatchSnapshot, supports_config
-from repro.cpu.config import RAPTOR_LAKE, SKYLAKE
+from repro.batch import (
+    BatchMachine,
+    BatchSnapshot,
+    BatchStateError,
+    batch_backend_ids,
+    supports_config,
+)
+from repro.cpu.config import (
+    FIRESTORM_M1,
+    PREDICTOR_LAB_MACHINES,
+    RAPTOR_LAKE,
+    SKYLAKE,
+    TOURNAMENT_BASELINE,
+)
 from repro.cpu.machine import Machine
+from repro.cpu.serialize import SnapshotFormatError
 from repro.isa.builder import ProgramBuilder
 from repro.isa.interpreter import BranchKind
+from repro.isa.memory import Memory
+from repro.utils.rng import DeterministicRng
 
 
 def _tiny_program():
@@ -142,3 +160,162 @@ def test_snapshot_is_isolated_from_later_mutation():
         batch.observe_conditional(0x700 + 4 * step, 0x800, step % 2 == 0)
     batch.restore(snap)
     assert batch.extract(0) == reference
+
+
+# ----------------------------------------------------------------------
+# per-family backend registry and capability gates
+# ----------------------------------------------------------------------
+
+def _family_param(configs):
+    return pytest.mark.parametrize("config", configs, ids=lambda c: c.name)
+
+
+def _loop_program(iterations: int):
+    """A branchy loop whose input block steers per-iteration branches."""
+    b = ProgramBuilder()
+    b.mov_imm("rax", 0x40_0000)
+    b.mov_imm("rbx", 0)
+    b.mov_imm("rcx", 0)
+    b.label("loop")
+    b.load("rdx", "rax", 0)
+    b.cmp("rdx", imm=100)
+    b.jlt("small")
+    b.add("rbx", imm=3)
+    b.jmp("next")
+    b.label("small")
+    b.add("rbx", imm=1)
+    b.label("next")
+    b.add("rax", imm=1)
+    b.add("rcx", imm=1)
+    b.cmp("rcx", imm=iterations)
+    b.jlt("loop")
+    b.halt()
+    return b.build()
+
+
+def _provision(seed: int) -> Memory:
+    memory = Memory()
+    rng = DeterministicRng(seed)
+    for offset in range(64):
+        memory.write(0x40_0000 + offset, 1, rng.value_bits(8))
+    return memory
+
+
+def test_every_registered_family_has_a_batch_backend():
+    families = {config.predictor_model for config in PREDICTOR_LAB_MACHINES}
+    assert families <= set(batch_backend_ids())
+
+
+@_family_param(PREDICTOR_LAB_MACHINES)
+def test_supports_config_per_family(config):
+    assert supports_config(config)
+
+
+def test_supports_config_rejects_bad_geometry_per_family():
+    # The TAGE-shaped families gate on the stacked-table geometry...
+    for base in (RAPTOR_LAKE, FIRESTORM_M1):
+        odd = dataclasses.replace(base, pht_sets=600)
+        assert not supports_config(odd)
+    # ...the tournament gates on its local/chooser index width.
+    for bits in (0, 25):
+        odd = dataclasses.replace(TOURNAMENT_BASELINE, base_index_bits=bits)
+        assert not supports_config(odd)
+
+
+def test_unknown_family_is_unsupported():
+    odd = dataclasses.replace(RAPTOR_LAKE, predictor_model="no-such-model")
+    assert not supports_config(odd)
+    with pytest.raises(ValueError) as excinfo:
+        BatchMachine(2, odd)
+    message = str(excinfo.value)
+    assert "no-such-model" in message
+    for model_id in batch_backend_ids():
+        assert model_id in message
+
+
+def test_geometry_error_names_field_and_registry():
+    odd = dataclasses.replace(TOURNAMENT_BASELINE, base_index_bits=25)
+    with pytest.raises(ValueError) as excinfo:
+        BatchMachine(2, odd)
+    message = str(excinfo.value)
+    assert "base_index_bits=25" in message
+    assert "gshare-tournament" in message
+    assert "intel-cbp" in message
+
+
+@_family_param(PREDICTOR_LAB_MACHINES)
+def test_from_snapshot_rejects_cross_family_snapshot(config):
+    """A foreign-family scalar snapshot fails fast, not deep in numpy."""
+    donor_config = next(c for c in PREDICTOR_LAB_MACHINES
+                        if c.predictor_model != config.predictor_model)
+    donor = Machine(donor_config)
+    donor.observe_conditional(0x4000, 0x4100, True)
+    snap = donor.snapshot()
+    with pytest.raises(SnapshotFormatError) as excinfo:
+        BatchMachine.from_snapshot(config, snap, 2)
+    assert donor_config.predictor_model in str(excinfo.value)
+    assert config.predictor_model in str(excinfo.value)
+
+
+@_family_param(PREDICTOR_LAB_MACHINES)
+def test_epoch_stamped_restore_roundtrip(config):
+    """Both restore paths -- fast same-epoch and full shadow -- are exact."""
+    batch = BatchMachine(2, config)
+    rng = DeterministicRng(0xE9)
+    for _ in range(30):
+        batch.observe_conditional(rng.value_bits(16), rng.value_bits(18),
+                                  rng.coin())
+    first_snap = batch.snapshot()
+    first_state = [batch.extract(i) for i in range(2)]
+    for _ in range(30):
+        batch.observe_conditional(rng.value_bits(16), rng.value_bits(18),
+                                  rng.coin())
+    second_snap = batch.snapshot()
+    second_state = [batch.extract(i) for i in range(2)]
+    assert second_snap.epoch != first_snap.epoch
+
+    batch.restore(first_snap)
+    assert [batch.extract(i) for i in range(2)] == first_state
+    batch.restore(second_snap)
+    assert [batch.extract(i) for i in range(2)] == second_state
+
+
+@_family_param(PREDICTOR_LAB_MACHINES)
+def test_failed_replica_poisons_batch_until_restore(config):
+    """A mid-batch interpreter error refuses all state access per family."""
+    program = _loop_program(40)
+    batch = BatchMachine(2, config)
+    pristine = batch.snapshot()
+    with pytest.raises(Exception) as excinfo:
+        batch.run_batch(program, [_provision(1), Memory()],
+                        max_instructions=50, on_limit="raise")
+    assert not isinstance(excinfo.value, BatchStateError)
+    for attempt in (batch.snapshot, lambda: batch.extract(0)):
+        with pytest.raises(BatchStateError):
+            attempt()
+    batch.restore(pristine)
+    results = batch.run_batch(program, [_provision(5), _provision(6)])
+    for i in range(2):
+        scalar = Machine(config)
+        want = scalar.run(program, memory=_provision(5 + i),
+                          speculate=False, trace="branches")
+        assert results[i].perf == want.perf, f"replica {i}"
+
+
+@_family_param(PREDICTOR_LAB_MACHINES)
+def test_replay_chunk_boundary_per_family(config, monkeypatch):
+    """Traces longer than REPLAY_COLUMNS replay across chunk seams."""
+    from repro.batch import engine
+
+    monkeypatch.setattr(engine, "REPLAY_COLUMNS", 16)
+    program = _loop_program(40)  # ~120 branch events >> 16 columns
+    batch = BatchMachine(2, config)
+    results = batch.run_batch(program, [_provision(11), _provision(12)],
+                              trace="full")
+    for i in range(2):
+        scalar = Machine(config)
+        want = scalar.run(program, memory=_provision(11 + i),
+                          speculate=False, trace="full")
+        assert tuple(results[i].trace) == tuple(want.trace), f"replica {i}"
+        assert results[i].perf == want.perf, f"replica {i}"
+        assert results[i].phr_value == want.phr_value, f"replica {i}"

@@ -2,11 +2,13 @@
 
 The per-backend pass (:func:`repro.fuzz.diff.check_program_backends`)
 reruns the family-generic twin arms -- reference-vs-fast engine
-equivalence, snapshot replay, snapshot wire round-trip -- for every
-registered predictor family over the same generated program.  This
-smoke pins a small fixed-seed corpus clean for all families, and proves
-the pass is not vacuously green by injecting a fast-arm perturbation
-and demanding a model-prefixed divergence.
+equivalence, snapshot replay, snapshot wire round-trip, and the
+vectorized batch-twin / shared-trace arms -- for every registered
+predictor family over the same generated program.  This smoke pins a
+small fixed-seed corpus clean for all families, and proves the pass is
+not vacuously green by injecting a fast-arm perturbation (scalar arms)
+and an inverted batch mispredict mask (batch arms), demanding
+model-prefixed divergences both times.
 """
 
 import pytest
@@ -63,6 +65,36 @@ class TestNotVacuous:
     def test_default_family_arms_unaffected_by_backend_pass(self):
         program = generate_program(SMOKE_SEED, 3, profile="smoke")
         assert check_program(program) == []
+
+
+class TestBatchTwinNotVacuous:
+    """The per-family batch-twin arm actually exercises the backend."""
+
+    @pytest.mark.parametrize("model_id",
+                             ["gshare-tournament", "m1-phr"])
+    def test_inverted_mispredict_mask_is_caught(self, monkeypatch,
+                                                model_id):
+        pytest.importorskip("numpy")
+        from repro.batch import batch_backend_for
+
+        backend_cls = batch_backend_for(model_id)
+        real_observe = backend_cls.observe
+
+        def inverted_observe(self, rows, pc, taken):
+            # State updates run unchanged; only the reported mispredict
+            # mask flips, so the perf counters diverge from the scalar
+            # twins while control flow stays identical.
+            return ~real_observe(self, rows, pc, taken)
+
+        monkeypatch.setattr(backend_cls, "observe", inverted_observe)
+        program = generate_program(SMOKE_SEED, 4, profile="smoke")
+        divergences = check_program_backends(program,
+                                             backends=(model_id,))
+        labels = [str(d) for d in divergences]
+        assert divergences, "inverted batch mask went undetected"
+        assert any("batch-twin" in label for label in labels), labels
+        assert all(label.startswith(f"[{model_id}:")
+                   for label in labels), labels
 
 
 class TestCliWiring:
